@@ -1,0 +1,301 @@
+package graphssl
+
+// Benchmark harness: one benchmark per table/figure of the paper (Figures
+// 1–5; the paper has no numbered tables) plus ablation benches for the
+// design choices called out in DESIGN.md. Each figure bench runs its
+// experiment end-to-end at reduced scale per iteration — the shapes
+// (orderings, trends) match the paper; absolute timings document the cost
+// of regenerating each figure.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/coil"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/synth"
+)
+
+// benchSynthetic runs one scaled-down synthetic figure per iteration.
+func benchSynthetic(b *testing.B, cfg experiments.SyntheticConfig, name string) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		res, err := experiments.RunSynthetic(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Series) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (Model 1, m=30, n sweep) at reduced
+// scale: a truncated n grid and few replications per iteration.
+func BenchmarkFig1(b *testing.B) {
+	cfg := experiments.Fig1Config(3, 1)
+	cfg.SweepN = []int{10, 30, 50, 100, 200}
+	benchSynthetic(b, cfg, "fig1")
+}
+
+// BenchmarkFig2 regenerates Figure 2 (Model 1, n=100, m sweep).
+func BenchmarkFig2(b *testing.B) {
+	cfg := experiments.Fig2Config(3, 1)
+	cfg.SweepM = []int{30, 60, 100, 300}
+	benchSynthetic(b, cfg, "fig2")
+}
+
+// BenchmarkFig3 regenerates Figure 3 (Model 2, m=30, n sweep).
+func BenchmarkFig3(b *testing.B) {
+	cfg := experiments.Fig3Config(3, 1)
+	cfg.SweepN = []int{10, 30, 50, 100, 200}
+	benchSynthetic(b, cfg, "fig3")
+}
+
+// BenchmarkFig4 regenerates Figure 4 (Model 2, n=100, m sweep).
+func BenchmarkFig4(b *testing.B) {
+	cfg := experiments.Fig4Config(3, 1)
+	cfg.SweepM = []int{30, 60, 100, 300}
+	benchSynthetic(b, cfg, "fig4")
+}
+
+// BenchmarkFig5 regenerates Figure 5 (COIL-like AUC across λ and splits) at
+// reduced scale (30 images per class, one repetition).
+func BenchmarkFig5(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.Fig5DefaultCfg(30, 1, int64(i+1))
+		res, err := experiments.RunFig5(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.AUC) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// benchProblem builds a reusable synthetic hard-criterion problem.
+func benchProblem(b *testing.B, n, m int, knn int) *core.Problem {
+	b.Helper()
+	rng := randx.New(99)
+	ds, err := synth.Generate(rng, synth.Model1, n, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := kernel.PaperBandwidth(n, synth.Dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := kernel.New(kernel.Gaussian, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var opts []graph.Option
+	if knn > 0 {
+		opts = append(opts, graph.WithKNN(knn))
+	}
+	builder, err := graph.NewBuilder(k, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := builder.Build(ds.X)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := core.NewProblemLabeledFirst(g, ds.YLabeled())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkHardSolvers ablates the hard-criterion backend: dense Cholesky
+// vs LU vs sparse CG vs iterative propagation (Proposition II.1's O(m³)
+// advantage shows in the m-dependence).
+func BenchmarkHardSolvers(b *testing.B) {
+	p := benchProblem(b, 200, 100, 0)
+	for _, m := range []core.Method{core.MethodCholesky, core.MethodLU, core.MethodCG, core.MethodPropagation} {
+		b.Run(m.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveHard(p, core.WithMethod(m)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHardVsSoftComplexity contrasts the hard criterion's m×m solve
+// (Eq. 5, O(m³)) with the soft criterion's (n+m)×(n+m) solve (Eq. 4,
+// O((n+m)³)) — the computational advantage the paper notes after
+// Proposition II.1.
+func BenchmarkHardVsSoftComplexity(b *testing.B) {
+	p := benchProblem(b, 400, 60, 0)
+	b.Run("hard-m3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveHard(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("soft-nm3", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveSoft(p, 0.1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLambdaPath measures the λ-path evaluation used by every figure.
+func BenchmarkLambdaPath(b *testing.B) {
+	p := benchProblem(b, 150, 50, 0)
+	lams := []float64{0, 0.01, 0.1, 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.LambdaPath(p, lams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHardVsNW compares the full hard solve against the
+// Nadaraya–Watson estimator it converges to (Theorem II.1).
+func BenchmarkHardVsNW(b *testing.B) {
+	p := benchProblem(b, 300, 50, 0)
+	b.Run("hard", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveHard(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("nw", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NadarayaWatson(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGraphConstruction ablates full-graph vs k-NN construction.
+func BenchmarkGraphConstruction(b *testing.B) {
+	rng := randx.New(7)
+	ds, err := synth.Generate(rng, synth.Model1, 300, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernel.MustNew(kernel.Gaussian, 0.5)
+	for _, knn := range []int{0, 10} {
+		name := "full"
+		if knn > 0 {
+			name = fmt.Sprintf("knn%d", knn)
+		}
+		b.Run(name, func(b *testing.B) {
+			var opts []graph.Option
+			if knn > 0 {
+				opts = append(opts, graph.WithKNN(knn))
+			}
+			builder, err := graph.NewBuilder(k, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := builder.Build(ds.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKernels ablates the kernel profiles on graph construction
+// (compact-support kernels yield sparser graphs and obey Theorem II.1's
+// conditions).
+func BenchmarkKernels(b *testing.B) {
+	rng := randx.New(9)
+	ds, err := synth.Generate(rng, synth.Model1, 200, 50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []kernel.Kind{kernel.Gaussian, kernel.Uniform, kernel.Epanechnikov, kernel.Tricube} {
+		b.Run(kind.String(), func(b *testing.B) {
+			builder, err := graph.NewBuilder(kernel.MustNew(kind, 0.6))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := builder.Build(ds.X); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDistributedPropagation ablates serial vs partitioned propagation
+// (the cluster engine with growing worker counts).
+func BenchmarkDistributedPropagation(b *testing.B) {
+	p := benchProblem(b, 200, 200, 15)
+	sys, err := core.BuildPropagationSystem(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cluster.SolveLocal(sys, cluster.LocalOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCOILGeneration measures the synthetic benchmark renderer.
+func BenchmarkCOILGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := coil.GenerateSized(int64(i+1), 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitFacade measures the public API end to end.
+func BenchmarkFitFacade(b *testing.B) {
+	rng := randx.New(21)
+	x := make([][]float64, 150)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm(), rng.Norm()}
+	}
+	y := make([]float64, 50)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(x, y, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

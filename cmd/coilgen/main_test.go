@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coil"
+)
+
+func TestRunStdout(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-perclass", "2", "-seed", "5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 1+coil.Classes*2 {
+		t.Fatalf("lines = %d, want %d", len(lines), 1+coil.Classes*2)
+	}
+	if !strings.HasPrefix(lines[0], "p0,p1,") || !strings.HasSuffix(lines[0], "object,angle,class,binary") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	cols := strings.Split(lines[1], ",")
+	if len(cols) != coil.Pixels+4 {
+		t.Fatalf("columns = %d, want %d", len(cols), coil.Pixels+4)
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "coil.csv")
+	var sb strings.Builder
+	if err := run([]string{"-perclass", "1", "-out", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("file empty")
+	}
+	if sb.Len() != 0 {
+		t.Fatal("stdout must be empty when -out is set")
+	}
+}
+
+func TestRunWritesPGMs(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pgm")
+	var sb strings.Builder
+	if err := run([]string{"-perclass", "1", "-pgm", dir, "-out", filepath.Join(t.TempDir(), "c.csv")}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// perclass=1 keeps 1 image per class = 6 images, from 6 distinct
+	// objects (one per class at minimum).
+	if len(entries) < coil.Classes {
+		t.Fatalf("pgm files = %d, want >= %d", len(entries), coil.Classes)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "P5\n16 16\n255\n") {
+		t.Fatalf("PGM header wrong: %q", data[:20])
+	}
+	if len(data) != len("P5\n16 16\n255\n")+coil.Pixels {
+		t.Fatalf("PGM size %d", len(data))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-perclass", "0"}, &sb); err == nil {
+		t.Fatal("perclass=0 must error")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag must error")
+	}
+	if err := run([]string{"-perclass", "1", "-out", "/nonexistent/dir/x.csv"}, &sb); err == nil {
+		t.Fatal("bad output path must error")
+	}
+}

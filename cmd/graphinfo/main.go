@@ -1,0 +1,151 @@
+// Command graphinfo analyzes the similarity graph a dataset would induce:
+// node/edge counts, degree statistics, connected components, algebraic
+// connectivity (Fiedler value), and the leading normalized-Laplacian
+// eigenvalues. Useful for checking the cluster assumption and the
+// label-coverage condition before running graph-based SSL.
+//
+// Input: CSV of feature columns (a header row by default; use -header=false
+// for raw data). Any trailing response column can be skipped with -drop 1.
+//
+// Usage:
+//
+//	graphinfo -in data.csv [-kernel gaussian] [-bandwidth 0] [-knn 0]
+//	          [-drop 0] [-eigs 4]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "graphinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("graphinfo", flag.ContinueOnError)
+	var (
+		inPath    = fs.String("in", "", "input CSV (required)")
+		kern      = fs.String("kernel", "gaussian", "kernel profile")
+		bandwidth = fs.Float64("bandwidth", 0, "kernel bandwidth (0 = median heuristic)")
+		knn       = fs.Int("knn", 0, "k-NN sparsification (0 = full graph)")
+		drop      = fs.Int("drop", 0, "trailing columns to ignore (e.g. a label column)")
+		eigs      = fs.Int("eigs", 4, "leading normalized-Laplacian eigenvalues to report (0 = skip)")
+		header    = fs.Bool("header", true, "input has a header row")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *inPath == "" {
+		return fmt.Errorf("-in is required")
+	}
+	x, err := readFeatures(*inPath, *header, *drop)
+	if err != nil {
+		return err
+	}
+
+	kind, err := kernel.Parse(*kern)
+	if err != nil {
+		return err
+	}
+	bw := *bandwidth
+	if bw <= 0 {
+		bw, err = kernel.MedianHeuristic(x, 200000)
+		if err != nil {
+			return err
+		}
+	}
+	k, err := kernel.New(kind, bw)
+	if err != nil {
+		return err
+	}
+	var opts []graph.Option
+	if *knn > 0 {
+		opts = append(opts, graph.WithKNN(*knn))
+	}
+	builder, err := graph.NewBuilder(k, opts...)
+	if err != nil {
+		return err
+	}
+	g, err := builder.Build(x)
+	if err != nil {
+		return err
+	}
+
+	s := g.Summary()
+	fmt.Fprintf(out, "points:       %d (dim %d)\n", len(x), len(x[0]))
+	fmt.Fprintf(out, "kernel:       %v, bandwidth %.6g\n", kind, bw)
+	fmt.Fprintf(out, "edges:        %d\n", s.Edges)
+	fmt.Fprintf(out, "degree:       min %.4g  mean %.4g  max %.4g\n", s.MinDegree, s.MeanDegree, s.MaxDegree)
+	fmt.Fprintf(out, "components:   %d\n", s.Components)
+	if s.Components == 1 && len(x) >= 2 {
+		lam, err := g.AlgebraicConnectivity(0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "connectivity: λ₂ = %.6g\n", lam)
+	}
+	if *eigs > 0 {
+		kEigs := *eigs
+		if kEigs > len(x) {
+			kEigs = len(x)
+		}
+		_, vals, err := g.SpectralEmbedding(kEigs)
+		if err != nil {
+			return err
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = strconv.FormatFloat(v, 'g', 6, 64)
+		}
+		fmt.Fprintf(out, "L_sym eigs:   %s\n", strings.Join(parts, ", "))
+	}
+	return nil
+}
+
+func readFeatures(path string, hasHeader bool, drop int) ([][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.TrimLeadingSpace = true
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if hasHeader && len(rows) > 0 {
+		rows = rows[1:]
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%s: no data rows", path)
+	}
+	var x [][]float64
+	for i, row := range rows {
+		if len(row) <= drop {
+			return nil, fmt.Errorf("%s row %d: %d columns with drop=%d", path, i+1, len(row), drop)
+		}
+		feats := make([]float64, len(row)-drop)
+		for j := range feats {
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s row %d col %d: %w", path, i+1, j+1, err)
+			}
+			feats[j] = v
+		}
+		x = append(x, feats)
+	}
+	return x, nil
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const infoCSV = `x1,x2
+0,0
+0.1,0
+0.2,0.1
+2,2
+2.1,2
+2.2,2.1
+`
+
+func TestRunReportsStats(t *testing.T) {
+	path := writeTemp(t, infoCSV)
+	var sb strings.Builder
+	if err := run([]string{"-in", path}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"points:       6 (dim 2)", "edges:", "components:   1", "connectivity:", "L_sym eigs:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDisconnectedGraph(t *testing.T) {
+	path := writeTemp(t, infoCSV)
+	var sb strings.Builder
+	// Tiny uniform kernel: the two clusters disconnect.
+	if err := run([]string{"-in", path, "-kernel", "uniform", "-bandwidth", "0.5", "-eigs", "0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "components:   2") {
+		t.Fatalf("expected 2 components:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "connectivity:") {
+		t.Fatal("connectivity must be skipped for disconnected graphs")
+	}
+}
+
+func TestRunDropColumn(t *testing.T) {
+	path := writeTemp(t, "x,y,label\n0,0,1\n1,1,0\n2,2,1\n")
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-drop", "1", "-eigs", "2"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "points:       3 (dim 2)") {
+		t.Fatalf("drop failed:\n%s", sb.String())
+	}
+}
+
+func TestRunKNNOption(t *testing.T) {
+	path := writeTemp(t, infoCSV)
+	var sb strings.Builder
+	if err := run([]string{"-in", path, "-knn", "2", "-eigs", "0"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil {
+		t.Fatal("missing -in must error")
+	}
+	if err := run([]string{"-in", "/nonexistent.csv"}, &sb); err == nil {
+		t.Fatal("missing file must error")
+	}
+	bad := writeTemp(t, "x\nfoo\n")
+	if err := run([]string{"-in", bad}, &sb); err == nil {
+		t.Fatal("non-numeric must error")
+	}
+	empty := writeTemp(t, "x\n")
+	if err := run([]string{"-in", empty}, &sb); err == nil {
+		t.Fatal("empty must error")
+	}
+	overdrop := writeTemp(t, "x\n1\n2\n")
+	if err := run([]string{"-in", overdrop, "-drop", "1"}, &sb); err == nil {
+		t.Fatal("drop >= columns must error")
+	}
+	path := writeTemp(t, infoCSV)
+	if err := run([]string{"-in", path, "-kernel", "warp"}, &sb); err == nil {
+		t.Fatal("unknown kernel must error")
+	}
+	if err := run([]string{"-in", path, "-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag must error")
+	}
+}

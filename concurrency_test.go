@@ -1,0 +1,60 @@
+package graphssl
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFitConcurrent verifies that independent Fit calls are safe to run in
+// parallel: the library holds no mutable global state (run with -race).
+func TestFitConcurrent(t *testing.T) {
+	x, y := twoClusters(41, 20, 8)
+	ref, err := Fit(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	results := make([]*Result, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res, err := Fit(x, y, nil)
+			results[w], errs[w] = res, err
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		for i := range ref.UnlabeledScores {
+			if results[w].UnlabeledScores[i] != ref.UnlabeledScores[i] {
+				t.Fatalf("worker %d produced a different solution", w)
+			}
+		}
+	}
+}
+
+// TestFitConcurrentMixedOptions runs different criteria simultaneously.
+func TestFitConcurrentMixedOptions(t *testing.T) {
+	x, y := twoClusters(43, 15, 6)
+	lambdas := []float64{0, 0.01, 0.1, 1, 5}
+	var wg sync.WaitGroup
+	errs := make([]error, len(lambdas))
+	for i, l := range lambdas {
+		wg.Add(1)
+		go func(i int, l float64) {
+			defer wg.Done()
+			_, errs[i] = Fit(x, y, nil, WithLambda(l))
+		}(i, l)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("λ=%v: %v", lambdas[i], err)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package graphssl is a Go implementation of graph-based semi-supervised
+// learning, reproducing "On Consistency of Graph-based Semi-supervised
+// Learning" (Du, Zhao, Wang; ICDCS 2019, arXiv:1703.06177).
+//
+// The package exposes the two criteria the paper studies over a similarity
+// graph built from input points:
+//
+//   - the hard criterion (λ = 0): the harmonic solution that interpolates
+//     the observed labels exactly and is proven consistent (Theorem II.1);
+//   - the soft criterion (λ > 0): Laplacian-regularized least squares,
+//     shown inconsistent for large λ (Proposition II.2).
+//
+// A minimal classification session:
+//
+//	res, err := graphssl.Fit(x, y, nil) // first len(y) points are labeled
+//	if err != nil { ... }
+//	for i, idx := range res.Unlabeled {
+//	    fmt.Println(idx, res.UnlabeledScores[i] > 0.5)
+//	}
+//
+// Fit defaults to the hard criterion with a Gaussian kernel whose bandwidth
+// comes from the median heuristic; options select the soft criterion's λ,
+// other kernels and bandwidth rules, k-NN sparsification, and the solver
+// backend (dense factorizations, conjugate gradient, or distributed label
+// propagation). The Nadaraya–Watson kernel-regression baseline from the
+// paper's analysis is also exported.
+//
+// The experiment harnesses that regenerate the paper's figures live in
+// internal/experiments and are driven by cmd/sslrepro.
+package graphssl

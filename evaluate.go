@@ -1,0 +1,41 @@
+package graphssl
+
+import (
+	"repro/internal/stats"
+)
+
+// Classify thresholds the unlabeled scores at thr (score > thr ⇒ 1),
+// returning binary predictions aligned with Result.Unlabeled.
+func (r *Result) Classify(thr float64) []float64 {
+	out := make([]float64, len(r.UnlabeledScores))
+	for i, s := range r.UnlabeledScores {
+		if s > thr {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// AUC computes the area under the ROC curve of the unlabeled scores against
+// the true binary labels (aligned with Result.Unlabeled) — the paper's
+// Figure-5 metric.
+func (r *Result) AUC(truth []float64) (float64, error) {
+	return stats.AUC(r.UnlabeledScores, truth)
+}
+
+// RMSE computes the root mean squared error of the unlabeled scores against
+// the true regression values (aligned with Result.Unlabeled) — the paper's
+// synthetic-study metric.
+func (r *Result) RMSE(truth []float64) (float64, error) {
+	return stats.RMSE(r.UnlabeledScores, truth)
+}
+
+// Accuracy computes the 0.5-threshold classification accuracy of the
+// unlabeled scores against true binary labels.
+func (r *Result) Accuracy(truth []float64) (float64, error) {
+	conf, err := stats.NewConfusion(r.UnlabeledScores, truth, 0.5)
+	if err != nil {
+		return 0, err
+	}
+	return conf.Accuracy(), nil
+}

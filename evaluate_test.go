@@ -1,0 +1,70 @@
+package graphssl
+
+import (
+	"math"
+	"testing"
+)
+
+func fittedResult(t *testing.T) (*Result, []float64) {
+	t.Helper()
+	x, y := twoClusters(51, 25, 10)
+	res, err := Fit(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]float64, len(res.Unlabeled))
+	for i, idx := range res.Unlabeled {
+		if idx%2 == 0 {
+			truth[i] = 1
+		}
+	}
+	return res, truth
+}
+
+func TestResultClassify(t *testing.T) {
+	res, truth := fittedResult(t)
+	pred := res.Classify(0.5)
+	if len(pred) != len(res.Unlabeled) {
+		t.Fatal("length wrong")
+	}
+	for i := range pred {
+		if pred[i] != truth[i] {
+			t.Fatalf("separable clusters misclassified at %d", i)
+		}
+	}
+}
+
+func TestResultAUCAndAccuracy(t *testing.T) {
+	res, truth := fittedResult(t)
+	auc, err := res.AUC(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 1 {
+		t.Fatalf("AUC = %v on separable clusters", auc)
+	}
+	acc, err := res.Accuracy(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("accuracy = %v", acc)
+	}
+	if _, err := res.AUC(truth[:1]); err == nil {
+		t.Fatal("mismatched truth must error")
+	}
+}
+
+func TestResultRMSE(t *testing.T) {
+	res, truth := fittedResult(t)
+	rmse, err := res.RMSE(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse < 0 || rmse > 0.5 || math.IsNaN(rmse) {
+		t.Fatalf("RMSE = %v implausible for separable clusters", rmse)
+	}
+	if _, err := res.RMSE(truth[:2]); err == nil {
+		t.Fatal("mismatched truth must error")
+	}
+}

@@ -1,0 +1,58 @@
+package graphssl_test
+
+import (
+	"fmt"
+
+	graphssl "repro"
+)
+
+// Example demonstrates the basic transductive workflow: label two points,
+// predict the rest.
+func Example() {
+	x := [][]float64{
+		{0.0, 0.0}, {4.0, 4.0}, // labeled
+		{0.2, 0.1}, {3.9, 4.2}, // unlabeled
+	}
+	y := []float64{1, 0}
+	res, err := graphssl.Fit(x, y, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, idx := range res.Unlabeled {
+		fmt.Printf("point %d → class %v\n", idx, res.UnlabeledScores[i] > 0.5)
+	}
+	// Output:
+	// point 2 → class true
+	// point 3 → class false
+}
+
+// ExampleFit_softCriterion selects the soft criterion with a tuning
+// parameter — the variant the paper proves inconsistent for large λ.
+func ExampleFit_softCriterion() {
+	x := [][]float64{{0}, {1}, {0.5}}
+	y := []float64{1, 0}
+	res, err := graphssl.Fit(x, y, nil, graphssl.WithLambda(0.5))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("λ=%v solved with %d unlabeled prediction(s)\n", res.Lambda, len(res.UnlabeledScores))
+	// Output:
+	// λ=0.5 solved with 1 unlabeled prediction(s)
+}
+
+// ExampleNadarayaWatson computes the paper's Eq. 6 baseline estimator.
+func ExampleNadarayaWatson() {
+	x := [][]float64{{0}, {2}, {1}}
+	y := []float64{0, 1}
+	scores, unlabeled, err := graphssl.NadarayaWatson(x, y, nil)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The midpoint is equidistant from both labels: NW averages them.
+	fmt.Printf("point %d → %.2f\n", unlabeled[0], scores[0])
+	// Output:
+	// point 2 → 0.50
+}

@@ -1,0 +1,105 @@
+// Distributed propagation demo: the hard criterion solved three ways —
+// dense factorization, in-process block-partitioned propagation, and
+// real TCP workers coordinating Jacobi supersteps over net/rpc — all
+// agreeing on the same harmonic solution.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+)
+
+func main() {
+	// A 400-node random geometric dataset with 80 labeled points.
+	rng := randx.New(17)
+	x := make([][]float64, 400)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm()}
+	}
+	y := make([]float64, 80)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+
+	k, err := kernel.New(kernel.Gaussian, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	builder, err := graph.NewBuilder(k, graph.WithKNN(12))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := builder.Build(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := core.NewProblemLabeledFirst(g, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Serial dense solve (reference).
+	direct, err := core.SolveHard(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. In-process partitioned propagation with 4 workers.
+	sys, err := core.BuildPropagationSystem(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	local, lres, err := cluster.SolveLocal(sys, cluster.LocalOptions{Workers: 4, Tol: 1e-11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Three real TCP workers on localhost.
+	var addrs []string
+	var workers []*cluster.Worker
+	for i := 0; i < 3; i++ {
+		w, err := cluster.StartWorker("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		workers = append(workers, w)
+		addrs = append(addrs, w.Addr())
+	}
+	defer func() {
+		for _, w := range workers {
+			if err := w.Close(); err != nil {
+				log.Printf("close worker: %v", err)
+			}
+		}
+	}()
+	remote, rres, err := cluster.SolveRPC(sys, addrs, cluster.RPCOptions{Tol: 1e-11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxDev := func(a []float64) float64 {
+		var d float64
+		for i := range a {
+			if dd := math.Abs(a[i] - direct.FUnlabeled[i]); dd > d {
+				d = dd
+			}
+		}
+		return d
+	}
+	fmt.Printf("nodes: %d (%d labeled, %d unlabeled), graph edges: %d\n",
+		g.N(), p.N(), p.M(), g.Summary().Edges)
+	fmt.Printf("in-process engine: %d workers, %d supersteps, max dev vs direct %.2e\n",
+		lres.Workers, lres.Supersteps, maxDev(local))
+	fmt.Printf("TCP engine:        %d workers, %d supersteps, max dev vs direct %.2e\n",
+		rres.Workers, rres.Supersteps, maxDev(remote))
+	fmt.Println("all three solvers agree on the harmonic solution")
+}

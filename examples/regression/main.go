@@ -1,0 +1,63 @@
+// Regression: graph-based SSL with continuous responses. Theorem II.1
+// covers bounded continuous Y, not just binary labels; this example fits
+// the hard criterion to a noisy sinusoidal surface and compares it with the
+// Nadaraya–Watson estimator the consistency proof builds on.
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	graphssl "repro"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+func main() {
+	surface := func(x []float64) float64 {
+		return math.Sin(2*math.Pi*x[0]) * math.Cos(math.Pi*x[1])
+	}
+	rng := randx.New(29)
+	ds, err := synth.GenerateRegression(rng, surface, 0.2, 400, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := ds.QUnlabeled()
+
+	hard, err := graphssl.Fit(ds.X, ds.YLabeled(), nil, graphssl.WithPaperBandwidth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmseHard, err := stats.RMSE(hard.UnlabeledScores, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	nw, _, err := graphssl.NadarayaWatson(ds.X, ds.YLabeled(), nil, graphssl.WithPaperBandwidth())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmseNW, err := stats.RMSE(nw, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	soft, err := graphssl.Fit(ds.X, ds.YLabeled(), nil,
+		graphssl.WithPaperBandwidth(), graphssl.WithLambda(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rmseSoft, err := stats.RMSE(soft.UnlabeledScores, truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("continuous responses, n=400 labeled, m=50 unlabeled, noise σ=0.2\n\n")
+	fmt.Printf("RMSE hard (λ=0):        %.4f\n", rmseHard)
+	fmt.Printf("RMSE Nadaraya–Watson:   %.4f   (the proof's anchor — close to hard)\n", rmseNW)
+	fmt.Printf("RMSE soft (λ=5):        %.4f   (inconsistent regime)\n", rmseSoft)
+}

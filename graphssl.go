@@ -1,0 +1,334 @@
+package graphssl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+var (
+	// ErrParam is returned for invalid inputs or option combinations.
+	ErrParam = errors.New("graphssl: invalid parameter")
+	// ErrIsolated is returned when some unlabeled point cannot be reached
+	// from any labeled point in the similarity graph; predictions there are
+	// undefined. Enlarging the bandwidth or k usually fixes it.
+	ErrIsolated = errors.New("graphssl: unlabeled point isolated from all labels")
+)
+
+// Kernel re-exports the kernel profiles accepted by WithKernel.
+type Kernel = kernel.Kind
+
+// Supported kernels.
+const (
+	Gaussian     = kernel.Gaussian
+	Uniform      = kernel.Uniform
+	Epanechnikov = kernel.Epanechnikov
+	Triangular   = kernel.Triangular
+	Tricube      = kernel.Tricube
+)
+
+// Solver selects the linear-algebra backend.
+type Solver = core.Method
+
+// Supported solver backends.
+const (
+	SolverAuto        = core.MethodAuto
+	SolverCholesky    = core.MethodCholesky
+	SolverLU          = core.MethodLU
+	SolverCG          = core.MethodCG
+	SolverPropagation = core.MethodPropagation
+)
+
+type bandwidthRule int
+
+const (
+	bwMedian bandwidthRule = iota + 1
+	bwPaper
+	bwFixed
+)
+
+type config struct {
+	kernel      Kernel
+	bwRule      bandwidthRule
+	bandwidth   float64
+	knn         int
+	lambda      float64
+	solver      Solver
+	tol         float64
+	maxIter     int
+	distributed int // >0: distributed propagation with this many workers
+}
+
+func defaultConfig() config {
+	return config{
+		kernel: Gaussian,
+		bwRule: bwMedian,
+		solver: SolverAuto,
+		tol:    1e-10,
+	}
+}
+
+// Option customizes Fit and NadarayaWatson.
+type Option interface {
+	apply(*config)
+}
+
+type optionFunc func(*config)
+
+func (f optionFunc) apply(c *config) { f(c) }
+
+// WithKernel selects the similarity kernel (default Gaussian).
+func WithKernel(k Kernel) Option {
+	return optionFunc(func(c *config) { c.kernel = k })
+}
+
+// WithBandwidth fixes the kernel bandwidth h (σ for the Gaussian kernel).
+func WithBandwidth(h float64) Option {
+	return optionFunc(func(c *config) { c.bwRule, c.bandwidth = bwFixed, h })
+}
+
+// WithMedianBandwidth selects the median heuristic σ² = median squared
+// pairwise distance (the default, and the paper's choice for the COIL
+// study).
+func WithMedianBandwidth() Option {
+	return optionFunc(func(c *config) { c.bwRule = bwMedian })
+}
+
+// WithPaperBandwidth selects the paper's synthetic-study rule
+// h = (log n / n)^{1/d} with n the labeled count and d the input dimension.
+func WithPaperBandwidth() Option {
+	return optionFunc(func(c *config) { c.bwRule = bwPaper })
+}
+
+// WithKNN sparsifies the graph to the symmetrized k nearest neighbours.
+func WithKNN(k int) Option {
+	return optionFunc(func(c *config) { c.knn = k })
+}
+
+// WithLambda selects the soft criterion with tuning parameter λ ≥ 0
+// (λ = 0 is the hard criterion, the default and the paper's
+// recommendation).
+func WithLambda(l float64) Option {
+	return optionFunc(func(c *config) { c.lambda = l })
+}
+
+// WithSolver selects the linear-algebra backend (default auto).
+func WithSolver(s Solver) Option {
+	return optionFunc(func(c *config) { c.solver = s })
+}
+
+// WithTolerance sets the iterative-backend tolerance.
+func WithTolerance(tol float64) Option {
+	return optionFunc(func(c *config) { c.tol = tol })
+}
+
+// WithMaxIter caps iterative-backend iterations.
+func WithMaxIter(n int) Option {
+	return optionFunc(func(c *config) { c.maxIter = n })
+}
+
+// WithDistributed solves the hard criterion with the block-partitioned
+// propagation engine using the given worker count. Only valid with λ = 0.
+func WithDistributed(workers int) Option {
+	return optionFunc(func(c *config) { c.distributed = workers })
+}
+
+// Result is a fitted transductive model.
+type Result struct {
+	// Scores holds one score per input point. For the hard criterion,
+	// labeled points carry their observed labels exactly.
+	Scores []float64
+	// Labeled are the labeled point indices (as passed or defaulted).
+	Labeled []int
+	// Unlabeled are the remaining indices, ascending; UnlabeledScores
+	// aligns with it.
+	Unlabeled       []int
+	UnlabeledScores []float64
+	// Lambda is the criterion parameter used.
+	Lambda float64
+	// Bandwidth is the kernel bandwidth actually used.
+	Bandwidth float64
+	// Solver is the backend that produced the solution.
+	Solver Solver
+	// Iterations and Residual report iterative-backend work.
+	Iterations int
+	Residual   float64
+	// GraphStats summarizes the similarity graph.
+	GraphStats graph.Stats
+}
+
+// Fit builds the similarity graph over x and solves the selected criterion.
+//
+// labeled lists the indices of x carrying the responses y (aligned
+// index-for-index). Pass labeled = nil for the paper's layout, where the
+// first len(y) points are labeled.
+func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, error) {
+	p, cfg, bw, g, err := prepare(x, y, labeled, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	var sol *core.Solution
+	if cfg.distributed > 0 {
+		if cfg.lambda != 0 {
+			return nil, fmt.Errorf("graphssl: distributed propagation requires λ=0: %w", ErrParam)
+		}
+		sys, err := core.BuildPropagationSystem(p)
+		if err != nil {
+			return nil, translateCoreErr(err)
+		}
+		fu, res, err := cluster.SolveLocal(sys, cluster.LocalOptions{
+			Workers:       cfg.distributed,
+			Tol:           cfg.tol,
+			MaxSupersteps: cfg.maxIter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graphssl: distributed solve: %w", err)
+		}
+		sol = &core.Solution{
+			FUnlabeled: fu,
+			Lambda:     0,
+			Method:     SolverPropagation,
+			Iterations: res.Supersteps,
+			Residual:   res.MaxDelta,
+		}
+		full := make([]float64, len(x))
+		for i, l := range p.Labeled() {
+			full[l] = y[i]
+		}
+		for i, u := range p.Unlabeled() {
+			full[u] = fu[i]
+		}
+		sol.F = full
+	} else {
+		solveOpts := []core.SolveOption{
+			core.WithMethod(cfg.solver),
+			core.WithTolerance(cfg.tol),
+			core.WithMaxIter(cfg.maxIter),
+		}
+		sol, err = core.SolveSoft(p, cfg.lambda, solveOpts...)
+		if err != nil {
+			return nil, translateCoreErr(err)
+		}
+	}
+
+	return &Result{
+		Scores:          sol.F,
+		Labeled:         p.Labeled(),
+		Unlabeled:       p.Unlabeled(),
+		UnlabeledScores: sol.FUnlabeled,
+		Lambda:          cfg.lambda,
+		Bandwidth:       bw,
+		Solver:          sol.Method,
+		Iterations:      sol.Iterations,
+		Residual:        sol.Residual,
+		GraphStats:      g.Summary(),
+	}, nil
+}
+
+// NadarayaWatson computes the paper's Eq. 6 kernel-regression baseline on
+// the unlabeled points, using the same graph options as Fit. The returned
+// scores align with the ascending unlabeled index order (the second return
+// value).
+func NadarayaWatson(x [][]float64, y []float64, labeled []int, opts ...Option) ([]float64, []int, error) {
+	p, _, _, _, err := prepare(x, y, labeled, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	nw, err := core.NadarayaWatson(p)
+	if err != nil {
+		return nil, nil, translateCoreErr(err)
+	}
+	return nw, p.Unlabeled(), nil
+}
+
+// prepare validates inputs, resolves the bandwidth, builds the graph, and
+// assembles the core problem.
+func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Problem, config, float64, *graph.Graph, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if len(x) == 0 {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: no input points: %w", ErrParam)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: zero-dimensional inputs: %w", ErrParam)
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: point %d has dim %d, want %d: %w", i, len(xi), dim, ErrParam)
+		}
+	}
+	if labeled == nil {
+		if len(y) >= len(x) {
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: %d responses for %d points leaves nothing unlabeled: %w", len(y), len(x), ErrParam)
+		}
+		labeled = make([]int, len(y))
+		for i := range labeled {
+			labeled[i] = i
+		}
+	}
+	if cfg.lambda < 0 || math.IsNaN(cfg.lambda) || math.IsInf(cfg.lambda, 0) {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: λ=%v: %w", cfg.lambda, ErrParam)
+	}
+
+	var (
+		bw  float64
+		err error
+	)
+	switch cfg.bwRule {
+	case bwFixed:
+		bw = cfg.bandwidth
+	case bwPaper:
+		bw, err = kernel.PaperBandwidth(len(labeled), dim)
+		if err != nil {
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: paper bandwidth: %w", err)
+		}
+	default:
+		bw, err = kernel.MedianHeuristic(x, 200000)
+		if err != nil {
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: median bandwidth: %w", err)
+		}
+	}
+	k, err := kernel.New(cfg.kernel, bw)
+	if err != nil {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: kernel: %w: %v", ErrParam, err)
+	}
+
+	var builderOpts []graph.Option
+	if cfg.knn > 0 {
+		builderOpts = append(builderOpts, graph.WithKNN(cfg.knn))
+	}
+	builder, err := graph.NewBuilder(k, builderOpts...)
+	if err != nil {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph builder: %w", err)
+	}
+	g, err := builder.Build(x)
+	if err != nil {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph: %w", err)
+	}
+	p, err := core.NewProblem(g, labeled, y)
+	if err != nil {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: %w: %v", ErrParam, err)
+	}
+	return p, cfg, bw, g, nil
+}
+
+// translateCoreErr maps core sentinel errors onto the package's public ones.
+func translateCoreErr(err error) error {
+	switch {
+	case errors.Is(err, core.ErrIsolated):
+		return fmt.Errorf("graphssl: %w: %v", ErrIsolated, err)
+	case errors.Is(err, core.ErrParam):
+		return fmt.Errorf("graphssl: %w: %v", ErrParam, err)
+	default:
+		return fmt.Errorf("graphssl: %w", err)
+	}
+}

@@ -1,0 +1,280 @@
+// Package baselines implements the comparators used by the extension
+// experiments: a k-nearest-neighbour predictor, ridge-stabilized logistic
+// regression fitted by iteratively reweighted least squares (the classic
+// supervised baseline for the paper's synthetic logits), and the label
+// spreading method of Zhou et al. (2004) — the normalized-Laplacian
+// relative of the paper's soft criterion, cited as reference [12] there.
+package baselines
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+var (
+	// ErrParam is returned for invalid inputs.
+	ErrParam = errors.New("baselines: invalid parameter")
+	// ErrNotConverged is returned when IRLS exhausts its iterations.
+	ErrNotConverged = errors.New("baselines: did not converge")
+)
+
+// KNNPredict predicts scores for the unlabeled points as the mean response
+// of the k nearest labeled neighbours (Euclidean). It returns the scores
+// and the ascending unlabeled index list they align with.
+func KNNPredict(x [][]float64, labeled []int, y []float64, k int) ([]float64, []int, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("baselines: no points: %w", ErrParam)
+	}
+	if len(labeled) == 0 || len(labeled) != len(y) {
+		return nil, nil, fmt.Errorf("baselines: labeled/response mismatch: %w", ErrParam)
+	}
+	if k < 1 || k > len(labeled) {
+		return nil, nil, fmt.Errorf("baselines: k=%d with %d labeled: %w", k, len(labeled), ErrParam)
+	}
+	isLab := make([]bool, n)
+	for _, idx := range labeled {
+		if idx < 0 || idx >= n {
+			return nil, nil, fmt.Errorf("baselines: labeled index %d: %w", idx, ErrParam)
+		}
+		if isLab[idx] {
+			return nil, nil, fmt.Errorf("baselines: duplicate labeled index %d: %w", idx, ErrParam)
+		}
+		isLab[idx] = true
+	}
+	var unlabeled []int
+	for i := 0; i < n; i++ {
+		if !isLab[i] {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+	if len(unlabeled) == 0 {
+		return nil, nil, fmt.Errorf("baselines: nothing to predict: %w", ErrParam)
+	}
+
+	type cand struct {
+		d2 float64
+		y  float64
+	}
+	out := make([]float64, len(unlabeled))
+	cands := make([]cand, len(labeled))
+	for ui, u := range unlabeled {
+		for li, l := range labeled {
+			cands[li] = cand{d2: mat.Dist2(x[u], x[l]), y: y[li]}
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].d2 < cands[b].d2 })
+		var s float64
+		for i := 0; i < k; i++ {
+			s += cands[i].y
+		}
+		out[ui] = s / float64(k)
+	}
+	return out, unlabeled, nil
+}
+
+// Logistic is a fitted logistic-regression model over raw features plus an
+// intercept.
+type Logistic struct {
+	// Coef holds the intercept followed by one coefficient per feature.
+	Coef []float64
+	// Iterations is the number of IRLS steps taken.
+	Iterations int
+}
+
+// LogisticOptions tunes the IRLS fit.
+type LogisticOptions struct {
+	// Ridge is the ℓ2 stabilizer added to the normal equations;
+	// default 1e-6 (also rescues separable data).
+	Ridge float64
+	// Tol is the coefficient-change tolerance; default 1e-8.
+	Tol float64
+	// MaxIter caps Newton steps; default 100.
+	MaxIter int
+}
+
+func (o *LogisticOptions) fill() {
+	if o.Ridge <= 0 {
+		o.Ridge = 1e-6
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100
+	}
+}
+
+// FitLogistic fits P(Y=1|x) = σ(β₀ + βᵀx) to the rows of x with binary
+// responses y by iteratively reweighted least squares.
+func FitLogistic(x [][]float64, y []float64, opts LogisticOptions) (*Logistic, error) {
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return nil, fmt.Errorf("baselines: logistic needs aligned x/y: %w", ErrParam)
+	}
+	d := len(x[0])
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, fmt.Errorf("baselines: row %d dim %d, want %d: %w", i, len(xi), d, ErrParam)
+		}
+	}
+	for _, v := range y {
+		if v != 0 && v != 1 {
+			return nil, fmt.Errorf("baselines: logistic label %v not in {0,1}: %w", v, ErrParam)
+		}
+	}
+	opts.fill()
+
+	p := d + 1
+	design := mat.NewDense(n, p)
+	for i, xi := range x {
+		design.Set(i, 0, 1)
+		for j, v := range xi {
+			design.Set(i, j+1, v)
+		}
+	}
+
+	beta := make([]float64, p)
+	eta := make([]float64, n)
+	mu := make([]float64, n)
+	wz := make([]float64, n)
+	for it := 0; it < opts.MaxIter; it++ {
+		if err := mat.MulVecTo(eta, design, beta); err != nil {
+			return nil, err
+		}
+		for i := range mu {
+			mu[i] = randx.Logistic(eta[i])
+		}
+		// Weighted normal equations: (Xᵀ W X + ridge·I) δβ-target uses the
+		// working response z = η + (y−μ)/w with w = μ(1−μ).
+		xtwx := mat.NewDense(p, p)
+		for i := 0; i < n; i++ {
+			w := mu[i] * (1 - mu[i])
+			if w < 1e-10 {
+				w = 1e-10
+			}
+			z := eta[i] + (y[i]-mu[i])/w
+			wz[i] = w * z
+			row := design.RawRow(i)
+			for a := 0; a < p; a++ {
+				va := row[a] * w
+				if va == 0 {
+					continue
+				}
+				for b := a; b < p; b++ {
+					xtwx.Set(a, b, xtwx.At(a, b)+va*row[b])
+				}
+			}
+		}
+		for a := 0; a < p; a++ {
+			xtwx.Set(a, a, xtwx.At(a, a)+opts.Ridge)
+			for b := 0; b < a; b++ {
+				xtwx.Set(a, b, xtwx.At(b, a))
+			}
+		}
+		rhs, err := mat.MulTVec(design, wz)
+		if err != nil {
+			return nil, err
+		}
+		next, err := mat.SolveSPD(xtwx, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("baselines: IRLS solve: %w", err)
+		}
+		delta := mat.NormInf(mat.SubVec(next, beta))
+		beta = next
+		if delta <= opts.Tol*(1+mat.NormInf(beta)) {
+			return &Logistic{Coef: beta, Iterations: it + 1}, nil
+		}
+	}
+	return &Logistic{Coef: beta, Iterations: opts.MaxIter}, ErrNotConverged
+}
+
+// Predict returns P(Y=1|x) for each row of x.
+func (l *Logistic) Predict(x [][]float64) ([]float64, error) {
+	d := len(l.Coef) - 1
+	out := make([]float64, len(x))
+	for i, xi := range x {
+		if len(xi) != d {
+			return nil, fmt.Errorf("baselines: predict row %d dim %d, want %d: %w", i, len(xi), d, ErrParam)
+		}
+		eta := l.Coef[0]
+		for j, v := range xi {
+			eta += l.Coef[j+1] * v
+		}
+		out[i] = randx.Logistic(eta)
+	}
+	return out, nil
+}
+
+// LabelSpread runs Zhou et al.'s label spreading: it computes
+// F = (1−α)(I − αS)^{-1} Y_in with S = D^{-1/2} W D^{-1/2} and Y_in equal
+// to y on labeled nodes and 0 elsewhere, returning the scores on the
+// unlabeled nodes (ascending index order, second return value). α must lie
+// in (0,1); I − αS is then positive definite and conjugate gradient
+// applies.
+func LabelSpread(g *graph.Graph, labeled []int, y []float64, alpha float64) ([]float64, []int, error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("baselines: nil graph: %w", ErrParam)
+	}
+	if alpha <= 0 || alpha >= 1 || math.IsNaN(alpha) {
+		return nil, nil, fmt.Errorf("baselines: alpha=%v outside (0,1): %w", alpha, ErrParam)
+	}
+	n := g.N()
+	if len(labeled) == 0 || len(labeled) != len(y) {
+		return nil, nil, fmt.Errorf("baselines: labeled/response mismatch: %w", ErrParam)
+	}
+	isLab := make([]bool, n)
+	yIn := make([]float64, n)
+	for i, idx := range labeled {
+		if idx < 0 || idx >= n {
+			return nil, nil, fmt.Errorf("baselines: labeled index %d: %w", idx, ErrParam)
+		}
+		if isLab[idx] {
+			return nil, nil, fmt.Errorf("baselines: duplicate labeled index %d: %w", idx, ErrParam)
+		}
+		isLab[idx] = true
+		yIn[idx] = y[i]
+	}
+
+	// I − αS equals the symmetric normalized Laplacian scaled into
+	// I − αS = (1−α)I + α·L_sym.
+	lsym, err := g.Laplacian(graph.SymNormalized)
+	if err != nil {
+		return nil, nil, err
+	}
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		if err := coo.Add(i, i, 1-alpha); err != nil {
+			return nil, nil, err
+		}
+		cols, vals := lsym.RowNNZ(i)
+		for k, j := range cols {
+			if err := coo.Add(i, j, alpha*vals[k]); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	a := coo.ToCSR()
+	f, _, err := sparse.CG(a, yIn, sparse.CGOptions{Tol: 1e-10})
+	if err != nil {
+		return nil, nil, fmt.Errorf("baselines: label spreading solve: %w", err)
+	}
+	var unlabeled []int
+	var out []float64
+	for i := 0; i < n; i++ {
+		if !isLab[i] {
+			unlabeled = append(unlabeled, i)
+			out = append(out, (1-alpha)*f[i])
+		}
+	}
+	if len(unlabeled) == 0 {
+		return nil, nil, fmt.Errorf("baselines: nothing to predict: %w", ErrParam)
+	}
+	return out, unlabeled, nil
+}

@@ -1,0 +1,238 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+func TestKNNPredictKnown(t *testing.T) {
+	x := [][]float64{{0}, {1}, {10}, {0.4}}
+	labeled := []int{0, 1, 2}
+	y := []float64{1, 0, 5}
+	scores, unl, err := KNNPredict(x, labeled, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unl) != 1 || unl[0] != 3 {
+		t.Fatalf("unlabeled = %v", unl)
+	}
+	// Two nearest labeled to 0.4 are x=0 (y=1) and x=1 (y=0) → mean 0.5.
+	if scores[0] != 0.5 {
+		t.Fatalf("score = %v, want 0.5", scores[0])
+	}
+}
+
+func TestKNNPredictK1ExactNeighbour(t *testing.T) {
+	x := [][]float64{{0}, {5}, {0.2}, {4.9}}
+	scores, unl, err := KNNPredict(x, []int{0, 1}, []float64{1, 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unl[0] != 2 || unl[1] != 3 {
+		t.Fatalf("unlabeled = %v", unl)
+	}
+	if scores[0] != 1 || scores[1] != 0 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestKNNPredictValidation(t *testing.T) {
+	x := [][]float64{{0}, {1}, {2}}
+	tests := []struct {
+		name    string
+		labeled []int
+		y       []float64
+		k       int
+	}{
+		{"empty labeled", nil, nil, 1},
+		{"mismatch", []int{0}, []float64{1, 2}, 1},
+		{"k too large", []int{0, 1}, []float64{1, 0}, 3},
+		{"k zero", []int{0, 1}, []float64{1, 0}, 0},
+		{"bad index", []int{9}, []float64{1}, 1},
+		{"dup index", []int{0, 0}, []float64{1, 1}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, _, err := KNNPredict(x, tt.labeled, tt.y, tt.k); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+	if _, _, err := KNNPredict(nil, []int{0}, []float64{1}, 1); !errors.Is(err, ErrParam) {
+		t.Fatal("no points must error")
+	}
+	if _, _, err := KNNPredict(x[:1], []int{0}, []float64{1}, 1); !errors.Is(err, ErrParam) {
+		t.Fatal("all labeled must error")
+	}
+}
+
+func TestFitLogisticRecoverCoefficients(t *testing.T) {
+	// Generate from a known logistic model and recover β approximately.
+	rng := randx.New(401)
+	trueBeta := []float64{-0.5, 2, -1}
+	n := 4000
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm()}
+		eta := trueBeta[0] + trueBeta[1]*x[i][0] + trueBeta[2]*x[i][1]
+		y[i] = rng.Bernoulli(randx.Logistic(eta))
+	}
+	model, err := FitLogistic(x, y, LogisticOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range trueBeta {
+		if math.Abs(model.Coef[j]-want) > 0.2 {
+			t.Fatalf("coef[%d] = %v, want ≈ %v", j, model.Coef[j], want)
+		}
+	}
+	if model.Iterations < 1 {
+		t.Fatal("iterations not reported")
+	}
+}
+
+func TestLogisticPredictRange(t *testing.T) {
+	model := &Logistic{Coef: []float64{0, 1}}
+	p, err := model.Predict([][]float64{{-100}, {0}, {100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] > 1e-10 || p[1] != 0.5 || p[2] < 1-1e-10 {
+		t.Fatalf("predictions = %v", p)
+	}
+	if _, err := model.Predict([][]float64{{1, 2}}); !errors.Is(err, ErrParam) {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestFitLogisticValidation(t *testing.T) {
+	if _, err := FitLogistic(nil, nil, LogisticOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("empty must error")
+	}
+	if _, err := FitLogistic([][]float64{{1}}, []float64{2}, LogisticOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("non-binary label must error")
+	}
+	if _, err := FitLogistic([][]float64{{1}, {1, 2}}, []float64{0, 1}, LogisticOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("ragged rows must error")
+	}
+}
+
+func TestFitLogisticSeparableDataStabilized(t *testing.T) {
+	// Perfectly separable data: ridge keeps IRLS finite; predictions are
+	// still on the right side.
+	x := [][]float64{{-2}, {-1}, {1}, {2}}
+	y := []float64{0, 0, 1, 1}
+	model, err := FitLogistic(x, y, LogisticOptions{Ridge: 1e-3, MaxIter: 200})
+	if err != nil && !errors.Is(err, ErrNotConverged) {
+		t.Fatal(err)
+	}
+	p, err := model.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] > 0.5 || p[3] < 0.5 {
+		t.Fatalf("separable fit misclassifies: %v", p)
+	}
+	for _, v := range model.Coef {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("coefficient blew up: %v", model.Coef)
+		}
+	}
+}
+
+func clusterGraph(t *testing.T, seed int64, n int) (*graph.Graph, [][]float64, []float64) {
+	t.Helper()
+	rng := randx.New(seed)
+	x := make([][]float64, n)
+	truth := make([]float64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = []float64{rng.Norm()*0.3 - 2, rng.Norm() * 0.3}
+			truth[i] = 1
+		} else {
+			x[i] = []float64{rng.Norm()*0.3 + 2, rng.Norm() * 0.3}
+		}
+	}
+	b, err := graph.NewBuilder(kernel.MustNew(kernel.Gaussian, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, x, truth
+}
+
+func TestLabelSpreadTwoClusters(t *testing.T) {
+	g, _, truth := clusterGraph(t, 403, 40)
+	labeled := []int{0, 1, 2, 3}
+	y := truth[:4]
+	scores, unl, err := LabelSpread(g, labeled, y, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 36 || len(unl) != 36 {
+		t.Fatal("output shape wrong")
+	}
+	gotTruth := make([]float64, len(unl))
+	for i, idx := range unl {
+		gotTruth[i] = truth[idx]
+	}
+	auc, err := stats.AUC(scores, gotTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.99 {
+		t.Fatalf("label spreading AUC = %v on separable clusters", auc)
+	}
+}
+
+func TestLabelSpreadValidation(t *testing.T) {
+	g, _, truth := clusterGraph(t, 405, 10)
+	if _, _, err := LabelSpread(nil, []int{0}, []float64{1}, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("nil graph must error")
+	}
+	for _, a := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, _, err := LabelSpread(g, []int{0}, []float64{1}, a); !errors.Is(err, ErrParam) {
+			t.Fatalf("alpha=%v must error", a)
+		}
+	}
+	if _, _, err := LabelSpread(g, nil, nil, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("no labels must error")
+	}
+	if _, _, err := LabelSpread(g, []int{99}, []float64{1}, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("bad index must error")
+	}
+	if _, _, err := LabelSpread(g, []int{0, 0}, []float64{1, 1}, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("dup index must error")
+	}
+	all := make([]int, 10)
+	for i := range all {
+		all[i] = i
+	}
+	if _, _, err := LabelSpread(g, all, truth, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("all labeled must error")
+	}
+}
+
+func TestLabelSpreadAlphaLimitSmall(t *testing.T) {
+	// As α → 0, (I−αS)F = Y gives F → Y: unlabeled scores → 0.
+	g, _, truth := clusterGraph(t, 407, 14)
+	scores, _, err := LabelSpread(g, []int{0, 1}, truth[:2], 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if math.Abs(s) > 0.1 {
+			t.Fatalf("small-α score %v should be near 0", s)
+		}
+	}
+}

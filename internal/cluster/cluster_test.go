@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"errors"
+	"net/rpc"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// dialWorker opens a raw RPC client to a worker for failure-injection
+// tests.
+func dialWorker(addr string) (*rpc.Client, error) {
+	return rpc.Dial("tcp", addr)
+}
+
+// testSystem builds a propagation system from a random full-RBF problem.
+func testSystem(t *testing.T, seed int64, nTotal, nLabeled int) (*core.Problem, *core.PropagationSystem) {
+	t.Helper()
+	rng := randx.New(seed)
+	x := make([][]float64, nTotal)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm()}
+	}
+	b, err := graph.NewBuilder(kernel.MustNew(kernel.Gaussian, 1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, nLabeled)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	p, err := core.NewProblemLabeledFirst(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := core.BuildPropagationSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sys
+}
+
+func TestPartition(t *testing.T) {
+	blocks, err := Partition(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 3 {
+		t.Fatalf("blocks = %v", blocks)
+	}
+	total := 0
+	prevHi := 0
+	for _, b := range blocks {
+		if b.Lo != prevHi {
+			t.Fatalf("blocks not contiguous: %v", blocks)
+		}
+		if b.Len() < 3 || b.Len() > 4 {
+			t.Fatalf("unbalanced block %v", b)
+		}
+		total += b.Len()
+		prevHi = b.Hi
+	}
+	if total != 10 {
+		t.Fatalf("blocks cover %d, want 10", total)
+	}
+}
+
+func TestPartitionClampsWorkers(t *testing.T) {
+	blocks, err := Partition(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("want 2 blocks, got %d", len(blocks))
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(0, 1); !errors.Is(err, ErrParam) {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := Partition(5, 0); !errors.Is(err, ErrParam) {
+		t.Fatal("p=0 must error")
+	}
+}
+
+func TestBuildPropagationSystem(t *testing.T) {
+	p, sys := testSystem(t, 1, 12, 5)
+	if sys.M() != p.M() {
+		t.Fatalf("M = %d, want %d", sys.M(), p.M())
+	}
+	if len(sys.D) != sys.M() || len(sys.B) != sys.M() || len(sys.Unlabeled) != sys.M() {
+		t.Fatal("system slices inconsistent")
+	}
+	for _, d := range sys.D {
+		if d <= 0 {
+			t.Fatal("nonpositive degree")
+		}
+	}
+}
+
+func TestSolveLocalMatchesSerial(t *testing.T) {
+	p, sys := testSystem(t, 3, 30, 10)
+	want, err := core.SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		f, res, err := SolveLocal(sys, LocalOptions{Workers: workers, Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !mat.VecEqual(f, want.FUnlabeled, 1e-8) {
+			t.Fatalf("workers=%d: distributed result differs from serial", workers)
+		}
+		if res.Supersteps <= 0 {
+			t.Fatal("supersteps not reported")
+		}
+	}
+}
+
+func TestSolveLocalDeterministicAcrossWorkerCounts(t *testing.T) {
+	_, sys := testSystem(t, 5, 25, 8)
+	f1, r1, err := SolveLocal(sys, LocalOptions{Workers: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4, r4, err := SolveLocal(sys, LocalOptions{Workers: 4, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jacobi schedule ⇒ bitwise identical iterates and identical superstep
+	// counts regardless of the worker count.
+	if r1.Supersteps != r4.Supersteps {
+		t.Fatalf("superstep counts differ: %d vs %d", r1.Supersteps, r4.Supersteps)
+	}
+	if !mat.VecEqual(f1, f4, 0) {
+		t.Fatal("results not bitwise identical across worker counts")
+	}
+}
+
+func TestSolveLocalValidation(t *testing.T) {
+	if _, _, err := SolveLocal(nil, LocalOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("nil system must error")
+	}
+}
+
+func TestSolveLocalMaxSuperstepsExceeded(t *testing.T) {
+	_, sys := testSystem(t, 7, 40, 2)
+	if _, _, err := SolveLocal(sys, LocalOptions{Tol: 1e-14, MaxSupersteps: 2}); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestResidualAtSolution(t *testing.T) {
+	p, sys := testSystem(t, 9, 20, 6)
+	sol, err := core.SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Residual(sol.FUnlabeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res > 1e-9 {
+		t.Fatalf("residual at exact solution = %g", res)
+	}
+	zero, err := sys.Residual(make([]float64, sys.M()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero <= res {
+		t.Fatal("residual at zero must exceed residual at solution")
+	}
+}
+
+func TestSolveRPCMatchesSerial(t *testing.T) {
+	p, sys := testSystem(t, 11, 24, 8)
+	want, err := core.SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three real TCP workers on ephemeral localhost ports.
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		w, err := StartWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := w.Close(); err != nil {
+				t.Errorf("close worker: %v", err)
+			}
+		}()
+		addrs = append(addrs, w.Addr())
+	}
+	f, res, err := SolveRPC(sys, addrs, RPCOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(f, want.FUnlabeled, 1e-8) {
+		t.Fatal("RPC result differs from serial solve")
+	}
+	if res.Workers != 3 || res.Supersteps <= 0 {
+		t.Fatalf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestSolveRPCAgreesWithLocal(t *testing.T) {
+	_, sys := testSystem(t, 13, 18, 6)
+	w, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	fr, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, _, err := SolveLocal(sys, LocalOptions{Workers: 1, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(fr, fl, 0) {
+		t.Fatal("RPC and local engines must agree bitwise (same schedule)")
+	}
+}
+
+func TestSolveRPCWorkerReuse(t *testing.T) {
+	// One worker pool must be reusable across problems (Setup rebinds).
+	w, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	for _, seed := range []int64{21, 22} {
+		p, sys := testSystem(t, seed, 15, 5)
+		want, err := core.SolveHard(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mat.VecEqual(f, want.FUnlabeled, 1e-8) {
+			t.Fatalf("seed %d: reuse produced a wrong answer", seed)
+		}
+	}
+}
+
+func TestSolveRPCDialFailure(t *testing.T) {
+	_, sys := testSystem(t, 15, 10, 4)
+	// Reserve a port and close it so the dial fails fast.
+	w, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := w.Addr()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SolveRPC(sys, []string{addr}, RPCOptions{}); !errors.Is(err, ErrWorker) {
+		t.Fatalf("want ErrWorker, got %v", err)
+	}
+}
+
+func TestWorkerFailureMidSession(t *testing.T) {
+	// A worker dying between calls must surface as an RPC error on the
+	// next call over the same connection — the failure SolveRPC reports as
+	// ErrWorker.
+	_, sys := testSystem(t, 19, 12, 4)
+	w, err := StartWorker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := dialWorker(w.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	blocks, err := Partition(sys.M(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := extractBlock(sys, blocks[0])
+	if err := client.Call("Propagation.Setup", args, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	var reply StepReply
+	if err := client.Call("Propagation.Step", &StepArgs{F: make([]float64, sys.M())}, &reply); err != nil {
+		t.Fatalf("healthy step failed: %v", err)
+	}
+	// Kill the worker, including the live session.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Call("Propagation.Step", &StepArgs{F: make([]float64, sys.M())}, &reply); err == nil {
+		t.Fatal("step after worker death must error")
+	}
+}
+
+func TestSolveRPCValidation(t *testing.T) {
+	_, sys := testSystem(t, 17, 10, 4)
+	if _, _, err := SolveRPC(nil, []string{"x"}, RPCOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("nil system must error")
+	}
+	if _, _, err := SolveRPC(sys, nil, RPCOptions{}); !errors.Is(err, ErrParam) {
+		t.Fatal("no workers must error")
+	}
+}
+
+func TestWorkerNoGoroutineLeak(t *testing.T) {
+	// Start/stop workers repeatedly; the goroutine count must return to
+	// its baseline (Close waits for the accept loop and all sessions).
+	runtimeGC := func() {
+		for i := 0; i < 3; i++ {
+			runtime.GC()
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	runtimeGC()
+	base := runtime.NumGoroutine()
+	_, sys := testSystem(t, 23, 12, 4)
+	for round := 0; round < 5; round++ {
+		w, err := StartWorker("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-8}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtimeGC()
+	after := runtime.NumGoroutine()
+	if after > base+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", base, after)
+	}
+}
+
+func TestWorkerServiceValidation(t *testing.T) {
+	svc := &WorkerService{}
+	var reply StepReply
+	if err := svc.Step(&StepArgs{F: []float64{1}}, &reply); err == nil {
+		t.Fatal("step before setup must error")
+	}
+	bad := &SetupArgs{Lo: 2, Hi: 1, M: 5}
+	if err := svc.Setup(bad, &struct{}{}); err == nil {
+		t.Fatal("inverted block must error")
+	}
+	badLen := &SetupArgs{Lo: 0, Hi: 2, M: 5, D: []float64{1}, B: []float64{1, 2}, RowPtr: []int{0, 0, 0}}
+	if err := svc.Setup(badLen, &struct{}{}); err == nil {
+		t.Fatal("inconsistent lengths must error")
+	}
+	badDeg := &SetupArgs{Lo: 0, Hi: 1, M: 5, D: []float64{0}, B: []float64{1}, RowPtr: []int{0, 0}}
+	if err := svc.Setup(badDeg, &struct{}{}); err == nil {
+		t.Fatal("zero degree must error")
+	}
+	good := &SetupArgs{Lo: 0, Hi: 1, M: 2, D: []float64{1}, B: []float64{1}, RowPtr: []int{0, 0}}
+	if err := svc.Setup(good, &struct{}{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Step(&StepArgs{F: []float64{0}}, &reply); err == nil {
+		t.Fatal("wrong F length must error")
+	}
+	if err := svc.Step(&StepArgs{F: []float64{0, 0}}, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Values[0] != 1 { // (B + 0)/D = 1
+		t.Fatalf("step value = %v, want 1", reply.Values[0])
+	}
+}

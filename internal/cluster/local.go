@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// LocalOptions configures the in-process engine.
+type LocalOptions struct {
+	// Workers is the number of parallel block workers; default 4.
+	Workers int
+	// Tol is the relative update tolerance; default 1e-10.
+	Tol float64
+	// MaxSupersteps caps the iteration count; default 100000.
+	MaxSupersteps int
+}
+
+func (o *LocalOptions) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 100000
+	}
+}
+
+// SolveLocal runs block-partitioned label propagation with one goroutine
+// per block. Every superstep all workers read the same frozen copy of f and
+// write disjoint blocks of the next iterate, so the schedule is a Jacobi
+// sweep — deterministic and identical to the serial iteration regardless of
+// worker count.
+func SolveLocal(sys *core.PropagationSystem, opts LocalOptions) ([]float64, Result, error) {
+	if sys == nil || sys.M() == 0 {
+		return nil, Result{}, fmt.Errorf("cluster: empty system: %w", ErrParam)
+	}
+	opts.fill()
+	m := sys.M()
+	blocks, err := Partition(m, opts.Workers)
+	if err != nil {
+		return nil, Result{}, err
+	}
+
+	f := make([]float64, m)
+	next := make([]float64, m)
+	deltas := make([]float64, len(blocks))
+
+	var wg sync.WaitGroup
+	for step := 0; step < opts.MaxSupersteps; step++ {
+		for bi, blk := range blocks {
+			wg.Add(1)
+			go func(bi int, blk Block) {
+				defer wg.Done()
+				var localDelta float64
+				for k := blk.Lo; k < blk.Hi; k++ {
+					cols, vals := sys.W.RowNNZ(k)
+					s := sys.B[k]
+					for c, j := range cols {
+						s += vals[c] * f[j]
+					}
+					v := s / sys.D[k]
+					if d := math.Abs(v - f[k]); d > localDelta {
+						localDelta = d
+					}
+					next[k] = v
+				}
+				deltas[bi] = localDelta
+			}(bi, blk)
+		}
+		wg.Wait()
+		f, next = next, f
+		var maxDelta, scale float64
+		for _, d := range deltas {
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+		for _, v := range f {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if maxDelta <= opts.Tol*(1+scale) {
+			return f, Result{Supersteps: step + 1, MaxDelta: maxDelta, Workers: len(blocks)}, nil
+		}
+	}
+	return f, Result{Supersteps: opts.MaxSupersteps, Workers: len(blocks)}, ErrNotConverged
+}

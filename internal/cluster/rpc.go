@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// SetupArgs ships one worker's block of the propagation system: rows
+// [Lo, Hi) of W in CSR form plus the matching diagonal and labeled-mass
+// entries.
+type SetupArgs struct {
+	Lo, Hi int
+	M      int // total unknowns, for validating Step payloads
+	D      []float64
+	B      []float64
+	RowPtr []int // len Hi-Lo+1, offsets into Cols/Vals
+	Cols   []int
+	Vals   []float64
+}
+
+// StepArgs carries the frozen global iterate for one superstep.
+type StepArgs struct {
+	F []float64
+}
+
+// StepReply returns the worker's updated block and its largest update.
+type StepReply struct {
+	Values   []float64
+	MaxDelta float64
+}
+
+// WorkerService is the RPC-exposed propagation worker. One Setup call binds
+// it to a block; each Step call computes the block's Jacobi update.
+type WorkerService struct {
+	mu    sync.Mutex
+	ready bool
+	args  SetupArgs
+}
+
+// Setup installs the worker's block. It may be called again to rebind the
+// worker to a new problem.
+func (w *WorkerService) Setup(args *SetupArgs, _ *struct{}) error {
+	if args.Hi <= args.Lo || args.Lo < 0 || args.Hi > args.M {
+		return fmt.Errorf("cluster: worker setup block [%d,%d) of %d invalid", args.Lo, args.Hi, args.M)
+	}
+	rows := args.Hi - args.Lo
+	if len(args.D) != rows || len(args.B) != rows || len(args.RowPtr) != rows+1 {
+		return errors.New("cluster: worker setup slice lengths inconsistent")
+	}
+	for _, d := range args.D {
+		if d <= 0 {
+			return errors.New("cluster: worker setup nonpositive degree")
+		}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.args = *args
+	w.ready = true
+	return nil
+}
+
+// Step computes the block update for the supplied global iterate.
+func (w *WorkerService) Step(args *StepArgs, reply *StepReply) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.ready {
+		return errors.New("cluster: worker not set up")
+	}
+	if len(args.F) != w.args.M {
+		return fmt.Errorf("cluster: step with %d values, want %d", len(args.F), w.args.M)
+	}
+	rows := w.args.Hi - w.args.Lo
+	reply.Values = make([]float64, rows)
+	for r := 0; r < rows; r++ {
+		s := w.args.B[r]
+		for c := w.args.RowPtr[r]; c < w.args.RowPtr[r+1]; c++ {
+			s += w.args.Vals[c] * args.F[w.args.Cols[c]]
+		}
+		v := s / w.args.D[r]
+		reply.Values[r] = v
+		if d := math.Abs(v - args.F[w.args.Lo+r]); d > reply.MaxDelta {
+			reply.MaxDelta = d
+		}
+	}
+	return nil
+}
+
+// Worker is a running TCP propagation worker.
+type Worker struct {
+	ln      net.Listener
+	service *WorkerService
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// StartWorker launches a worker listening on addr (use "127.0.0.1:0" for an
+// ephemeral port). Close must be called to release the listener.
+func StartWorker(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	w := &Worker{ln: ln, service: &WorkerService{}, conns: make(map[net.Conn]struct{})}
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Propagation", w.service); err != nil {
+		_ = ln.Close()
+		return nil, fmt.Errorf("cluster: register: %w", err)
+	}
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			w.mu.Lock()
+			w.conns[conn] = struct{}{}
+			w.mu.Unlock()
+			w.wg.Add(1)
+			go func() {
+				defer w.wg.Done()
+				srv.ServeConn(conn)
+				w.mu.Lock()
+				delete(w.conns, conn)
+				w.mu.Unlock()
+			}()
+		}
+	}()
+	return w, nil
+}
+
+// Addr returns the worker's dialable address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops accepting connections, terminates live sessions, and waits
+// for the serving goroutines to exit. Coordinators with in-flight calls
+// observe an RPC error — the failure mode SolveRPC surfaces as ErrWorker.
+func (w *Worker) Close() error {
+	err := w.ln.Close()
+	w.mu.Lock()
+	for c := range w.conns {
+		_ = c.Close()
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
+	return err
+}
+
+// RPCOptions configures the TCP coordinator.
+type RPCOptions struct {
+	// Tol is the relative update tolerance; default 1e-10.
+	Tol float64
+	// MaxSupersteps caps iterations; default 100000.
+	MaxSupersteps int
+}
+
+func (o *RPCOptions) fill() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 100000
+	}
+}
+
+// SolveRPC distributes the system over the workers at the given addresses
+// and coordinates Jacobi supersteps until convergence. The result is
+// identical (up to tolerance) to SolveLocal and to the serial solver.
+func SolveRPC(sys *core.PropagationSystem, addrs []string, opts RPCOptions) ([]float64, Result, error) {
+	if sys == nil || sys.M() == 0 {
+		return nil, Result{}, fmt.Errorf("cluster: empty system: %w", ErrParam)
+	}
+	if len(addrs) == 0 {
+		return nil, Result{}, fmt.Errorf("cluster: no workers: %w", ErrParam)
+	}
+	opts.fill()
+	m := sys.M()
+	blocks, err := Partition(m, len(addrs))
+	if err != nil {
+		return nil, Result{}, err
+	}
+
+	clients := make([]*rpc.Client, len(blocks))
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for i := range blocks {
+		c, err := rpc.Dial("tcp", addrs[i])
+		if err != nil {
+			return nil, Result{}, fmt.Errorf("cluster: dial %s: %w: %v", addrs[i], ErrWorker, err)
+		}
+		clients[i] = c
+	}
+
+	// Ship each worker its block.
+	for i, blk := range blocks {
+		args := extractBlock(sys, blk)
+		if err := clients[i].Call("Propagation.Setup", args, &struct{}{}); err != nil {
+			return nil, Result{}, fmt.Errorf("cluster: setup %s: %w: %v", addrs[i], ErrWorker, err)
+		}
+	}
+
+	f := make([]float64, m)
+	replies := make([]StepReply, len(blocks))
+	for step := 0; step < opts.MaxSupersteps; step++ {
+		calls := make([]*rpc.Call, len(blocks))
+		for i := range blocks {
+			replies[i] = StepReply{}
+			calls[i] = clients[i].Go("Propagation.Step", &StepArgs{F: f}, &replies[i], nil)
+		}
+		var maxDelta float64
+		for i, call := range calls {
+			<-call.Done
+			if call.Error != nil {
+				return nil, Result{}, fmt.Errorf("cluster: step on %s: %w: %v", addrs[i], ErrWorker, call.Error)
+			}
+			if replies[i].MaxDelta > maxDelta {
+				maxDelta = replies[i].MaxDelta
+			}
+		}
+		for i, blk := range blocks {
+			copy(f[blk.Lo:blk.Hi], replies[i].Values)
+		}
+		var scale float64
+		for _, v := range f {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		if maxDelta <= opts.Tol*(1+scale) {
+			return f, Result{Supersteps: step + 1, MaxDelta: maxDelta, Workers: len(blocks)}, nil
+		}
+	}
+	return f, Result{Supersteps: opts.MaxSupersteps, Workers: len(blocks)}, ErrNotConverged
+}
+
+// extractBlock slices rows [blk.Lo, blk.Hi) of the system into a SetupArgs.
+func extractBlock(sys *core.PropagationSystem, blk Block) *SetupArgs {
+	rows := blk.Len()
+	args := &SetupArgs{
+		Lo:     blk.Lo,
+		Hi:     blk.Hi,
+		M:      sys.M(),
+		D:      make([]float64, rows),
+		B:      make([]float64, rows),
+		RowPtr: make([]int, rows+1),
+	}
+	for r := 0; r < rows; r++ {
+		k := blk.Lo + r
+		args.D[r] = sys.D[k]
+		args.B[r] = sys.B[k]
+		cols, vals := sys.W.RowNNZ(k)
+		args.Cols = append(args.Cols, cols...)
+		args.Vals = append(args.Vals, vals...)
+		args.RowPtr[r+1] = len(args.Cols)
+	}
+	return args
+}

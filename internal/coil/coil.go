@@ -1,0 +1,302 @@
+// Package coil synthesizes a COIL-like image benchmark. The paper evaluates
+// on the Columbia Object Image Library benchmark of Chapelle et al. (2006):
+// 24 objects photographed at 72 view angles, grouped into 6 classes, 38
+// images per class discarded to leave 250 per class (1500 total), collapsed
+// into a binary task (first three classes vs last three), with 16×16-pixel
+// inputs.
+//
+// That dataset is not redistributable here, so this package renders a
+// procedural stand-in with the same structure: 24 parametric objects (four
+// shape families with per-object geometry), each rendered at 72 rotation
+// angles on a 16×16 grid with smooth intensity gradients, so images of one
+// object trace a smooth 1-D manifold in pixel space — exactly the geometric
+// structure graph-based SSL exploits. Sample counts, class structure, and
+// the binary grouping match the paper.
+package coil
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/randx"
+)
+
+var (
+	// ErrParam is returned for invalid parameters.
+	ErrParam = errors.New("coil: invalid parameter")
+)
+
+// Geometry constants mirroring the paper's benchmark.
+const (
+	// Side is the image side length in pixels.
+	Side = 16
+	// Pixels is the input dimension.
+	Pixels = Side * Side
+	// Objects is the number of distinct objects.
+	Objects = 24
+	// Angles is the number of view angles per object.
+	Angles = 72
+	// Classes is the number of object groups.
+	Classes = 6
+	// PerClassKept is the number of images kept per class after discarding.
+	PerClassKept = 250
+	// Total is the dataset size.
+	Total = Classes * PerClassKept
+)
+
+// Image is one rendered sample with its provenance.
+type Image struct {
+	// X is the flattened 16×16 intensity vector in [0,1].
+	X []float64
+	// Object is the object id in [0,Objects).
+	Object int
+	// AngleIndex is the view-angle index in [0,Angles).
+	AngleIndex int
+	// Class is the 6-way class id = Object / 4.
+	Class int
+	// Binary is 1 for classes 0–2 and 0 for classes 3–5
+	// (the paper's grouping of first three vs last three).
+	Binary float64
+}
+
+// Dataset is the full binary benchmark.
+type Dataset struct {
+	// Images holds all Total samples, grouped by class then object then
+	// angle (after discarding).
+	Images []Image
+}
+
+// X returns the input matrix as a slice of rows (views into the dataset).
+func (d *Dataset) X() [][]float64 {
+	out := make([][]float64, len(d.Images))
+	for i := range d.Images {
+		out[i] = d.Images[i].X
+	}
+	return out
+}
+
+// YBinary returns the binary labels aligned with X().
+func (d *Dataset) YBinary() []float64 {
+	out := make([]float64, len(d.Images))
+	for i := range d.Images {
+		out[i] = d.Images[i].Binary
+	}
+	return out
+}
+
+// Generate renders the full benchmark. The seed controls both the small
+// per-image pixel noise and which 38 images per class are discarded.
+func Generate(seed int64) (*Dataset, error) {
+	return GenerateSized(seed, PerClassKept)
+}
+
+// GenerateSized renders a benchmark keeping perClass images per class
+// (≤ 288 = 4 objects × 72 angles). Smaller sizes keep tests and examples
+// fast while exercising the identical pipeline.
+func GenerateSized(seed int64, perClass int) (*Dataset, error) {
+	perClassAvailable := (Objects / Classes) * Angles
+	if perClass < 1 || perClass > perClassAvailable {
+		return nil, fmt.Errorf("coil: perClass=%d outside [1,%d]: %w", perClass, perClassAvailable, ErrParam)
+	}
+	rng := randx.New(seed)
+	d := &Dataset{Images: make([]Image, 0, Classes*perClass)}
+	for class := 0; class < Classes; class++ {
+		classImgs := make([]Image, 0, perClassAvailable)
+		for objInClass := 0; objInClass < Objects/Classes; objInClass++ {
+			obj := class*(Objects/Classes) + objInClass
+			shape := newShape(obj)
+			for a := 0; a < Angles; a++ {
+				theta := 2 * math.Pi * float64(a) / Angles
+				x := shape.render(theta, rng)
+				binary := 0.0
+				if class < Classes/2 {
+					binary = 1
+				}
+				classImgs = append(classImgs, Image{
+					X:          x,
+					Object:     obj,
+					AngleIndex: a,
+					Class:      class,
+					Binary:     binary,
+				})
+			}
+		}
+		// Discard down to perClass images uniformly at random, preserving
+		// the remaining order (the paper discards 38 of 288 per class).
+		keep := rng.Perm(len(classImgs))[:perClass]
+		mask := make([]bool, len(classImgs))
+		for _, k := range keep {
+			mask[k] = true
+		}
+		for i, img := range classImgs {
+			if mask[i] {
+				d.Images = append(d.Images, img)
+			}
+		}
+	}
+	return d, nil
+}
+
+// shape is a parametric object: a signed-distance-like profile rotated by
+// the view angle, with an intensity gradient that breaks rotational
+// symmetry so every view angle yields a distinct image.
+type shape struct {
+	family    int     // 0 ellipse, 1 rectangle, 2 cross, 3 gear
+	a, b      float64 // primary semi-axes in pixel units
+	lobes     int     // gear lobe count
+	gradAngle float64 // direction of the intensity gradient (object frame)
+	gradDepth float64 // gradient strength in (0,1)
+	intensity float64 // base intensity
+	noise     float64 // per-pixel noise amplitude
+}
+
+// newShape derives deterministic geometry from the object id.
+func newShape(obj int) *shape {
+	// Small deterministic parameter tables; objects within a class share a
+	// family progression but differ in size and gradient so the class forms
+	// a loose cluster of four manifolds.
+	f := obj % 4
+	s := &shape{
+		family:    f,
+		a:         2.6 + 0.7*float64(obj%5),
+		b:         1.6 + 0.55*float64(obj%3),
+		lobes:     3 + obj%4,
+		gradAngle: 2 * math.Pi * float64(obj) / Objects,
+		gradDepth: 0.5 + 0.06*float64(obj%6),
+		intensity: 0.55 + 0.07*float64(obj%7),
+		noise:     0.015,
+	}
+	return s
+}
+
+// inside returns a soft membership in [0,1] for the point (u,v) in the
+// object frame (already de-rotated); softness anti-aliases edges.
+func (s *shape) inside(u, v float64) float64 {
+	var signed float64 // negative inside, positive outside, in pixel units
+	switch s.family {
+	case 0: // ellipse
+		r := math.Sqrt((u/s.a)*(u/s.a) + (v/s.b)*(v/s.b))
+		signed = (r - 1) * math.Min(s.a, s.b)
+	case 1: // rectangle
+		du := math.Abs(u) - s.a
+		dv := math.Abs(v) - s.b
+		signed = math.Max(du, dv)
+	case 2: // cross of two bars
+		bar1 := math.Max(math.Abs(u)-s.a, math.Abs(v)-s.b/1.6)
+		bar2 := math.Max(math.Abs(v)-s.a, math.Abs(u)-s.b/1.6)
+		signed = math.Min(bar1, bar2)
+	default: // gear: radius modulated by lobes
+		r := math.Hypot(u, v)
+		phi := math.Atan2(v, u)
+		radius := s.a * (1 + 0.25*math.Cos(float64(s.lobes)*phi))
+		signed = r - radius
+	}
+	// Smooth step over ~1 pixel.
+	return 1 / (1 + math.Exp(4*signed))
+}
+
+// render draws the shape at view angle theta and flattens to 256 values.
+func (s *shape) render(theta float64, rng *randx.RNG) []float64 {
+	out := make([]float64, Pixels)
+	cosT, sinT := math.Cos(theta), math.Sin(theta)
+	gx := math.Cos(s.gradAngle)
+	gy := math.Sin(s.gradAngle)
+	center := float64(Side-1) / 2
+	for py := 0; py < Side; py++ {
+		for px := 0; px < Side; px++ {
+			// Pixel position relative to center, rotated into object frame.
+			x := float64(px) - center
+			y := float64(py) - center
+			u := cosT*x + sinT*y
+			v := -sinT*x + cosT*y
+			m := s.inside(u, v)
+			// Intensity gradient across the object frame: rotating the
+			// object rotates the gradient too, so even symmetric silhouettes
+			// change appearance with angle.
+			grad := 1 + s.gradDepth*(gx*u+gy*v)/float64(Side)
+			val := s.intensity * m * grad
+			val += s.noise * rng.Norm()
+			if val < 0 {
+				val = 0
+			}
+			if val > 1 {
+				val = 1
+			}
+			out[py*Side+px] = val
+		}
+	}
+	return out
+}
+
+// Setting identifies the paper's three labeled/unlabeled ratios for Fig. 5.
+type Setting int
+
+// The paper's Fig. 5 split settings.
+const (
+	// Setting80 uses 5 folds with four folds labeled (80/20).
+	Setting80 Setting = iota + 1
+	// Setting20 uses 5 folds with one fold labeled (20/80).
+	Setting20
+	// Setting10 uses 10 folds with one fold labeled (10/90).
+	Setting10
+)
+
+// String returns the labeled/unlabeled ratio label used in Fig. 5.
+func (s Setting) String() string {
+	switch s {
+	case Setting80:
+		return "80/20"
+	case Setting20:
+		return "20/80"
+	case Setting10:
+		return "10/90"
+	default:
+		return fmt.Sprintf("Setting(%d)", int(s))
+	}
+}
+
+// Split is one labeled/unlabeled partition of the dataset indices.
+type Split struct {
+	Labeled   []int
+	Unlabeled []int
+}
+
+// Splits produces the paper's splits for one repetition: the data are cut
+// into k folds (k=5 for Setting80/Setting20, k=10 for Setting10) and each
+// fold serves once as the test set (Setting80) or once as the training set
+// (Setting20, Setting10), so one repetition yields k Split values.
+func Splits(g *randx.RNG, n int, setting Setting) ([]Split, error) {
+	var k int
+	var foldIsLabeled bool
+	switch setting {
+	case Setting80:
+		k, foldIsLabeled = 5, false
+	case Setting20:
+		k, foldIsLabeled = 5, true
+	case Setting10:
+		k, foldIsLabeled = 10, true
+	default:
+		return nil, fmt.Errorf("coil: unknown setting %d: %w", int(setting), ErrParam)
+	}
+	folds, err := randx.KFold(g, n, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Split, 0, k)
+	for i := range folds {
+		var inFold, rest []int
+		inFold = append(inFold, folds[i]...)
+		for j := range folds {
+			if j != i {
+				rest = append(rest, folds[j]...)
+			}
+		}
+		if foldIsLabeled {
+			out = append(out, Split{Labeled: inFold, Unlabeled: rest})
+		} else {
+			out = append(out, Split{Labeled: rest, Unlabeled: inFold})
+		}
+	}
+	return out, nil
+}

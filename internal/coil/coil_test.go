@@ -1,0 +1,263 @@
+package coil
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+func TestGenerateSizedShapes(t *testing.T) {
+	d, err := GenerateSized(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Images) != Classes*20 {
+		t.Fatalf("images = %d, want %d", len(d.Images), Classes*20)
+	}
+	for _, img := range d.Images {
+		if len(img.X) != Pixels {
+			t.Fatalf("pixel count %d", len(img.X))
+		}
+		for _, v := range img.X {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %v outside [0,1]", v)
+			}
+		}
+		if img.Class != img.Object/(Objects/Classes) {
+			t.Fatalf("class %d inconsistent with object %d", img.Class, img.Object)
+		}
+		wantBinary := 0.0
+		if img.Class < Classes/2 {
+			wantBinary = 1
+		}
+		if img.Binary != wantBinary {
+			t.Fatalf("binary label wrong for class %d", img.Class)
+		}
+	}
+}
+
+func TestGenerateFullMatchesPaperCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full dataset generation in short mode")
+	}
+	d, err := Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Images) != Total || Total != 1500 {
+		t.Fatalf("total = %d, want 1500", len(d.Images))
+	}
+	perClass := make(map[int]int)
+	var pos int
+	for _, img := range d.Images {
+		perClass[img.Class]++
+		if img.Binary == 1 {
+			pos++
+		}
+	}
+	for c := 0; c < Classes; c++ {
+		if perClass[c] != PerClassKept {
+			t.Fatalf("class %d has %d images, want %d", c, perClass[c], PerClassKept)
+		}
+	}
+	if pos != Total/2 {
+		t.Fatalf("positives = %d, want %d", pos, Total/2)
+	}
+}
+
+func TestGenerateSizedValidation(t *testing.T) {
+	if _, err := GenerateSized(1, 0); !errors.Is(err, ErrParam) {
+		t.Fatal("perClass=0 must error")
+	}
+	if _, err := GenerateSized(1, 289); !errors.Is(err, ErrParam) {
+		t.Fatal("perClass beyond available must error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1, err := GenerateSized(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateSized(7, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.Images {
+		if !mat.VecEqual(d1.Images[i].X, d2.Images[i].X, 0) {
+			t.Fatal("same seed must reproduce pixels")
+		}
+	}
+	d3, err := GenerateSized(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range d1.Images {
+		if !mat.VecEqual(d1.Images[i].X, d3.Images[i].X, 1e-9) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestXAndYBinaryAccessors(t *testing.T) {
+	d, err := GenerateSized(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := d.X()
+	y := d.YBinary()
+	if len(x) != len(d.Images) || len(y) != len(d.Images) {
+		t.Fatal("accessor lengths wrong")
+	}
+	for i := range y {
+		if y[i] != d.Images[i].Binary {
+			t.Fatal("label misaligned")
+		}
+	}
+}
+
+// TestAngleManifoldSmoothness: consecutive view angles of the same object
+// must be much closer in pixel space than images of different objects —
+// the manifold structure the graph methods rely on.
+func TestAngleManifoldSmoothness(t *testing.T) {
+	d, err := GenerateSized(5, 288) // keep everything: ordered by angle
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find two consecutive-angle images of object 0 and one image of
+	// object 12 (different binary class).
+	var a0, a1, far []float64
+	for _, img := range d.Images {
+		switch {
+		case img.Object == 0 && img.AngleIndex == 0:
+			a0 = img.X
+		case img.Object == 0 && img.AngleIndex == 1:
+			a1 = img.X
+		case img.Object == 12 && img.AngleIndex == 0:
+			far = img.X
+		}
+	}
+	if a0 == nil || a1 == nil || far == nil {
+		t.Fatal("expected images missing")
+	}
+	near := mat.Dist(a0, a1)
+	cross := mat.Dist(a0, far)
+	if near*2 > cross {
+		t.Fatalf("manifold not smooth: neighbour dist %v vs cross-object %v", near, cross)
+	}
+}
+
+// TestClassSeparation: mean within-class distance below mean cross-binary
+// distance, so the binary task is learnable from the graph.
+func TestClassSeparation(t *testing.T) {
+	d, err := GenerateSized(9, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var within, cross float64
+	var nw, nc int
+	for i := 0; i < len(d.Images); i += 3 {
+		for j := i + 1; j < len(d.Images); j += 3 {
+			dist := mat.Dist(d.Images[i].X, d.Images[j].X)
+			if d.Images[i].Class == d.Images[j].Class {
+				within += dist
+				nw++
+			} else if d.Images[i].Binary != d.Images[j].Binary {
+				cross += dist
+				nc++
+			}
+		}
+	}
+	if nw == 0 || nc == 0 {
+		t.Fatal("sampling failed")
+	}
+	within /= float64(nw)
+	cross /= float64(nc)
+	if within >= cross {
+		t.Fatalf("within-class distance %v not below cross-class %v", within, cross)
+	}
+}
+
+func TestSettingString(t *testing.T) {
+	if Setting80.String() != "80/20" || Setting20.String() != "20/80" || Setting10.String() != "10/90" {
+		t.Fatal("setting names wrong")
+	}
+	if Setting(9).String() != "Setting(9)" {
+		t.Fatal("unknown setting name wrong")
+	}
+}
+
+func TestSplitsShapes(t *testing.T) {
+	g := randx.New(11)
+	tests := []struct {
+		setting     Setting
+		wantSplits  int
+		labeledFrac float64
+	}{
+		{Setting80, 5, 0.8},
+		{Setting20, 5, 0.2},
+		{Setting10, 10, 0.1},
+	}
+	const n = 200
+	for _, tt := range tests {
+		splits, err := Splits(g, n, tt.setting)
+		if err != nil {
+			t.Fatalf("%v: %v", tt.setting, err)
+		}
+		if len(splits) != tt.wantSplits {
+			t.Fatalf("%v: %d splits, want %d", tt.setting, len(splits), tt.wantSplits)
+		}
+		for _, sp := range splits {
+			if len(sp.Labeled)+len(sp.Unlabeled) != n {
+				t.Fatalf("%v: split does not cover data", tt.setting)
+			}
+			frac := float64(len(sp.Labeled)) / n
+			if math.Abs(frac-tt.labeledFrac) > 0.05 {
+				t.Fatalf("%v: labeled fraction %v, want %v", tt.setting, frac, tt.labeledFrac)
+			}
+			seen := make(map[int]bool, n)
+			for _, v := range append(append([]int{}, sp.Labeled...), sp.Unlabeled...) {
+				if seen[v] {
+					t.Fatalf("%v: index %d duplicated", tt.setting, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestSplitsEveryPointTestedOnceSetting80(t *testing.T) {
+	// In Setting80 each fold is the test set exactly once, so across the 5
+	// splits every index appears exactly once among Unlabeled.
+	g := randx.New(13)
+	const n = 100
+	splits, err := Splits(g, n, Setting80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := make([]int, n)
+	for _, sp := range splits {
+		for _, v := range sp.Unlabeled {
+			count[v]++
+		}
+	}
+	for i, c := range count {
+		if c != 1 {
+			t.Fatalf("index %d tested %d times, want 1", i, c)
+		}
+	}
+}
+
+func TestSplitsUnknownSetting(t *testing.T) {
+	if _, err := Splits(randx.New(1), 50, Setting(77)); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+}

@@ -1,0 +1,127 @@
+package coil
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/stats"
+)
+
+func TestReduceFeaturesShapes(t *testing.T) {
+	d, err := GenerateSized(11, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, frac, err := d.ReduceFeatures(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feats) != len(d.Images) {
+		t.Fatalf("rows = %d", len(feats))
+	}
+	for _, f := range feats {
+		if len(f) != 8 {
+			t.Fatalf("feature dim = %d", len(f))
+		}
+	}
+	if len(frac) != 8 {
+		t.Fatalf("frac = %v", frac)
+	}
+	var total float64
+	for i, v := range frac {
+		if v < 0 || v > 1 {
+			t.Fatalf("variance fraction %v out of range", v)
+		}
+		if i > 0 && v > frac[i-1]+1e-12 {
+			t.Fatal("variance fractions must be non-increasing")
+		}
+		total += v
+	}
+	if total > 1+1e-9 {
+		t.Fatal("fractions exceed 1")
+	}
+}
+
+func TestReduceFeaturesCapturesStructure(t *testing.T) {
+	// A modest number of components captures most pixel variance, and
+	// class separation survives the projection: mean within-binary-class
+	// distance stays below cross-class distance.
+	d, err := GenerateSized(13, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, frac, err := d.ReduceFeatures(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var captured float64
+	for _, v := range frac {
+		captured += v
+	}
+	if captured < 0.6 {
+		t.Fatalf("16 components capture only %v of variance", captured)
+	}
+	var within, cross float64
+	var nw, nc int
+	for i := 0; i < len(feats); i += 4 {
+		for j := i + 1; j < len(feats); j += 4 {
+			dist := mat.Dist(feats[i], feats[j])
+			if d.Images[i].Binary == d.Images[j].Binary {
+				within += dist
+				nw++
+			} else {
+				cross += dist
+				nc++
+			}
+		}
+	}
+	if nw == 0 || nc == 0 {
+		t.Fatal("sampling failed")
+	}
+	if within/float64(nw) >= cross/float64(nc) {
+		t.Fatal("projection destroyed class separation")
+	}
+}
+
+func TestReduceFeaturesAUCPreserved(t *testing.T) {
+	// Ranking images by their first principal coordinate should carry some
+	// binary-class signal (the classes differ in shape statistics), i.e.
+	// AUC meaningfully away from 0.5 in either direction.
+	d, err := GenerateSized(17, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feats, _, err := d.ReduceFeatures(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(feats))
+	for i, f := range feats {
+		scores[i] = f[0]
+	}
+	auc, err := stats.AUC(scores, d.YBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc > 0.45 && auc < 0.55 {
+		t.Fatalf("first PC carries no class signal: AUC = %v", auc)
+	}
+}
+
+func TestReduceFeaturesValidation(t *testing.T) {
+	d, err := GenerateSized(19, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.ReduceFeatures(0); !errors.Is(err, ErrParam) {
+		t.Fatal("k=0 must error")
+	}
+	if _, _, err := d.ReduceFeatures(Pixels + 1); !errors.Is(err, ErrParam) {
+		t.Fatal("k too large must error")
+	}
+	tiny := &Dataset{}
+	if _, _, err := tiny.ReduceFeatures(2); !errors.Is(err, ErrParam) {
+		t.Fatal("empty dataset must error")
+	}
+}

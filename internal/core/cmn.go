@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ClassMassNormalize applies the class mass normalization (CMN) of Zhu,
+// Ghahramani & Lafferty (2003) to harmonic scores: the positive and
+// negative "masses" of the score vector are rescaled to match a target
+// prior q for the positive class, correcting harmonic solutions on
+// imbalanced graphs.
+//
+// Given raw scores f ∈ [0,1], the adjusted score is
+//
+//	f'_i = q·f_i/Σf / ( q·f_i/Σf + (1−q)·(1−f_i)/Σ(1−f) ),
+//
+// which preserves the [0,1] range and the 0.5 decision threshold semantics.
+// Scores outside [0,1] are clamped first (harmonic solutions satisfy the
+// maximum principle, so clamping only trims rounding noise).
+func ClassMassNormalize(scores []float64, prior float64) ([]float64, error) {
+	if len(scores) == 0 {
+		return nil, fmt.Errorf("core: CMN with no scores: %w", ErrParam)
+	}
+	if prior <= 0 || prior >= 1 || math.IsNaN(prior) {
+		return nil, fmt.Errorf("core: CMN prior %v outside (0,1): %w", prior, ErrParam)
+	}
+	var posMass, negMass float64
+	clamped := make([]float64, len(scores))
+	for i, s := range scores {
+		if s < 0 {
+			s = 0
+		} else if s > 1 {
+			s = 1
+		}
+		clamped[i] = s
+		posMass += s
+		negMass += 1 - s
+	}
+	if posMass == 0 || negMass == 0 {
+		// Degenerate: every score is already 0 or every score is 1;
+		// normalization cannot move anything.
+		return clamped, nil
+	}
+	out := make([]float64, len(scores))
+	for i, s := range clamped {
+		pos := prior * s / posMass
+		neg := (1 - prior) * (1 - s) / negMass
+		out[i] = pos / (pos + neg)
+	}
+	return out, nil
+}
+
+// LabeledPrior returns the empirical positive-class frequency of the
+// problem's observed responses, the usual CMN target.
+func (p *Problem) LabeledPrior() float64 {
+	var s float64
+	for _, v := range p.y {
+		if v > 0.5 {
+			s++
+		}
+	}
+	return s / float64(len(p.y))
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestClassMassNormalizeBalancedIsNearIdentityAtHalf(t *testing.T) {
+	// Symmetric scores with prior 0.5: masses are equal, output equals
+	// input.
+	scores := []float64{0.2, 0.8, 0.4, 0.6}
+	out, err := ClassMassNormalize(scores, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		if math.Abs(out[i]-scores[i]) > 1e-12 {
+			t.Fatalf("balanced CMN changed scores: %v → %v", scores, out)
+		}
+	}
+}
+
+func TestClassMassNormalizeShiftsTowardPrior(t *testing.T) {
+	// Scores biased low but true prior high: CMN must raise them.
+	scores := []float64{0.1, 0.2, 0.3}
+	out, err := ClassMassNormalize(scores, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range scores {
+		if out[i] <= scores[i] {
+			t.Fatalf("CMN with high prior must raise score %d: %v → %v", i, scores[i], out[i])
+		}
+		if out[i] < 0 || out[i] > 1 {
+			t.Fatalf("CMN out of range: %v", out[i])
+		}
+	}
+}
+
+func TestClassMassNormalizePreservesOrder(t *testing.T) {
+	scores := []float64{0.1, 0.5, 0.2, 0.9, 0.4}
+	out, err := ClassMassNormalize(scores, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(scores); i++ {
+		for j := i + 1; j < len(scores); j++ {
+			if (scores[i] < scores[j]) != (out[i] < out[j]) {
+				t.Fatalf("CMN broke ranking between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestClassMassNormalizeClampsInput(t *testing.T) {
+	out, err := ClassMassNormalize([]float64{-0.1, 1.2, 0.5}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v < 0 || v > 1 {
+			t.Fatalf("clamped CMN out of range: %v", out)
+		}
+	}
+}
+
+func TestClassMassNormalizeDegenerate(t *testing.T) {
+	out, err := ClassMassNormalize([]float64{0, 0, 0}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v != 0 {
+			t.Fatalf("all-zero scores must pass through: %v", out)
+		}
+	}
+	out, err = ClassMassNormalize([]float64{1, 1}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("all-one scores must pass through: %v", out)
+	}
+}
+
+func TestClassMassNormalizeValidation(t *testing.T) {
+	if _, err := ClassMassNormalize(nil, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("empty must error")
+	}
+	for _, p := range []float64{0, 1, -1, math.NaN()} {
+		if _, err := ClassMassNormalize([]float64{0.5}, p); !errors.Is(err, ErrParam) {
+			t.Fatalf("prior %v must error", p)
+		}
+	}
+}
+
+func TestLabeledPrior(t *testing.T) {
+	g := chainGraph(t, 5)
+	p, err := NewProblem(g, []int{0, 1, 2, 3}, []float64{1, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LabeledPrior(); got != 0.75 {
+		t.Fatalf("LabeledPrior = %v, want 0.75", got)
+	}
+}

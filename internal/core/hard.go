@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// Method selects the linear-algebra backend for a solve.
+type Method int
+
+// Available solve methods.
+const (
+	// MethodAuto picks Cholesky with an LU fallback (dense).
+	MethodAuto Method = iota + 1
+	// MethodCholesky forces the dense Cholesky factorization.
+	MethodCholesky
+	// MethodLU forces dense LU with partial pivoting.
+	MethodLU
+	// MethodCG uses sparse conjugate gradient.
+	MethodCG
+	// MethodPropagation uses the classic iterative harmonic update
+	// f ← D22⁻¹ (W21 Y + W22 f), i.e. label propagation.
+	MethodPropagation
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodCholesky:
+		return "cholesky"
+	case MethodLU:
+		return "lu"
+	case MethodCG:
+		return "cg"
+	case MethodPropagation:
+		return "propagation"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// SolveOption customizes a solve.
+type SolveOption interface {
+	apply(*solveConfig)
+}
+
+type solveConfig struct {
+	method  Method
+	tol     float64
+	maxIter int
+}
+
+type solveOptionFunc func(*solveConfig)
+
+func (f solveOptionFunc) apply(c *solveConfig) { f(c) }
+
+// WithMethod selects the backend.
+func WithMethod(m Method) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.method = m })
+}
+
+// WithTolerance sets the convergence tolerance of iterative backends.
+func WithTolerance(tol float64) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.tol = tol })
+}
+
+// WithMaxIter caps the iterations of iterative backends.
+func WithMaxIter(n int) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.maxIter = n })
+}
+
+func newSolveConfig(opts []SolveOption) solveConfig {
+	c := solveConfig{method: MethodAuto, tol: 1e-10, maxIter: 0}
+	for _, o := range opts {
+		o.apply(&c)
+	}
+	return c
+}
+
+// Solution is the outcome of a criterion solve.
+type Solution struct {
+	// F is the full score vector over all nodes. For the hard criterion,
+	// labeled entries equal the observed responses exactly; for the soft
+	// criterion they are the fitted (shrunk) values.
+	F []float64
+	// FUnlabeled is F restricted to the unlabeled nodes, aligned with
+	// Problem.Unlabeled().
+	FUnlabeled []float64
+	// Lambda is the tuning parameter used (0 for the hard criterion).
+	Lambda float64
+	// Method is the backend that produced the solution.
+	Method Method
+	// Iterations reports iterative-backend work (0 for direct solves).
+	Iterations int
+	// Residual is the final relative residual of iterative backends.
+	Residual float64
+}
+
+// hardSystem carries the blocks of the hard-criterion linear system
+// A f_U = b with A = D22 − W22 and b = W21 Y (paper Eq. 5).
+type hardSystem struct {
+	a   *sparse.CSR // m×m, SPD when every unlabeled component touches a label
+	b   []float64   // m
+	w22 *sparse.CSR // m×m similarity block among unlabeled nodes
+	d22 []float64   // full degrees of unlabeled nodes
+	pos []int       // pos[nodeIndex] = position among unlabeled, -1 otherwise
+}
+
+// buildHardSystem extracts the block system from the problem.
+func buildHardSystem(p *Problem) (*hardSystem, error) {
+	if err := p.checkCoverage(); err != nil {
+		return nil, err
+	}
+	w := p.g.Weights()
+	nTotal := p.g.N()
+	m := p.M()
+	pos := make([]int, nTotal)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for k, u := range p.unlabeled {
+		pos[u] = k
+	}
+	yAt := make([]float64, nTotal)
+	for k, l := range p.labeled {
+		yAt[l] = p.y[k]
+	}
+
+	deg := w.RowSums()
+	aCoo := sparse.NewCOO(m, m)
+	w22Coo := sparse.NewCOO(m, m)
+	b := make([]float64, m)
+	d22 := make([]float64, m)
+	for k, u := range p.unlabeled {
+		d22[k] = deg[u]
+		if err := aCoo.Add(k, k, deg[u]); err != nil {
+			return nil, err
+		}
+		cols, vals := w.RowNNZ(u)
+		for c, j := range cols {
+			v := vals[c]
+			if v == 0 {
+				continue
+			}
+			if p.isLabeled[j] {
+				b[k] += v * yAt[j]
+				continue
+			}
+			// Unlabeled neighbour (possibly u itself via a self-loop).
+			if err := aCoo.Add(k, pos[j], -v); err != nil {
+				return nil, err
+			}
+			if err := w22Coo.Add(k, pos[j], v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &hardSystem{a: aCoo.ToCSR(), b: b, w22: w22Coo.ToCSR(), d22: d22, pos: pos}, nil
+}
+
+// SolveHard computes the hard-criterion solution (Eq. 5):
+// f_U = (D22 − W22)⁻¹ W21 Y, with f fixed to Y on labeled nodes.
+func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
+	cfg := newSolveConfig(opts)
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		fu  []float64
+		res sparse.SolveResult
+	)
+	switch cfg.method {
+	case MethodAuto:
+		fu, err = mat.SolveSPD(sys.a.ToDense(), sys.b)
+	case MethodCholesky:
+		var ch *mat.Cholesky
+		ch, err = mat.NewCholesky(sys.a.ToDense())
+		if err == nil {
+			fu, err = ch.Solve(sys.b)
+		}
+	case MethodLU:
+		fu, err = mat.SolveLU(sys.a.ToDense(), sys.b)
+	case MethodCG:
+		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true})
+	case MethodPropagation:
+		fu, res, err = propagate(sys, cfg.tol, cfg.maxIter)
+	default:
+		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: hard solve (%v): %w: %v", cfg.method, ErrSolver, err)
+	}
+	return assembleSolution(p, fu, 0, cfg.method, res), nil
+}
+
+// propagate runs the harmonic iteration f ← D22⁻¹ (b + W22 f). Because
+// D22 also counts the similarity mass to labeled nodes, the iteration matrix
+// D22⁻¹W22 is substochastic and — whenever every unlabeled component touches
+// a labeled node — a contraction, so the iteration converges to Eq. 5.
+func propagate(sys *hardSystem, tol float64, maxIter int) ([]float64, sparse.SolveResult, error) {
+	m := len(sys.b)
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	for k, d := range sys.d22 {
+		if d == 0 {
+			// Coverage check passed, so a zero-degree unlabeled node would be
+			// its own component without labels; defensive guard.
+			return nil, sparse.SolveResult{}, fmt.Errorf("core: zero degree at unlabeled position %d: %w", k, ErrIsolated)
+		}
+	}
+	f := make([]float64, m)
+	next := make([]float64, m)
+	wf := make([]float64, m)
+	for it := 0; it < maxIter; it++ {
+		if err := sys.w22.MulVecTo(wf, f); err != nil {
+			return nil, sparse.SolveResult{}, err
+		}
+		var delta, scale float64
+		for k := 0; k < m; k++ {
+			next[k] = (sys.b[k] + wf[k]) / sys.d22[k]
+			d := next[k] - f[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+			a := next[k]
+			if a < 0 {
+				a = -a
+			}
+			if a > scale {
+				scale = a
+			}
+		}
+		f, next = next, f
+		if delta <= tol*(1+scale) {
+			return f, sparse.SolveResult{Iterations: it + 1, Residual: delta}, nil
+		}
+	}
+	return f, sparse.SolveResult{Iterations: maxIter}, sparse.ErrNotConverged
+}
+
+// assembleSolution merges unlabeled scores with labeled values into the full
+// score vector. For λ=0 (hard criterion) labeled entries are the responses.
+func assembleSolution(p *Problem, fu []float64, lambda float64, method Method, res sparse.SolveResult) *Solution {
+	full := make([]float64, p.g.N())
+	for k, l := range p.labeled {
+		full[l] = p.y[k]
+	}
+	for k, u := range p.unlabeled {
+		full[u] = fu[k]
+	}
+	out := make([]float64, len(fu))
+	copy(out, fu)
+	return &Solution{
+		F:          full,
+		FUnlabeled: out,
+		Lambda:     lambda,
+		Method:     method,
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// HardFactorization is a reusable factorization of the hard criterion's
+// system matrix D22−W22 for a fixed graph and labeled set. It amortizes the
+// O(m³) factorization across many right-hand sides — one per class in
+// one-vs-rest multiclass, or one per response column in multi-output
+// regression.
+type HardFactorization struct {
+	p    *Problem
+	chol *mat.Cholesky
+	lu   *mat.LU
+	sys  *hardSystem
+}
+
+// NewHardFactorization builds and factors the system once. Cholesky is
+// attempted first; symmetric-indefinite rounding falls back to LU.
+func NewHardFactorization(p *Problem) (*HardFactorization, error) {
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	dense := sys.a.ToDense()
+	f := &HardFactorization{p: p, sys: sys}
+	if chol, err := mat.NewCholesky(dense); err == nil {
+		f.chol = chol
+		return f, nil
+	}
+	lu, err := mat.NewLU(dense)
+	if err != nil {
+		return nil, fmt.Errorf("core: hard factorization: %w: %v", ErrSolver, err)
+	}
+	f.lu = lu
+	return f, nil
+}
+
+// M returns the number of unlabeled unknowns.
+func (f *HardFactorization) M() int { return len(f.sys.b) }
+
+// SolveY computes the hard solution for a new response vector y on the
+// same labeled set (len(y) = Problem.N()). Only the right-hand side W21·y
+// is rebuilt; the factorization is reused.
+func (f *HardFactorization) SolveY(y []float64) (*Solution, error) {
+	if len(y) != f.p.N() {
+		return nil, fmt.Errorf("core: SolveY with %d responses, want %d: %w", len(y), f.p.N(), ErrParam)
+	}
+	b, err := f.rhs(y)
+	if err != nil {
+		return nil, err
+	}
+	var fu []float64
+	if f.chol != nil {
+		fu, err = f.chol.Solve(b)
+	} else {
+		fu, err = f.lu.Solve(b)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: SolveY: %w: %v", ErrSolver, err)
+	}
+	// Assemble with the supplied y (not the problem's placeholder).
+	full := make([]float64, f.p.g.N())
+	for k, l := range f.p.labeled {
+		full[l] = y[k]
+	}
+	for k, u := range f.p.unlabeled {
+		full[u] = fu[k]
+	}
+	return &Solution{
+		F:          full,
+		FUnlabeled: fu,
+		Lambda:     0,
+		Method:     MethodCholesky,
+	}, nil
+}
+
+// rhs assembles W21·y for an arbitrary response vector on the labeled set.
+func (f *HardFactorization) rhs(y []float64) ([]float64, error) {
+	w := f.p.g.Weights()
+	nTotal := f.p.g.N()
+	yAt := make([]float64, nTotal)
+	for k, l := range f.p.labeled {
+		yAt[l] = y[k]
+	}
+	b := make([]float64, f.p.M())
+	for k, u := range f.p.unlabeled {
+		cols, vals := w.RowNNZ(u)
+		for c, j := range cols {
+			if f.p.isLabeled[j] {
+				b[k] += vals[c] * yAt[j]
+			}
+		}
+	}
+	return b, nil
+}
+
+// SolveColumns solves the hard criterion for every column of Y
+// (N()×k responses), returning an M()×k matrix of unlabeled scores.
+func (f *HardFactorization) SolveColumns(y *mat.Dense) (*mat.Dense, error) {
+	rows, k := y.Dims()
+	if rows != f.p.N() {
+		return nil, fmt.Errorf("core: SolveColumns with %d rows, want %d: %w", rows, f.p.N(), ErrParam)
+	}
+	out := mat.NewDense(f.M(), k)
+	col := make([]float64, rows)
+	for c := 0; c < k; c++ {
+		for i := 0; i < rows; i++ {
+			col[i] = y.At(i, c)
+		}
+		sol, err := f.SolveY(col)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range sol.FUnlabeled {
+			out.Set(i, c, v)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// NadarayaWatson computes the kernel-regression estimator of paper Eq. 6,
+//
+//	q̂_{n+a} = Σ_{i labeled} w_{n+a,i} Y_i / Σ_{i labeled} w_{n+a,i},
+//
+// for every unlabeled node, aligned with Problem.Unlabeled(). The estimator
+// anchors the consistency proof of Theorem II.1: the hard-criterion solution
+// equals NW plus terms that vanish as n grows.
+//
+// An unlabeled node with zero similarity mass to every labeled node has an
+// undefined estimate; ErrIsolated is returned in that case.
+func NadarayaWatson(p *Problem) ([]float64, error) {
+	w := p.g.Weights()
+	nTotal := p.g.N()
+	yAt := make([]float64, nTotal)
+	for k, l := range p.labeled {
+		yAt[l] = p.y[k]
+	}
+	out := make([]float64, p.M())
+	for k, u := range p.unlabeled {
+		cols, vals := w.RowNNZ(u)
+		var num, den float64
+		for c, j := range cols {
+			if p.isLabeled[j] {
+				num += vals[c] * yAt[j]
+				den += vals[c]
+			}
+		}
+		if den == 0 {
+			return nil, fmt.Errorf("core: unlabeled node %d has no labeled neighbour: %w", u, ErrIsolated)
+		}
+		out[k] = num / den
+	}
+	return out, nil
+}
+
+// Diagnostics quantifies how far a problem instance is from the asymptotic
+// regime of Theorem II.1, using the quantities that appear in the proof.
+type Diagnostics struct {
+	// MaxUnlabeledMassRatio is max over unlabeled nodes a of
+	// (Σ_{k unlabeled} w_{ka}) / d_a — the bound on |g_{n+a}| in the proof.
+	// Consistency requires it to vanish (it is ≤ mM/(n h^d) there).
+	MaxUnlabeledMassRatio float64
+	// MeanUnlabeledMassRatio is the average of the same ratio.
+	MeanUnlabeledMassRatio float64
+	// MaxHardNWGap is max over unlabeled nodes of |f̂_hard − q̂_NW|, the
+	// empirical version of the proof's conclusion that the two coincide
+	// asymptotically.
+	MaxHardNWGap float64
+	// MinLabeledDegree is min over unlabeled nodes of Σ_{i labeled} w_ia;
+	// zero means NW and the hard criterion are undefined somewhere.
+	MinLabeledDegree float64
+}
+
+// Diagnose computes the proof-driven diagnostics. It solves the hard
+// criterion internally.
+func Diagnose(p *Problem) (*Diagnostics, error) {
+	w := p.g.Weights()
+	d := &Diagnostics{MinLabeledDegree: math.Inf(1)}
+	var sumRatio float64
+	for _, u := range p.unlabeled {
+		cols, vals := w.RowNNZ(u)
+		var labMass, unlMass float64
+		for c, j := range cols {
+			if p.isLabeled[j] {
+				labMass += vals[c]
+			} else {
+				unlMass += vals[c]
+			}
+		}
+		total := labMass + unlMass
+		var ratio float64
+		if total > 0 {
+			ratio = unlMass / total
+		}
+		if ratio > d.MaxUnlabeledMassRatio {
+			d.MaxUnlabeledMassRatio = ratio
+		}
+		sumRatio += ratio
+		if labMass < d.MinLabeledDegree {
+			d.MinLabeledDegree = labMass
+		}
+	}
+	if m := p.M(); m > 0 {
+		d.MeanUnlabeledMassRatio = sumRatio / float64(m)
+	}
+
+	hard, err := SolveHard(p)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := NadarayaWatson(p)
+	if err != nil {
+		return nil, err
+	}
+	for k := range nw {
+		gap := math.Abs(hard.FUnlabeled[k] - nw[k])
+		if gap > d.MaxHardNWGap {
+			d.MaxHardNWGap = gap
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+func TestNadarayaWatsonKnown(t *testing.T) {
+	// Explicit weights: unlabeled node 2 sees labeled 0 (w=2, y=1) and
+	// labeled 1 (w=1, y=0) ⇒ NW = 2/3.
+	coo := sparse.NewCOO(3, 3)
+	_ = coo.AddSym(0, 2, 2)
+	_ = coo.AddSym(1, 2, 1)
+	g, err := graph.FromWeights(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProblemLabeledFirst(g, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NadarayaWatson(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw) != 1 || math.Abs(nw[0]-2.0/3.0) > 1e-15 {
+		t.Fatalf("NW = %v, want [2/3]", nw)
+	}
+}
+
+func TestNadarayaWatsonIsolated(t *testing.T) {
+	// Node 2 unlabeled, connected only to unlabeled node 3.
+	coo := sparse.NewCOO(4, 4)
+	_ = coo.AddSym(0, 1, 1)
+	_ = coo.AddSym(2, 3, 1)
+	g, _ := graph.FromWeights(coo.ToCSR())
+	p, err := NewProblem(g, []int{0, 1}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NadarayaWatson(p); !errors.Is(err, ErrIsolated) {
+		t.Fatalf("want ErrIsolated, got %v", err)
+	}
+}
+
+// TestNadarayaWatsonConvexCombination: NW estimates always lie in
+// [min Y, max Y].
+func TestNadarayaWatsonConvexCombination(t *testing.T) {
+	rng := randx.New(201)
+	pts := make([]float64, 20)
+	for i := range pts {
+		pts[i] = rng.Norm()
+	}
+	g := fullGraph(t, pts, 1)
+	y := make([]float64, 8)
+	for i := range y {
+		y[i] = rng.Float64()*10 - 5
+	}
+	p, _ := NewProblemLabeledFirst(g, y)
+	nw, err := NadarayaWatson(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ymin, _ := mat.MinVec(y)
+	ymax, _ := mat.MaxVec(y)
+	for k, v := range nw {
+		if v < ymin-1e-12 || v > ymax+1e-12 {
+			t.Fatalf("NW[%d] = %v outside [%v,%v]", k, v, ymin, ymax)
+		}
+	}
+}
+
+// TestNadarayaWatsonMatchesHardWhenMIsOne is the tightest link between the
+// hard criterion and NW: with a single unlabeled node, Eq. 5 reduces to
+// exactly the NW estimator when the graph carries no unlabeled-unlabeled
+// mass — and to a slightly different weighting otherwise. With m = 1 W22 has
+// only the (dropped) self-loop, so the two coincide.
+func TestNadarayaWatsonMatchesHardWhenMIsOne(t *testing.T) {
+	rng := randx.New(203)
+	pts := make([]float64, 10)
+	for i := range pts {
+		pts[i] = rng.Norm()
+	}
+	g := fullGraph(t, pts, 1)
+	y := make([]float64, 9)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	p, _ := NewProblemLabeledFirst(g, y)
+	hard, err := SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NadarayaWatson(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hard.FUnlabeled[0]-nw[0]) > 1e-12 {
+		t.Fatalf("hard %v != NW %v for m=1", hard.FUnlabeled[0], nw[0])
+	}
+}
+
+// TestTheoremII1HardApproachesNW: as n grows with m fixed, the hard solution
+// converges to the NW estimator (the mechanism of the consistency proof:
+// g_{n+a} → 0 and the S-term has tiny elements).
+func TestTheoremII1HardApproachesNW(t *testing.T) {
+	const m = 5
+	gaps := make([]float64, 0, 3)
+	for _, n := range []int{20, 80, 320} {
+		rng := randx.New(int64(1000 + n))
+		pts := make([]float64, n+m)
+		for i := range pts {
+			pts[i] = rng.Float64() // uniform on [0,1]
+		}
+		g := fullGraph(t, pts, 0.3)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.Bernoulli(0.5)
+		}
+		p, err := NewProblemLabeledFirst(g, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Diagnose(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gaps = append(gaps, d.MaxHardNWGap)
+	}
+	if !(gaps[2] < gaps[0]) {
+		t.Fatalf("hard–NW gap must shrink with n: %v", gaps)
+	}
+}
+
+func TestDiagnoseFields(t *testing.T) {
+	rng := randx.New(207)
+	pts := make([]float64, 12)
+	for i := range pts {
+		pts[i] = rng.Norm()
+	}
+	g := fullGraph(t, pts, 1)
+	y := make([]float64, 6)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	p, _ := NewProblemLabeledFirst(g, y)
+	d, err := Diagnose(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxUnlabeledMassRatio < 0 || d.MaxUnlabeledMassRatio > 1 {
+		t.Fatalf("mass ratio %v outside [0,1]", d.MaxUnlabeledMassRatio)
+	}
+	if d.MeanUnlabeledMassRatio > d.MaxUnlabeledMassRatio {
+		t.Fatal("mean ratio exceeds max ratio")
+	}
+	if d.MinLabeledDegree <= 0 {
+		t.Fatalf("full Gaussian graph must have positive labeled degree, got %v", d.MinLabeledDegree)
+	}
+	if d.MaxHardNWGap < 0 {
+		t.Fatal("negative gap")
+	}
+}
+
+// TestDiagnoseGapBoundedByMassRatio: the proof bounds |f̂−NW| through the
+// unlabeled mass ratio times the response range; verify the qualitative
+// relation |gap| ≤ 2·maxRatio·‖Y‖∞/(1−maxRatio) loosely.
+func TestDiagnoseGapBoundedLoosely(t *testing.T) {
+	rng := randx.New(209)
+	pts := make([]float64, 40)
+	for i := range pts {
+		pts[i] = rng.Float64()
+	}
+	g := fullGraph(t, pts, 0.5)
+	y := make([]float64, 35)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	p, _ := NewProblemLabeledFirst(g, y)
+	d, err := Diagnose(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxUnlabeledMassRatio >= 1 {
+		t.Skip("degenerate instance")
+	}
+	bound := 2 * d.MaxUnlabeledMassRatio / (1 - d.MaxUnlabeledMassRatio)
+	if d.MaxHardNWGap > bound+1e-9 {
+		t.Fatalf("gap %v exceeds loose bound %v", d.MaxHardNWGap, bound)
+	}
+}
+
+func TestDiagnoseIsolatedPropagates(t *testing.T) {
+	p, err := NewProblem(newTwoComponentGraph(t), []int{0}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Diagnose(p); !errors.Is(err, ErrIsolated) {
+		t.Fatalf("want ErrIsolated, got %v", err)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/randx"
+)
+
+// randomProblem builds a random full-Gaussian-graph problem from a seed.
+func randomProblem(seed int64) (*Problem, error) {
+	rng := randx.New(seed)
+	n := 6 + rng.Intn(10)
+	nLab := 2 + rng.Intn(n-4)
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm()}
+	}
+	b, err := graph.NewBuilder(kernel.MustNew(kernel.Gaussian, 0.5+rng.Float64()))
+	if err != nil {
+		return nil, err
+	}
+	g, err := b.Build(x)
+	if err != nil {
+		return nil, err
+	}
+	y := make([]float64, nLab)
+	for i := range y {
+		y[i] = rng.Float64()*2 - 1
+	}
+	return NewProblemLabeledFirst(g, y)
+}
+
+// Property: the hard solution always obeys the maximum principle and
+// interpolates the labels, on arbitrary random instances.
+func TestHardMaximumPrincipleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		p, err := randomProblem(seed)
+		if err != nil {
+			return false
+		}
+		sol, err := SolveHard(p)
+		if err != nil {
+			return false
+		}
+		y := p.Y()
+		ymin, _ := mat.MinVec(y)
+		ymax, _ := mat.MaxVec(y)
+		for _, v := range sol.FUnlabeled {
+			if v < ymin-1e-9 || v > ymax+1e-9 {
+				return false
+			}
+		}
+		for k, l := range p.Labeled() {
+			if sol.F[l] != y[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the soft solution's objective never exceeds the objective of
+// the "truthful" vector that equals Y on labeled nodes and the labeled mean
+// elsewhere — the solver really minimizes Eq. 2.
+func TestSoftObjectiveDominanceProperty(t *testing.T) {
+	f := func(seed int64, lamBits uint8) bool {
+		p, err := randomProblem(seed)
+		if err != nil {
+			return false
+		}
+		lambda := float64(lamBits%50)/10 + 0.01 // 0.01 .. 4.91
+		sol, err := SolveSoft(p, lambda)
+		if err != nil {
+			return false
+		}
+		obj, err := SoftObjective(p, lambda, sol.F)
+		if err != nil {
+			return false
+		}
+		// Competitor: labels on labeled nodes, labeled mean elsewhere.
+		mean := mat.MeanVec(p.Y())
+		comp := mat.Constant(p.Graph().N(), mean)
+		for k, l := range p.Labeled() {
+			comp[l] = p.Y()[k]
+		}
+		compObj, err := SoftObjective(p, lambda, comp)
+		if err != nil {
+			return false
+		}
+		return obj <= compObj+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all responses scales the hard solution identically
+// (linearity), and shifting them shifts it (affine equivariance).
+func TestHardAffineEquivarianceProperty(t *testing.T) {
+	f := func(seed int64, aBits, bBits uint8) bool {
+		p, err := randomProblem(seed)
+		if err != nil {
+			return false
+		}
+		a := float64(aBits)/32 + 0.5 // 0.5 .. 8.5
+		b := float64(bBits)/64 - 2   // -2 .. 2
+		base, err := SolveHard(p)
+		if err != nil {
+			return false
+		}
+		y2 := p.Y()
+		for i := range y2 {
+			y2[i] = a*y2[i] + b
+		}
+		p2, err := NewProblem(p.Graph(), p.Labeled(), y2)
+		if err != nil {
+			return false
+		}
+		scaled, err := SolveHard(p2)
+		if err != nil {
+			return false
+		}
+		for k := range base.FUnlabeled {
+			want := a*base.FUnlabeled[k] + b
+			if math.Abs(scaled.FUnlabeled[k]-want) > 1e-8*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Nadaraya–Watson shares the hard criterion's affine
+// equivariance — the mechanism that transfers NW's consistency to the hard
+// criterion in Theorem II.1.
+func TestNWAffineEquivarianceProperty(t *testing.T) {
+	f := func(seed int64, aBits uint8) bool {
+		p, err := randomProblem(seed)
+		if err != nil {
+			return false
+		}
+		a := float64(aBits)/32 + 0.5
+		nw, err := NadarayaWatson(p)
+		if err != nil {
+			return false
+		}
+		y2 := p.Y()
+		for i := range y2 {
+			y2[i] *= a
+		}
+		p2, err := NewProblem(p.Graph(), p.Labeled(), y2)
+		if err != nil {
+			return false
+		}
+		nw2, err := NadarayaWatson(p2)
+		if err != nil {
+			return false
+		}
+		for k := range nw {
+			if math.Abs(nw2[k]-a*nw[k]) > 1e-9*(1+math.Abs(a*nw[k])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// SolveSoft computes the soft-criterion solution (paper Eq. 3):
+//
+//	f̂ = (V + λL)⁻¹ V Y,
+//
+// where V is the diagonal labeled-indicator matrix and L = D − W the
+// unnormalized Laplacian. At λ = 0 the problem dispatches to SolveHard,
+// implementing Proposition II.1 (the soft solution converges to the hard one
+// as λ → 0).
+//
+// The labeled entries of the returned Solution.F are the fitted values,
+// which the soft criterion shrinks away from Y.
+func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, error) {
+	if lambda < 0 || math.IsNaN(lambda) || math.IsInf(lambda, 0) {
+		return nil, fmt.Errorf("core: lambda=%v: %w", lambda, ErrParam)
+	}
+	if lambda == 0 {
+		return SolveHard(p, opts...)
+	}
+	cfg := newSolveConfig(opts)
+
+	lap, err := p.g.Laplacian(graph.Unnormalized)
+	if err != nil {
+		return nil, fmt.Errorf("core: laplacian: %w", err)
+	}
+	nTotal := p.g.N()
+	// Assemble A = V + λL and rhs = V Y in sparse form.
+	coo := sparse.NewCOO(nTotal, nTotal)
+	for i := 0; i < nTotal; i++ {
+		cols, vals := lap.RowNNZ(i)
+		for k, j := range cols {
+			if err := coo.Add(i, j, lambda*vals[k]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rhs := make([]float64, nTotal)
+	for k, l := range p.labeled {
+		if err := coo.Add(l, l, 1); err != nil {
+			return nil, err
+		}
+		rhs[l] = p.y[k]
+	}
+	a := coo.ToCSR()
+
+	var (
+		f   []float64
+		res sparse.SolveResult
+	)
+	switch cfg.method {
+	case MethodAuto:
+		f, err = mat.SolveSPD(a.ToDense(), rhs)
+	case MethodCholesky:
+		var ch *mat.Cholesky
+		ch, err = mat.NewCholesky(a.ToDense())
+		if err == nil {
+			f, err = ch.Solve(rhs)
+		}
+	case MethodLU:
+		f, err = mat.SolveLU(a.ToDense(), rhs)
+	case MethodCG:
+		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true})
+	case MethodPropagation:
+		return nil, fmt.Errorf("core: propagation applies to the hard criterion only: %w", ErrParam)
+	default:
+		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: soft solve (λ=%v, %v): %w: %v", lambda, cfg.method, ErrSolver, err)
+	}
+
+	fu := make([]float64, p.M())
+	for k, u := range p.unlabeled {
+		fu[k] = f[u]
+	}
+	full := make([]float64, len(f))
+	copy(full, f)
+	return &Solution{
+		F:          full,
+		FUnlabeled: fu,
+		Lambda:     lambda,
+		Method:     cfg.method,
+		Iterations: res.Iterations,
+		Residual:   res.Residual,
+	}, nil
+}
+
+// SoftObjective evaluates the paper's Eq. 2 objective
+// Σ_{labeled}(Y_i−f_i)² + (λ/2) Σ_ij w_ij (f_i−f_j)² at the given full score
+// vector. Used by tests to verify that solver outputs are stationary points.
+func SoftObjective(p *Problem, lambda float64, f []float64) (float64, error) {
+	nTotal := p.g.N()
+	if len(f) != nTotal {
+		return 0, fmt.Errorf("core: objective needs %d scores, got %d: %w", nTotal, len(f), ErrParam)
+	}
+	var loss float64
+	for k, l := range p.labeled {
+		d := p.y[k] - f[l]
+		loss += d * d
+	}
+	lap, err := p.g.Laplacian(graph.Unnormalized)
+	if err != nil {
+		return 0, err
+	}
+	lf, err := lap.MulVec(f)
+	if err != nil {
+		return 0, err
+	}
+	// Σ_ij w_ij (f_i−f_j)² = 2 fᵀLf, so (λ/2)Σ = λ fᵀLf.
+	return loss + lambda*mat.Dot(f, lf), nil
+}
+
+// LambdaInfinity returns the λ→∞ limit of the soft criterion on a connected
+// graph: every score collapses to the labeled mean ȳ_n (Proposition II.2's
+// counterexample). Disconnected graphs return ErrDisconnected because the
+// limit is then the labeled mean within each component.
+func LambdaInfinity(p *Problem) (float64, error) {
+	if !p.g.IsConnected() {
+		return 0, ErrDisconnected
+	}
+	var s float64
+	for _, v := range p.y {
+		s += v
+	}
+	return s / float64(len(p.y)), nil
+}
+
+// LambdaPathPoint is one evaluation on a λ path.
+type LambdaPathPoint struct {
+	Lambda   float64
+	Solution *Solution
+}
+
+// LambdaPath solves the soft criterion for each λ in lambdas (0 allowed; it
+// yields the hard solution) and returns the solutions in order. The graph
+// and its Laplacian are reused across the path.
+func LambdaPath(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPathPoint, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("core: empty lambda path: %w", ErrParam)
+	}
+	out := make([]LambdaPathPoint, 0, len(lambdas))
+	for _, l := range lambdas {
+		sol, err := SolveSoft(p, l, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: lambda path at λ=%v: %w", l, err)
+		}
+		out = append(out, LambdaPathPoint{Lambda: l, Solution: sol})
+	}
+	return out, nil
+}

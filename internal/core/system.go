@@ -1,0 +1,75 @@
+package core
+
+import "repro/internal/sparse"
+
+// PropagationSystem is the hard criterion's fixed-point system in explicit
+// form, for external propagation engines (e.g. the distributed engine in
+// internal/cluster):
+//
+//	f = D⁻¹ (B + W f),   solution of (D − W) f = B,
+//
+// where D are the full degrees of the unlabeled nodes, W the
+// unlabeled–unlabeled similarity block, and B = W21 Y the labeled mass.
+type PropagationSystem struct {
+	// D holds the positive diagonal (full degrees of the unlabeled nodes).
+	D []float64
+	// W is the m×m unlabeled–unlabeled block.
+	W *sparse.CSR
+	// B is the labeled contribution W21·Y.
+	B []float64
+	// Unlabeled maps positions 0..m-1 back to node indices of the problem.
+	Unlabeled []int
+}
+
+// BuildPropagationSystem extracts the system from a problem. It performs
+// the same coverage validation as SolveHard: every unlabeled component must
+// contain a labeled node, and every unlabeled node must have positive
+// degree.
+func BuildPropagationSystem(p *Problem) (*PropagationSystem, error) {
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range sys.d22 {
+		if d == 0 {
+			return nil, ErrIsolated
+		}
+	}
+	return &PropagationSystem{
+		D:         sys.d22,
+		W:         sys.w22,
+		B:         sys.b,
+		Unlabeled: p.Unlabeled(),
+	}, nil
+}
+
+// M returns the number of unknowns.
+func (s *PropagationSystem) M() int { return len(s.B) }
+
+// Residual returns the relative fixed-point residual
+// max_k |f_k − (B + W f)_k / D_k| / (1 + max |f|).
+func (s *PropagationSystem) Residual(f []float64) (float64, error) {
+	wf, err := s.W.MulVec(f)
+	if err != nil {
+		return 0, err
+	}
+	var delta, scale float64
+	for k := range f {
+		next := (s.B[k] + wf[k]) / s.D[k]
+		d := next - f[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > delta {
+			delta = d
+		}
+		a := f[k]
+		if a < 0 {
+			a = -a
+		}
+		if a > scale {
+			scale = a
+		}
+	}
+	return delta / (1 + scale), nil
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// BaselinesConfig drives the extension experiment comparing the paper's
+// criteria against external methods on the synthetic models: hard
+// criterion, hard+CMN, soft criterion, Nadaraya–Watson, label spreading
+// (Zhou et al.), k-NN, and supervised logistic regression.
+type BaselinesConfig struct {
+	// Model selects the synthetic response model.
+	Model synth.Model
+	// N and M are the labeled/unlabeled sizes.
+	N, M int
+	// SoftLambda is the soft-criterion tuning parameter.
+	SoftLambda float64
+	// SpreadAlpha is label spreading's α ∈ (0,1).
+	SpreadAlpha float64
+	// KNN is the neighbour count for the k-NN baseline.
+	KNN int
+	// Reps is the replication count.
+	Reps int
+	// Seed seeds the experiment.
+	Seed int64
+}
+
+// BaselinesDefaultConfig returns a standard configuration.
+func BaselinesDefaultConfig(reps int, seed int64) BaselinesConfig {
+	return BaselinesConfig{
+		Model:       synth.Model1,
+		N:           200,
+		M:           50,
+		SoftLambda:  0.1,
+		SpreadAlpha: 0.9,
+		KNN:         10,
+		Reps:        reps,
+		Seed:        seed,
+	}
+}
+
+// BaselineRow is one method's aggregated RMSE.
+type BaselineRow struct {
+	Method string
+	Mean   float64
+	StdErr float64
+	Reps   int
+}
+
+func (c *BaselinesConfig) validate() error {
+	if c.N < 2 || c.M < 1 {
+		return fmt.Errorf("experiments: baselines n=%d m=%d: %w", c.N, c.M, ErrParam)
+	}
+	if c.SoftLambda < 0 || c.SpreadAlpha <= 0 || c.SpreadAlpha >= 1 {
+		return fmt.Errorf("experiments: baselines λ=%v α=%v: %w", c.SoftLambda, c.SpreadAlpha, ErrParam)
+	}
+	if c.KNN < 1 || c.KNN > c.N {
+		return fmt.Errorf("experiments: baselines knn=%d: %w", c.KNN, ErrParam)
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("experiments: baselines reps=%d: %w", c.Reps, ErrParam)
+	}
+	return nil
+}
+
+// BaselineMethods lists the compared methods in output order.
+var BaselineMethods = []string{
+	"hard (λ=0)",
+	"hard + CMN",
+	"soft",
+	"Nadaraya–Watson",
+	"label spreading",
+	"kNN",
+	"logistic (supervised)",
+}
+
+// RunBaselines executes the comparison and returns one row per method,
+// in BaselineMethods order, measuring RMSE against the true regression
+// function on the unlabeled points.
+func RunBaselines(cfg BaselinesConfig) ([]BaselineRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	accs := make([]stats.Welford, len(BaselineMethods))
+	root := randx.New(cfg.Seed)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		vals, err := baselinesReplicate(root.Split(), cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baselines rep %d: %w", rep, err)
+		}
+		for i, v := range vals {
+			accs[i].Add(v)
+		}
+	}
+	rows := make([]BaselineRow, len(BaselineMethods))
+	for i, name := range BaselineMethods {
+		rows[i] = BaselineRow{
+			Method: name,
+			Mean:   accs[i].Mean(),
+			StdErr: accs[i].StdErr(),
+			Reps:   accs[i].N(),
+		}
+	}
+	return rows, nil
+}
+
+func baselinesReplicate(rng *randx.RNG, cfg BaselinesConfig) ([]float64, error) {
+	ds, err := synth.Generate(rng, cfg.Model, cfg.N, cfg.M)
+	if err != nil {
+		return nil, err
+	}
+	h, err := kernel.PaperBandwidth(cfg.N, synth.Dim)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(kernel.Gaussian, h)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := graph.NewBuilder(k)
+	if err != nil {
+		return nil, err
+	}
+	g, err := builder.Build(ds.X)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblemLabeledFirst(g, ds.YLabeled())
+	if err != nil {
+		return nil, err
+	}
+	truth := ds.QUnlabeled()
+	labeled := p.Labeled()
+	y := ds.YLabeled()
+
+	out := make([]float64, len(BaselineMethods))
+	record := func(slot int, scores []float64) error {
+		r, err := stats.RMSE(scores, truth)
+		if err != nil {
+			return err
+		}
+		out[slot] = r
+		return nil
+	}
+
+	hard, err := core.SolveHard(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := record(0, hard.FUnlabeled); err != nil {
+		return nil, err
+	}
+
+	cmn, err := core.ClassMassNormalize(hard.FUnlabeled, p.LabeledPrior())
+	if err != nil {
+		return nil, err
+	}
+	if err := record(1, cmn); err != nil {
+		return nil, err
+	}
+
+	soft, err := core.SolveSoft(p, cfg.SoftLambda)
+	if err != nil {
+		return nil, err
+	}
+	if err := record(2, soft.FUnlabeled); err != nil {
+		return nil, err
+	}
+
+	nw, err := core.NadarayaWatson(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := record(3, nw); err != nil {
+		return nil, err
+	}
+
+	spread, _, err := baselines.LabelSpread(g, labeled, y, cfg.SpreadAlpha)
+	if err != nil {
+		return nil, err
+	}
+	if err := record(4, spread); err != nil {
+		return nil, err
+	}
+
+	knn, _, err := baselines.KNNPredict(ds.X, labeled, y, cfg.KNN)
+	if err != nil {
+		return nil, err
+	}
+	if err := record(5, knn); err != nil {
+		return nil, err
+	}
+
+	xLab := make([][]float64, cfg.N)
+	copy(xLab, ds.X[:cfg.N])
+	logit, err := baselines.FitLogistic(xLab, y, baselines.LogisticOptions{})
+	if err != nil {
+		return nil, err
+	}
+	pred, err := logit.Predict(ds.X[cfg.N:])
+	if err != nil {
+		return nil, err
+	}
+	if err := record(6, pred); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

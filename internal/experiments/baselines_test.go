@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestBaselinesValidation(t *testing.T) {
+	good := BaselinesDefaultConfig(1, 1)
+	tests := []struct {
+		name string
+		mut  func(*BaselinesConfig)
+	}{
+		{"n too small", func(c *BaselinesConfig) { c.N = 1 }},
+		{"m zero", func(c *BaselinesConfig) { c.M = 0 }},
+		{"negative lambda", func(c *BaselinesConfig) { c.SoftLambda = -1 }},
+		{"alpha one", func(c *BaselinesConfig) { c.SpreadAlpha = 1 }},
+		{"alpha zero", func(c *BaselinesConfig) { c.SpreadAlpha = 0 }},
+		{"knn zero", func(c *BaselinesConfig) { c.KNN = 0 }},
+		{"knn beyond n", func(c *BaselinesConfig) { c.KNN = c.N + 1 }},
+		{"reps zero", func(c *BaselinesConfig) { c.Reps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mut(&cfg)
+			if _, err := RunBaselines(cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestRunBaselinesRowsAndOrdering(t *testing.T) {
+	cfg := BaselinesConfig{
+		Model:       synth.Model1,
+		N:           120,
+		M:           30,
+		SoftLambda:  5, // strongly regularized, per Prop II.2 clearly worse
+		SpreadAlpha: 0.9,
+		KNN:         10,
+		Reps:        8,
+		Seed:        11,
+	}
+	rows, err := RunBaselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(BaselineMethods) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]BaselineRow, len(rows))
+	for i, r := range rows {
+		if r.Method != BaselineMethods[i] {
+			t.Fatalf("row %d method %q, want %q", i, r.Method, BaselineMethods[i])
+		}
+		if r.Reps != cfg.Reps {
+			t.Fatalf("row %q reps = %d", r.Method, r.Reps)
+		}
+		if r.Mean <= 0 || r.Mean > 1 {
+			t.Fatalf("row %q RMSE %v implausible", r.Method, r.Mean)
+		}
+		byName[r.Method] = r
+	}
+	// Paper's claim: hard beats the strongly regularized soft criterion.
+	if byName["hard (λ=0)"].Mean >= byName["soft"].Mean {
+		t.Fatalf("hard %v not better than soft(λ=5) %v",
+			byName["hard (λ=0)"].Mean, byName["soft"].Mean)
+	}
+	// Theory link: hard tracks NW closely.
+	gap := byName["hard (λ=0)"].Mean - byName["Nadaraya–Watson"].Mean
+	if gap < -0.05 || gap > 0.05 {
+		t.Fatalf("hard %v and NW %v should be close",
+			byName["hard (λ=0)"].Mean, byName["Nadaraya–Watson"].Mean)
+	}
+	// The supervised logistic model is well-specified for Model 1, so it
+	// should be competitive (not wildly worse than hard).
+	if byName["logistic (supervised)"].Mean > 2*byName["hard (λ=0)"].Mean {
+		t.Fatalf("logistic %v implausibly bad", byName["logistic (supervised)"].Mean)
+	}
+}
+
+func TestRunBaselinesDeterministic(t *testing.T) {
+	cfg := BaselinesDefaultConfig(2, 5)
+	cfg.N, cfg.M = 60, 15
+	r1, err := RunBaselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunBaselines(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Mean != r2[i].Mean {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}

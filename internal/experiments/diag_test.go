@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDiagValidation(t *testing.T) {
+	good := DiagDefaultConfig(1, 1)
+	tests := []struct {
+		name string
+		mut  func(*DiagConfig)
+	}{
+		{"empty grid", func(c *DiagConfig) { c.SweepN = nil }},
+		{"n too small", func(c *DiagConfig) { c.SweepN = []int{1} }},
+		{"m zero", func(c *DiagConfig) { c.M = 0 }},
+		{"reps zero", func(c *DiagConfig) { c.Reps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mut(&cfg)
+			if _, err := RunDiag(cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+// TestRunDiagProofQuantitiesShrink is the computational heart of the
+// reproduction of Theorem II.1: all three proof quantities must decrease
+// as n grows with m fixed.
+func TestRunDiagProofQuantitiesShrink(t *testing.T) {
+	cfg := DiagConfig{
+		SweepN: []int{30, 120, 480},
+		M:      20,
+		Reps:   6,
+		Seed:   51,
+	}
+	rows, err := RunDiag(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.MassRatio >= first.MassRatio {
+		t.Fatalf("mass ratio must shrink: %v → %v", first.MassRatio, last.MassRatio)
+	}
+	if last.HardNWGap >= first.HardNWGap {
+		t.Fatalf("hard–NW gap must shrink: %v → %v", first.HardNWGap, last.HardNWGap)
+	}
+	if last.ContractionRate >= first.ContractionRate {
+		t.Fatalf("contraction rate must shrink: %v → %v", first.ContractionRate, last.ContractionRate)
+	}
+	for _, r := range rows {
+		if r.MassRatio <= 0 || r.MassRatio >= 1 {
+			t.Fatalf("mass ratio %v outside (0,1)", r.MassRatio)
+		}
+		if r.ContractionRate <= 0 || r.ContractionRate >= 1 {
+			t.Fatalf("contraction rate %v outside (0,1)", r.ContractionRate)
+		}
+		if r.Reps != cfg.Reps {
+			t.Fatalf("reps = %d", r.Reps)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/coil"
+	"repro/internal/synth"
+)
+
+func smallSynthetic() SyntheticConfig {
+	return SyntheticConfig{
+		Model:   synth.Model1,
+		SweepN:  []int{20, 60, 180},
+		M:       15,
+		Lambdas: []float64{0, 0.1, 5},
+		Reps:    12,
+		Seed:    42,
+	}
+}
+
+func TestSyntheticConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*SyntheticConfig)
+	}{
+		{"both sweeps", func(c *SyntheticConfig) { c.SweepM = []int{10} }},
+		{"no sweep", func(c *SyntheticConfig) { c.SweepN = nil }},
+		{"bad fixed m", func(c *SyntheticConfig) { c.M = 0 }},
+		{"swept n too small", func(c *SyntheticConfig) { c.SweepN = []int{1} }},
+		{"no lambdas", func(c *SyntheticConfig) { c.Lambdas = nil }},
+		{"negative lambda", func(c *SyntheticConfig) { c.Lambdas = []float64{-1} }},
+		{"zero reps", func(c *SyntheticConfig) { c.Reps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := smallSynthetic()
+			tt.mut(&cfg)
+			if _, err := RunSynthetic("x", cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+	// SweepM-specific validation.
+	cfg := SyntheticConfig{Model: synth.Model1, SweepM: []int{10}, N: 1, Lambdas: []float64{0}, Reps: 1}
+	if _, err := RunSynthetic("x", cfg); !errors.Is(err, ErrParam) {
+		t.Fatalf("SweepM with N<2: want ErrParam, got %v", err)
+	}
+	cfg = SyntheticConfig{Model: synth.Model1, SweepM: []int{0}, N: 10, Lambdas: []float64{0}, Reps: 1}
+	if _, err := RunSynthetic("x", cfg); !errors.Is(err, ErrParam) {
+		t.Fatalf("swept m=0: want ErrParam, got %v", err)
+	}
+}
+
+func TestRunSyntheticShapes(t *testing.T) {
+	cfg := smallSynthetic()
+	cfg.IncludeNW = true
+	res, err := RunSynthetic("probe", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "probe" || res.XLabel != "n" || res.Metric != "RMSE" {
+		t.Fatalf("metadata wrong: %+v", res)
+	}
+	if len(res.Series) != 4 { // 3 λ + NW
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if res.Series[3].Label != "NW" || !math.IsNaN(res.Series[3].Lambda) {
+		t.Fatal("NW series metadata wrong")
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("points = %d", len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Reps != cfg.Reps {
+				t.Fatalf("reps = %d", p.Reps)
+			}
+			if p.Mean <= 0 || p.Mean > 1 {
+				t.Fatalf("RMSE %v implausible", p.Mean)
+			}
+			if p.StdErr < 0 {
+				t.Fatal("negative stderr")
+			}
+		}
+	}
+}
+
+// TestFig1ShapeHolds checks the paper's two Figure-1 claims at reduced
+// scale: RMSE decreases with n, and the hard criterion (λ=0) beats every
+// soft curve at every grid point.
+func TestFig1ShapeHolds(t *testing.T) {
+	res, err := RunSynthetic("fig1", smallSynthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := res.Series[0]
+	if hard.Lambda != 0 {
+		t.Fatal("first series must be λ=0")
+	}
+	// RMSE decreasing in n for the hard criterion (allow tiny noise).
+	last := hard.Points[len(hard.Points)-1].Mean
+	first := hard.Points[0].Mean
+	if last >= first {
+		t.Fatalf("hard RMSE must fall with n: %v → %v", first, last)
+	}
+	// Hard beats soft λ=5 everywhere and λ=0.1 on the larger grid points.
+	soft5 := res.Series[2]
+	for i := range hard.Points {
+		if hard.Points[i].Mean >= soft5.Points[i].Mean {
+			t.Fatalf("hard not better than λ=5 at n=%v: %v vs %v",
+				hard.Points[i].X, hard.Points[i].Mean, soft5.Points[i].Mean)
+		}
+	}
+}
+
+// TestFig2ShapeHolds checks the Figure-2 claim: with n fixed, RMSE grows as
+// m grows, and hard still beats soft.
+func TestFig2ShapeHolds(t *testing.T) {
+	cfg := SyntheticConfig{
+		Model:   synth.Model1,
+		SweepM:  []int{15, 60, 240},
+		N:       60,
+		Lambdas: []float64{0, 5},
+		Reps:    12,
+		Seed:    43,
+	}
+	res, err := RunSynthetic("fig2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := res.Series[0]
+	if hard.Points[len(hard.Points)-1].Mean <= hard.Points[0].Mean {
+		t.Fatalf("hard RMSE must rise with m: %v", hard.Points)
+	}
+	soft := res.Series[1]
+	for i := range hard.Points {
+		if hard.Points[i].Mean >= soft.Points[i].Mean {
+			t.Fatalf("hard not better at m=%v", hard.Points[i].X)
+		}
+	}
+}
+
+func TestFigConfigsMatchPaperGrids(t *testing.T) {
+	f1 := Fig1Config(1000, 1)
+	if f1.Model != synth.Model1 || f1.M != 30 {
+		t.Fatalf("fig1 config wrong: %+v", f1)
+	}
+	wantN := []int{10, 30, 50, 100, 200, 300, 500, 800, 1000, 1500}
+	if len(f1.SweepN) != len(wantN) {
+		t.Fatal("fig1 n grid wrong")
+	}
+	for i, n := range wantN {
+		if f1.SweepN[i] != n {
+			t.Fatalf("fig1 grid[%d] = %d, want %d", i, f1.SweepN[i], n)
+		}
+	}
+	wantL := []float64{0, 0.01, 0.1, 5}
+	for i, l := range wantL {
+		if f1.Lambdas[i] != l {
+			t.Fatal("fig1 lambdas wrong")
+		}
+	}
+	f2 := Fig2Config(1000, 1)
+	if f2.N != 100 || len(f2.SweepM) != 6 || f2.SweepM[5] != 1000 {
+		t.Fatalf("fig2 config wrong: %+v", f2)
+	}
+	if Fig3Config(1, 1).Model != synth.Model2 || Fig4Config(1, 1).Model != synth.Model2 {
+		t.Fatal("fig3/4 must use Model2")
+	}
+}
+
+func TestRunSyntheticDeterministic(t *testing.T) {
+	cfg := smallSynthetic()
+	cfg.SweepN = []int{20, 40}
+	cfg.Reps = 5
+	r1, err := RunSynthetic("a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSynthetic("a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range r1.Series {
+		for pi := range r1.Series[si].Points {
+			if r1.Series[si].Points[pi].Mean != r2.Series[si].Points[pi].Mean {
+				t.Fatal("same seed must reproduce the sweep")
+			}
+		}
+	}
+}
+
+func TestFig5Validation(t *testing.T) {
+	bad := []Fig5Cfg{
+		{PerClass: 1, Lambdas: []float64{0}, Settings: []coil.Setting{coil.Setting80}, Reps: 1},
+		{PerClass: 5, Lambdas: nil, Settings: []coil.Setting{coil.Setting80}, Reps: 1},
+		{PerClass: 5, Lambdas: []float64{0}, Settings: nil, Reps: 1},
+		{PerClass: 5, Lambdas: []float64{-1}, Settings: []coil.Setting{coil.Setting80}, Reps: 1},
+		{PerClass: 5, Lambdas: []float64{0}, Settings: []coil.Setting{coil.Setting80}, Reps: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := RunFig5(cfg); !errors.Is(err, ErrParam) {
+			t.Fatalf("case %d: want ErrParam, got %v", i, err)
+		}
+	}
+}
+
+// TestFig5ShapeHolds checks the paper's Figure-5 claims at reduced scale:
+// the hard criterion gives the best AUC in each setting, and AUC improves
+// with the labeled share (80/20 above 10/90).
+func TestFig5ShapeHolds(t *testing.T) {
+	cfg := Fig5Cfg{
+		PerClass: 50, // 300 images
+		Lambdas:  []float64{0, 0.1, 5},
+		Settings: []coil.Setting{coil.Setting80, coil.Setting10},
+		Reps:     2,
+		Seed:     7,
+		MCC:      true,
+	}
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, setting := range res.Settings {
+		if res.AUC[s][0].Mean <= res.AUC[s][len(cfg.Lambdas)-1].Mean {
+			t.Fatalf("%v: hard AUC %v not above λ=5 AUC %v",
+				setting, res.AUC[s][0].Mean, res.AUC[s][2].Mean)
+		}
+		for li := range cfg.Lambdas {
+			if res.AUC[s][li].Mean < 0.4 || res.AUC[s][li].Mean > 1 {
+				t.Fatalf("AUC %v implausible", res.AUC[s][li].Mean)
+			}
+		}
+	}
+	// More labels help at λ=0.
+	if res.AUC[0][0].Mean <= res.AUC[1][0].Mean {
+		t.Fatalf("80/20 AUC %v not above 10/90 AUC %v", res.AUC[0][0].Mean, res.AUC[1][0].Mean)
+	}
+	if res.MCC == nil {
+		t.Fatal("MCC requested but missing")
+	}
+	// Hard-criterion MCC should also top the λ path in the data-rich setting.
+	if res.MCC[0][0].Mean <= res.MCC[0][2].Mean {
+		t.Fatalf("80/20 MCC ordering violated: %v vs %v", res.MCC[0][0].Mean, res.MCC[0][2].Mean)
+	}
+}
+
+func TestSweepWriteMarkdownAndCSV(t *testing.T) {
+	cfg := smallSynthetic()
+	cfg.SweepN = []int{20, 40}
+	cfg.Reps = 3
+	res, err := RunSynthetic("fig1", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md strings.Builder
+	if err := res.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| n |") || !strings.Contains(md.String(), "λ=0") {
+		t.Fatalf("markdown missing pieces:\n%s", md.String())
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 { // header + 2 grid points
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "n,") {
+		t.Fatalf("csv header: %s", lines[0])
+	}
+	empty := &SweepResult{Name: "e"}
+	if err := empty.WriteMarkdown(&md); !errors.Is(err, ErrParam) {
+		t.Fatal("empty markdown must error")
+	}
+	if err := empty.WriteCSV(&csv); !errors.Is(err, ErrParam) {
+		t.Fatal("empty csv must error")
+	}
+}
+
+func TestFig5WriteMarkdownAndCSV(t *testing.T) {
+	cfg := Fig5Cfg{
+		PerClass: 10,
+		Lambdas:  []float64{0, 1},
+		Settings: []coil.Setting{coil.Setting80},
+		Reps:     1,
+		Seed:     3,
+		MCC:      true,
+	}
+	res, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md strings.Builder
+	if err := res.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "80/20") || !strings.Contains(md.String(), "MCC") {
+		t.Fatalf("fig5 markdown missing pieces:\n%s", md.String())
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "lambda,auc_80_20_mean") {
+		t.Fatalf("fig5 csv header: %s", csv.String())
+	}
+	empty := &Fig5Result{}
+	if err := empty.WriteMarkdown(&md); !errors.Is(err, ErrParam) {
+		t.Fatal("empty fig5 markdown must error")
+	}
+	if err := empty.WriteCSV(&csv); !errors.Is(err, ErrParam) {
+		t.Fatal("empty fig5 csv must error")
+	}
+}
+
+func TestFig5DefaultCfgMatchesPaper(t *testing.T) {
+	cfg := Fig5DefaultCfg(250, 100, 1)
+	wantL := []float64{0, 0.01, 0.05, 0.1, 0.5, 1, 5}
+	if len(cfg.Lambdas) != len(wantL) {
+		t.Fatal("λ grid size wrong")
+	}
+	for i, l := range wantL {
+		if cfg.Lambdas[i] != l {
+			t.Fatalf("λ[%d] = %v, want %v", i, cfg.Lambdas[i], l)
+		}
+	}
+	if len(cfg.Settings) != 3 {
+		t.Fatal("settings wrong")
+	}
+	if cfg.PerClass != 250 || cfg.Reps != 100 {
+		t.Fatal("scale wrong")
+	}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coil"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/stats"
+)
+
+// Fig5Cfg drives the COIL-style AUC study of the paper's Figure 5.
+type Fig5Cfg struct {
+	// PerClass is the number of images kept per class (paper: 250 ⇒ 1500
+	// total). Smaller values run the identical pipeline at lower cost.
+	PerClass int
+	// Lambdas are the criterion curves (paper: 0, .01, .05, .1, .5, 1, 5).
+	Lambdas []float64
+	// Settings are the labeled/unlabeled ratios (paper: all three).
+	Settings []coil.Setting
+	// Reps is the number of split repetitions (paper: 100).
+	Reps int
+	// Seed makes the experiment reproducible.
+	Seed int64
+	// MCC additionally records the Matthews correlation coefficient at the
+	// 0.5 threshold (the paper's future-work metric).
+	MCC bool
+}
+
+// Fig5DefaultCfg returns the paper's Figure 5 configuration at the given
+// scale (perClass images per class) and repetition count.
+func Fig5DefaultCfg(perClass, reps int, seed int64) Fig5Cfg {
+	return Fig5Cfg{
+		PerClass: perClass,
+		Lambdas:  []float64{0, 0.01, 0.05, 0.1, 0.5, 1, 5},
+		Settings: []coil.Setting{coil.Setting80, coil.Setting20, coil.Setting10},
+		Reps:     reps,
+		Seed:     seed,
+	}
+}
+
+// Fig5Result holds one curve per setting: mean AUC (and optionally MCC)
+// across splits and repetitions, per λ.
+type Fig5Result struct {
+	// Lambdas is the common λ axis.
+	Lambdas []float64
+	// Settings are the evaluated ratios, in configuration order.
+	Settings []coil.Setting
+	// AUC[s][l] aggregates setting s at λ index l.
+	AUC [][]Point
+	// MCC mirrors AUC when requested, else nil.
+	MCC [][]Point
+}
+
+func (c *Fig5Cfg) validate() error {
+	if c.PerClass < 2 {
+		return fmt.Errorf("experiments: fig5 perClass=%d: %w", c.PerClass, ErrParam)
+	}
+	if len(c.Lambdas) == 0 || len(c.Settings) == 0 {
+		return fmt.Errorf("experiments: fig5 empty lambdas or settings: %w", ErrParam)
+	}
+	for _, l := range c.Lambdas {
+		if l < 0 {
+			return fmt.Errorf("experiments: fig5 λ=%v: %w", l, ErrParam)
+		}
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("experiments: fig5 reps=%d: %w", c.Reps, ErrParam)
+	}
+	return nil
+}
+
+// RunFig5 executes the study: render the dataset, build the RBF graph with
+// the median-heuristic σ (σ² = median squared pairwise distance, as in the
+// paper), then for every repetition, setting, and split solve each λ and
+// accumulate AUC on the unlabeled data.
+func RunFig5(cfg Fig5Cfg) (*Fig5Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ds, err := coil.GenerateSized(cfg.Seed, cfg.PerClass)
+	if err != nil {
+		return nil, err
+	}
+	x := ds.X()
+	y := ds.YBinary()
+	nTotal := len(x)
+
+	sigma, err := kernel.MedianHeuristic(x, 200000)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(kernel.Gaussian, sigma)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := graph.NewBuilder(k)
+	if err != nil {
+		return nil, err
+	}
+	d2, err := kernel.PairwiseDist2(x)
+	if err != nil {
+		return nil, err
+	}
+	g, err := builder.BuildFromDist2(nTotal, d2)
+	if err != nil {
+		return nil, err
+	}
+
+	aucAcc := make([][]stats.Welford, len(cfg.Settings))
+	mccAcc := make([][]stats.Welford, len(cfg.Settings))
+	for s := range cfg.Settings {
+		aucAcc[s] = make([]stats.Welford, len(cfg.Lambdas))
+		mccAcc[s] = make([]stats.Welford, len(cfg.Lambdas))
+	}
+
+	root := randx.New(cfg.Seed + 1)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		for s, setting := range cfg.Settings {
+			splits, err := coil.Splits(root.Split(), nTotal, setting)
+			if err != nil {
+				return nil, err
+			}
+			for _, sp := range splits {
+				yl := make([]float64, len(sp.Labeled))
+				for i, idx := range sp.Labeled {
+					yl[i] = y[idx]
+				}
+				p, err := core.NewProblem(g, sp.Labeled, yl)
+				if err != nil {
+					return nil, err
+				}
+				truth := make([]float64, len(sp.Unlabeled))
+				unl := p.Unlabeled() // ascending order used by FUnlabeled
+				for i, idx := range unl {
+					truth[i] = y[idx]
+				}
+				for li, l := range cfg.Lambdas {
+					sol, err := core.SolveSoft(p, l)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: fig5 %v λ=%v: %w", setting, l, err)
+					}
+					auc, err := stats.AUC(sol.FUnlabeled, truth)
+					if err != nil {
+						return nil, err
+					}
+					aucAcc[s][li].Add(auc)
+					if cfg.MCC {
+						conf, err := stats.NewConfusion(sol.FUnlabeled, truth, 0.5)
+						if err != nil {
+							return nil, err
+						}
+						mccAcc[s][li].Add(conf.MCC())
+					}
+				}
+			}
+		}
+	}
+
+	res := &Fig5Result{
+		Lambdas:  append([]float64(nil), cfg.Lambdas...),
+		Settings: append([]coil.Setting(nil), cfg.Settings...),
+		AUC:      make([][]Point, len(cfg.Settings)),
+	}
+	if cfg.MCC {
+		res.MCC = make([][]Point, len(cfg.Settings))
+	}
+	for s := range cfg.Settings {
+		res.AUC[s] = make([]Point, len(cfg.Lambdas))
+		for li, l := range cfg.Lambdas {
+			res.AUC[s][li] = Point{
+				X:      l,
+				Mean:   aucAcc[s][li].Mean(),
+				StdErr: aucAcc[s][li].StdErr(),
+				Reps:   aucAcc[s][li].N(),
+			}
+		}
+		if cfg.MCC {
+			res.MCC[s] = make([]Point, len(cfg.Lambdas))
+			for li, l := range cfg.Lambdas {
+				res.MCC[s][li] = Point{
+					X:      l,
+					Mean:   mccAcc[s][li].Mean(),
+					StdErr: mccAcc[s][li].StdErr(),
+					Reps:   mccAcc[s][li].N(),
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func TestKernelsValidation(t *testing.T) {
+	good := KernelsDefaultConfig(1, 1)
+	tests := []struct {
+		name string
+		mut  func(*KernelsConfig)
+	}{
+		{"no kernels", func(c *KernelsConfig) { c.Kernels = nil }},
+		{"bad scale", func(c *KernelsConfig) { c.BandwidthScale = 0 }},
+		{"empty grid", func(c *KernelsConfig) { c.SweepN = nil }},
+		{"n too small", func(c *KernelsConfig) { c.SweepN = []int{1} }},
+		{"m zero", func(c *KernelsConfig) { c.M = 0 }},
+		{"reps zero", func(c *KernelsConfig) { c.Reps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mut(&cfg)
+			if _, err := RunKernels(cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestRunKernelsShape(t *testing.T) {
+	cfg := KernelsConfig{
+		Kernels:        []kernel.Kind{kernel.Gaussian, kernel.Epanechnikov},
+		BandwidthScale: 3,
+		SweepN:         []int{40, 160},
+		M:              15,
+		Reps:           6,
+		Seed:           41,
+	}
+	res, err := RunKernels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s points = %d", s.Label, len(s.Points))
+		}
+		// Consistency under every kernel: RMSE falls with n.
+		if s.Points[1].Mean >= s.Points[0].Mean {
+			t.Fatalf("%s RMSE must fall with n: %v", s.Label, s.Points)
+		}
+		for _, p := range s.Points {
+			if p.Mean <= 0 || p.Mean > 0.8 {
+				t.Fatalf("%s RMSE %v implausible", s.Label, p.Mean)
+			}
+		}
+	}
+}
+
+func TestWorstCaseRMSE(t *testing.T) {
+	if got := worstCaseRMSE([]float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("all-0.5 truth worst case = %v", got)
+	}
+	if got := worstCaseRMSE([]float64{1}); got != 0.5 {
+		t.Fatalf("single-1 truth worst case = %v", got)
+	}
+}
+
+func TestRunCOIL6(t *testing.T) {
+	cfg := COIL6DefaultConfig(20, 1, 9)
+	cfg.Lambdas = []float64{0, 1}
+	pts, err := RunCOIL6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		// Six balanced classes: chance accuracy is 1/6 ≈ 0.167.
+		if p.Mean < 0.17 || p.Mean > 1 {
+			t.Fatalf("accuracy %v implausible", p.Mean)
+		}
+		if p.Reps != 5 { // one rep × five Setting20 splits
+			t.Fatalf("reps = %d", p.Reps)
+		}
+	}
+	// Hard criterion at least matches strong regularization.
+	if pts[0].Mean < pts[1].Mean-0.02 {
+		t.Fatalf("hard accuracy %v clearly below λ=1 accuracy %v", pts[0].Mean, pts[1].Mean)
+	}
+}
+
+func TestRunCOIL6Validation(t *testing.T) {
+	if _, err := RunCOIL6(COIL6Config{PerClass: 1, Lambdas: []float64{0}, Reps: 1}); !errors.Is(err, ErrParam) {
+		t.Fatal("perClass too small must error")
+	}
+	if _, err := RunCOIL6(COIL6Config{PerClass: 5, Lambdas: nil, Reps: 1}); !errors.Is(err, ErrParam) {
+		t.Fatal("no lambdas must error")
+	}
+	if _, err := RunCOIL6(COIL6Config{PerClass: 5, Lambdas: []float64{-1}, Reps: 1}); !errors.Is(err, ErrParam) {
+		t.Fatal("negative lambda must error")
+	}
+	if _, err := RunCOIL6(COIL6Config{PerClass: 5, Lambdas: []float64{0}, Reps: 0}); !errors.Is(err, ErrParam) {
+		t.Fatal("reps zero must error")
+	}
+}

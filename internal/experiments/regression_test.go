@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestRegressionValidation(t *testing.T) {
+	good := RegressionDefaultConfig(1, 1)
+	tests := []struct {
+		name string
+		mut  func(*RegressionConfig)
+	}{
+		{"negative noise", func(c *RegressionConfig) { c.Noise = -1 }},
+		{"empty grid", func(c *RegressionConfig) { c.SweepN = nil }},
+		{"n too small", func(c *RegressionConfig) { c.SweepN = []int{1} }},
+		{"m zero", func(c *RegressionConfig) { c.M = 0 }},
+		{"no lambdas", func(c *RegressionConfig) { c.Lambdas = nil }},
+		{"negative lambda", func(c *RegressionConfig) { c.Lambdas = []float64{-0.1} }},
+		{"reps zero", func(c *RegressionConfig) { c.Reps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mut(&cfg)
+			if _, err := RunRegression(cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+func TestRunRegressionShape(t *testing.T) {
+	cfg := RegressionConfig{
+		Noise:   0.2,
+		SweepN:  []int{40, 160, 640},
+		M:       20,
+		Lambdas: []float64{0, 5},
+		Reps:    8,
+		Seed:    21,
+	}
+	res, err := RunRegression(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 { // 2 λ + NW
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	hard := res.Series[0]
+	// Consistency in the regression case too: hard RMSE falls with n.
+	if hard.Points[2].Mean >= hard.Points[0].Mean {
+		t.Fatalf("hard regression RMSE must fall with n: %v", hard.Points)
+	}
+	// Hard beats the strongly regularized soft criterion.
+	soft := res.Series[1]
+	for i := range hard.Points {
+		if hard.Points[i].Mean >= soft.Points[i].Mean {
+			t.Fatalf("hard not better than soft at n=%v", hard.Points[i].X)
+		}
+	}
+	// NW and hard stay close (the Theorem II.1 mechanism).
+	nw := res.Series[2]
+	if !math.IsNaN(nw.Lambda) {
+		t.Fatal("NW series must carry NaN lambda")
+	}
+	for i := range hard.Points {
+		if math.Abs(hard.Points[i].Mean-nw.Points[i].Mean) > 0.1 {
+			t.Fatalf("hard %v and NW %v diverged at n=%v",
+				hard.Points[i].Mean, nw.Points[i].Mean, hard.Points[i].X)
+		}
+	}
+}
+
+func TestRunRegressionNoiseless(t *testing.T) {
+	cfg := RegressionConfig{
+		Noise:   0,
+		SweepN:  []int{60},
+		M:       15,
+		Lambdas: []float64{0},
+		Reps:    4,
+		Seed:    23,
+	}
+	res, err := RunRegression(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Series[0].Points[0].Mean <= 0 {
+		t.Fatal("noiseless RMSE should still be positive (smoothing bias)")
+	}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteBaselineCSV renders the baselines comparison as CSV.
+func WriteBaselineCSV(rows []BaselineRow, w io.Writer) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: empty baseline rows: %w", ErrParam)
+	}
+	var sb strings.Builder
+	sb.WriteString("method,rmse_mean,rmse_stderr,reps\n")
+	for _, r := range rows {
+		method := strings.ReplaceAll(r.Method, ",", ";")
+		fmt.Fprintf(&sb, "%s,%.6f,%.6f,%d\n", method, r.Mean, r.StdErr, r.Reps)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteDiagCSV renders the Theorem II.1 diagnostics as CSV.
+func WriteDiagCSV(rows []DiagRow, w io.Writer) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: empty diag rows: %w", ErrParam)
+	}
+	var sb strings.Builder
+	sb.WriteString("n,mass_ratio,hard_nw_gap,contraction_rate,reps\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%d,%.6f,%.6f,%.6f,%d\n", r.N, r.MassRatio, r.HardNWGap, r.ContractionRate, r.Reps)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteSignificanceCSV renders the paired-significance rows as CSV.
+func WriteSignificanceCSV(rows []SignificanceRow, w io.Writer) error {
+	if len(rows) == 0 {
+		return fmt.Errorf("experiments: empty significance rows: %w", ErrParam)
+	}
+	var sb strings.Builder
+	sb.WriteString("lambda,rmse_hard,rmse_soft,t,df,p,mean_diff\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%g,%.6f,%.6f,%.4f,%d,%.6g,%.6g\n",
+			r.Lambda, r.HardMean, r.SoftMean, r.Test.T, r.Test.DF, r.Test.P, r.Test.MeanDiff)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestWriteBaselineCSV(t *testing.T) {
+	rows := []BaselineRow{
+		{Method: "hard (λ=0)", Mean: 0.12, StdErr: 0.01, Reps: 5},
+		{Method: "a,b", Mean: 0.2, StdErr: 0.02, Reps: 5},
+	}
+	var sb strings.Builder
+	if err := WriteBaselineCSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "method,") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if strings.Contains(lines[2], "a,b") {
+		t.Fatal("comma in method name must be escaped")
+	}
+	if err := WriteBaselineCSV(nil, &sb); !errors.Is(err, ErrParam) {
+		t.Fatal("empty must error")
+	}
+}
+
+func TestWriteDiagCSV(t *testing.T) {
+	rows := []DiagRow{{N: 30, MassRatio: 0.5, HardNWGap: 0.08, ContractionRate: 0.4, Reps: 10}}
+	var sb strings.Builder
+	if err := WriteDiagCSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "30,0.500000,0.080000,0.400000,10") {
+		t.Fatalf("csv: %s", sb.String())
+	}
+	if err := WriteDiagCSV(nil, &sb); !errors.Is(err, ErrParam) {
+		t.Fatal("empty must error")
+	}
+}
+
+func TestWriteSignificanceCSV(t *testing.T) {
+	rows := []SignificanceRow{{
+		Lambda:   0.1,
+		HardMean: 0.12,
+		SoftMean: 0.16,
+		Test:     &stats.TTestResult{T: -5.5, DF: 9, P: 0.0004, MeanDiff: -0.04},
+	}}
+	var sb strings.Builder
+	if err := WriteSignificanceCSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "0.1,0.120000,0.160000,-5.5000,9,") {
+		t.Fatalf("csv: %s", sb.String())
+	}
+	if err := WriteSignificanceCSV(nil, &sb); !errors.Is(err, ErrParam) {
+		t.Fatal("empty must error")
+	}
+}

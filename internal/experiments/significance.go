@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// SignificanceConfig drives the paired-significance test of the paper's
+// headline claim: the hard criterion's RMSE is lower than the soft
+// criterion's at every tested λ. Each replication evaluates both criteria
+// on the same dataset, so a paired t-test applies.
+type SignificanceConfig struct {
+	// Model selects the synthetic response model.
+	Model synth.Model
+	// N, M are the labeled/unlabeled sizes.
+	N, M int
+	// Lambdas are the soft-criterion values tested against λ=0.
+	Lambdas []float64
+	// Reps is the number of paired replications.
+	Reps int
+	// Seed seeds the experiment.
+	Seed int64
+}
+
+// SignificanceDefaultConfig returns the standard setup.
+func SignificanceDefaultConfig(reps int, seed int64) SignificanceConfig {
+	return SignificanceConfig{
+		Model:   synth.Model1,
+		N:       200,
+		M:       50,
+		Lambdas: []float64{0.01, 0.1, 5},
+		Reps:    reps,
+		Seed:    seed,
+	}
+}
+
+// SignificanceRow is the paired comparison of λ=0 against one soft λ.
+type SignificanceRow struct {
+	Lambda   float64
+	HardMean float64
+	SoftMean float64
+	// Test is the paired t-test of hard−soft RMSE (negative MeanDiff means
+	// the hard criterion wins).
+	Test *stats.TTestResult
+}
+
+func (c *SignificanceConfig) validate() error {
+	if c.N < 2 || c.M < 1 {
+		return fmt.Errorf("experiments: significance n=%d m=%d: %w", c.N, c.M, ErrParam)
+	}
+	if len(c.Lambdas) == 0 {
+		return fmt.Errorf("experiments: significance lambdas: %w", ErrParam)
+	}
+	for _, l := range c.Lambdas {
+		if l <= 0 {
+			return fmt.Errorf("experiments: significance λ=%v must be >0: %w", l, ErrParam)
+		}
+	}
+	if c.Reps < 2 {
+		return fmt.Errorf("experiments: significance reps=%d (need >=2): %w", c.Reps, ErrParam)
+	}
+	return nil
+}
+
+// RunSignificance executes the paired comparison.
+func RunSignificance(cfg SignificanceConfig) ([]SignificanceRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	hardRMSE := make([]float64, 0, cfg.Reps)
+	softRMSE := make([][]float64, len(cfg.Lambdas))
+	for i := range softRMSE {
+		softRMSE[i] = make([]float64, 0, cfg.Reps)
+	}
+
+	root := randx.New(cfg.Seed)
+	for rep := 0; rep < cfg.Reps; rep++ {
+		rng := root.Split()
+		ds, err := synth.Generate(rng, cfg.Model, cfg.N, cfg.M)
+		if err != nil {
+			return nil, err
+		}
+		h, err := kernel.PaperBandwidth(cfg.N, synth.Dim)
+		if err != nil {
+			return nil, err
+		}
+		k, err := kernel.New(kernel.Gaussian, h)
+		if err != nil {
+			return nil, err
+		}
+		builder, err := graph.NewBuilder(k)
+		if err != nil {
+			return nil, err
+		}
+		g, err := builder.Build(ds.X)
+		if err != nil {
+			return nil, err
+		}
+		p, err := core.NewProblemLabeledFirst(g, ds.YLabeled())
+		if err != nil {
+			return nil, err
+		}
+		truth := ds.QUnlabeled()
+
+		hard, err := core.SolveHard(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stats.RMSE(hard.FUnlabeled, truth)
+		if err != nil {
+			return nil, err
+		}
+		hardRMSE = append(hardRMSE, r)
+		for li, l := range cfg.Lambdas {
+			sol, err := core.SolveSoft(p, l)
+			if err != nil {
+				return nil, err
+			}
+			r, err := stats.RMSE(sol.FUnlabeled, truth)
+			if err != nil {
+				return nil, err
+			}
+			softRMSE[li] = append(softRMSE[li], r)
+		}
+	}
+
+	rows := make([]SignificanceRow, len(cfg.Lambdas))
+	for li, l := range cfg.Lambdas {
+		test, err := stats.PairedTTest(hardRMSE, softRMSE[li])
+		if err != nil {
+			return nil, err
+		}
+		hm, err := stats.Mean(hardRMSE)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := stats.Mean(softRMSE[li])
+		if err != nil {
+			return nil, err
+		}
+		rows[li] = SignificanceRow{Lambda: l, HardMean: hm, SoftMean: sm, Test: test}
+	}
+	return rows, nil
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestSignificanceValidation(t *testing.T) {
+	good := SignificanceDefaultConfig(10, 1)
+	tests := []struct {
+		name string
+		mut  func(*SignificanceConfig)
+	}{
+		{"n too small", func(c *SignificanceConfig) { c.N = 1 }},
+		{"m zero", func(c *SignificanceConfig) { c.M = 0 }},
+		{"no lambdas", func(c *SignificanceConfig) { c.Lambdas = nil }},
+		{"lambda zero", func(c *SignificanceConfig) { c.Lambdas = []float64{0} }},
+		{"one rep", func(c *SignificanceConfig) { c.Reps = 1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := good
+			tt.mut(&cfg)
+			if _, err := RunSignificance(cfg); !errors.Is(err, ErrParam) {
+				t.Fatalf("want ErrParam, got %v", err)
+			}
+		})
+	}
+}
+
+// TestRunSignificanceHardWins is the statistical form of the paper's
+// headline: the paired hard−soft RMSE difference is negative and, for the
+// larger λ values, decisively significant.
+func TestRunSignificanceHardWins(t *testing.T) {
+	cfg := SignificanceConfig{
+		Model:   synth.Model1,
+		N:       150,
+		M:       40,
+		Lambdas: []float64{0.1, 5},
+		Reps:    15,
+		Seed:    71,
+	}
+	rows, err := RunSignificance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if row.HardMean >= row.SoftMean {
+			t.Fatalf("λ=%v: hard %v not below soft %v", row.Lambda, row.HardMean, row.SoftMean)
+		}
+		if row.Test.MeanDiff >= 0 {
+			t.Fatalf("λ=%v: paired diff %v not negative", row.Lambda, row.Test.MeanDiff)
+		}
+	}
+	// λ=5 is far from consistent: the paired test must be decisive.
+	if rows[1].Test.P > 1e-4 {
+		t.Fatalf("λ=5 comparison not significant: %+v", rows[1].Test)
+	}
+}
+
+func TestRunSignificanceDeterministic(t *testing.T) {
+	cfg := SignificanceDefaultConfig(4, 9)
+	cfg.N, cfg.M = 60, 15
+	r1, err := RunSignificance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSignificance(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Test.T != r2[i].Test.T {
+			t.Fatal("same seed must reproduce")
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package experiments contains the harness that regenerates every figure of
+// the paper's evaluation: the synthetic RMSE sweeps of Figures 1–4, the
+// COIL-style AUC study of Figure 5, and the extension sweeps listed in
+// DESIGN.md. Each experiment is deterministic given its seed and reports
+// mean ± standard error across replications.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+var (
+	// ErrParam is returned for invalid experiment configuration.
+	ErrParam = errors.New("experiments: invalid parameter")
+)
+
+// Point is one aggregated measurement on a sweep axis.
+type Point struct {
+	// X is the swept value (n or m for the synthetic figures).
+	X float64
+	// Mean is the replication mean of the metric.
+	Mean float64
+	// StdErr is the standard error of the mean.
+	StdErr float64
+	// Reps is the number of successful replications aggregated.
+	Reps int
+}
+
+// Series is one curve (one λ) across the sweep axis.
+type Series struct {
+	// Label identifies the curve (e.g. "λ=0.01").
+	Label string
+	// Lambda is the tuning parameter for criterion curves; NaN for
+	// non-criterion baselines such as Nadaraya–Watson.
+	Lambda float64
+	// Points are ordered along the sweep axis.
+	Points []Point
+}
+
+// SweepResult is one full figure: several λ curves over a common axis.
+type SweepResult struct {
+	// Name identifies the experiment ("fig1", ...).
+	Name string
+	// XLabel names the sweep axis ("n" or "m").
+	XLabel string
+	// Metric names the aggregated metric ("RMSE" or "AUC").
+	Metric string
+	// Series holds one curve per λ, in configuration order.
+	Series []Series
+}
+
+// SyntheticConfig drives Figures 1–4 and the extension sweeps.
+type SyntheticConfig struct {
+	// Model selects the response model (Model1 for Figs 1–2, Model2 for 3–4).
+	Model synth.Model
+	// SweepN, when non-empty, sweeps the labeled size with M fixed.
+	SweepN []int
+	// SweepM, when non-empty, sweeps the unlabeled size with N fixed.
+	// Exactly one of SweepN/SweepM must be set.
+	SweepM []int
+	// N is the fixed labeled size for SweepM runs.
+	N int
+	// M is the fixed unlabeled size for SweepN runs.
+	M int
+	// Lambdas are the criterion curves (0 = hard criterion).
+	Lambdas []float64
+	// IncludeNW adds a Nadaraya–Watson baseline curve.
+	IncludeNW bool
+	// Reps is the number of replications per grid point (paper: 1000).
+	Reps int
+	// Seed makes the experiment reproducible.
+	Seed int64
+}
+
+func (c *SyntheticConfig) validate() error {
+	if (len(c.SweepN) == 0) == (len(c.SweepM) == 0) {
+		return fmt.Errorf("experiments: exactly one of SweepN/SweepM: %w", ErrParam)
+	}
+	if len(c.SweepN) > 0 && c.M < 1 {
+		return fmt.Errorf("experiments: SweepN needs fixed M>=1: %w", ErrParam)
+	}
+	if len(c.SweepM) > 0 && c.N < 2 {
+		return fmt.Errorf("experiments: SweepM needs fixed N>=2: %w", ErrParam)
+	}
+	for _, n := range c.SweepN {
+		if n < 2 {
+			return fmt.Errorf("experiments: swept n=%d must be >=2: %w", n, ErrParam)
+		}
+	}
+	for _, m := range c.SweepM {
+		if m < 1 {
+			return fmt.Errorf("experiments: swept m=%d must be >=1: %w", m, ErrParam)
+		}
+	}
+	if len(c.Lambdas) == 0 {
+		return fmt.Errorf("experiments: no lambdas: %w", ErrParam)
+	}
+	for _, l := range c.Lambdas {
+		if l < 0 {
+			return fmt.Errorf("experiments: λ=%v: %w", l, ErrParam)
+		}
+	}
+	if c.Reps < 1 {
+		return fmt.Errorf("experiments: reps=%d: %w", c.Reps, ErrParam)
+	}
+	return nil
+}
+
+// Fig1Config returns the paper's Figure 1 configuration (Model 1, m=30,
+// n sweep) with the given replication count and seed.
+func Fig1Config(reps int, seed int64) SyntheticConfig {
+	return SyntheticConfig{
+		Model:   synth.Model1,
+		SweepN:  []int{10, 30, 50, 100, 200, 300, 500, 800, 1000, 1500},
+		M:       30,
+		Lambdas: []float64{0, 0.01, 0.1, 5},
+		Reps:    reps,
+		Seed:    seed,
+	}
+}
+
+// Fig2Config returns the paper's Figure 2 configuration (Model 1, n=100,
+// m sweep).
+func Fig2Config(reps int, seed int64) SyntheticConfig {
+	return SyntheticConfig{
+		Model:   synth.Model1,
+		SweepM:  []int{30, 60, 100, 300, 500, 1000},
+		N:       100,
+		Lambdas: []float64{0, 0.01, 0.1, 5},
+		Reps:    reps,
+		Seed:    seed,
+	}
+}
+
+// Fig3Config returns the paper's Figure 3 configuration (Model 2, m=30,
+// n sweep).
+func Fig3Config(reps int, seed int64) SyntheticConfig {
+	c := Fig1Config(reps, seed)
+	c.Model = synth.Model2
+	return c
+}
+
+// Fig4Config returns the paper's Figure 4 configuration (Model 2, n=100,
+// m sweep).
+func Fig4Config(reps int, seed int64) SyntheticConfig {
+	c := Fig2Config(reps, seed)
+	c.Model = synth.Model2
+	return c
+}
+
+// RunSynthetic executes a synthetic sweep and aggregates RMSE per (x, λ).
+func RunSynthetic(name string, cfg SyntheticConfig) (*SweepResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sweepingN := len(cfg.SweepN) > 0
+	var axis []int
+	xlabel := "m"
+	if sweepingN {
+		axis = cfg.SweepN
+		xlabel = "n"
+	} else {
+		axis = cfg.SweepM
+	}
+
+	res := &SweepResult{Name: name, XLabel: xlabel, Metric: "RMSE"}
+	for _, l := range cfg.Lambdas {
+		res.Series = append(res.Series, Series{Label: lambdaLabel(l), Lambda: l})
+	}
+	nwIdx := -1
+	if cfg.IncludeNW {
+		nwIdx = len(res.Series)
+		res.Series = append(res.Series, Series{Label: "NW", Lambda: math.NaN()})
+	}
+
+	root := randx.New(cfg.Seed)
+	for _, x := range axis {
+		n, m := cfg.N, cfg.M
+		if sweepingN {
+			n = x
+		} else {
+			m = x
+		}
+		accs := make([]stats.Welford, len(res.Series))
+		rng := root.Split()
+		for rep := 0; rep < cfg.Reps; rep++ {
+			rmses, err := syntheticReplicate(rng.Split(), cfg, n, m, nwIdx)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at %s=%d rep %d: %w", name, xlabel, x, rep, err)
+			}
+			for i, v := range rmses {
+				accs[i].Add(v)
+			}
+		}
+		for i := range res.Series {
+			res.Series[i].Points = append(res.Series[i].Points, Point{
+				X:      float64(x),
+				Mean:   accs[i].Mean(),
+				StdErr: accs[i].StdErr(),
+				Reps:   accs[i].N(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// syntheticReplicate runs one replication: draw data, build the RBF graph
+// with the paper's bandwidth, solve each λ, and return one RMSE per series.
+func syntheticReplicate(rng *randx.RNG, cfg SyntheticConfig, n, m, nwIdx int) ([]float64, error) {
+	ds, err := synth.Generate(rng, cfg.Model, n, m)
+	if err != nil {
+		return nil, err
+	}
+	h, err := kernel.PaperBandwidth(n, synth.Dim)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(kernel.Gaussian, h)
+	if err != nil {
+		return nil, err
+	}
+	builder, err := graph.NewBuilder(k)
+	if err != nil {
+		return nil, err
+	}
+	g, err := builder.Build(ds.X)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblemLabeledFirst(g, ds.YLabeled())
+	if err != nil {
+		return nil, err
+	}
+	truth := ds.QUnlabeled()
+
+	total := len(cfg.Lambdas)
+	if nwIdx >= 0 {
+		total++
+	}
+	out := make([]float64, total)
+	for i, l := range cfg.Lambdas {
+		sol, err := core.SolveSoft(p, l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stats.RMSE(sol.FUnlabeled, truth)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	if nwIdx >= 0 {
+		nw, err := core.NadarayaWatson(p)
+		if err != nil {
+			return nil, err
+		}
+		r, err := stats.RMSE(nw, truth)
+		if err != nil {
+			return nil, err
+		}
+		out[nwIdx] = r
+	}
+	return out, nil
+}
+
+func lambdaLabel(l float64) string {
+	return fmt.Sprintf("λ=%g", l)
+}

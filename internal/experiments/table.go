@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMarkdown renders a sweep result as a GitHub-flavoured markdown table
+// with one row per x value and one column per series.
+func (r *SweepResult) WriteMarkdown(w io.Writer) error {
+	if len(r.Series) == 0 || len(r.Series[0].Points) == 0 {
+		return fmt.Errorf("experiments: empty result %q: %w", r.Name, ErrParam)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s — mean %s (avg over %d reps)\n\n", r.Name, r.Metric, r.Series[0].Points[0].Reps)
+	sb.WriteString("| " + r.XLabel + " |")
+	for _, s := range r.Series {
+		sb.WriteString(" " + s.Label + " |")
+	}
+	sb.WriteString("\n|---|")
+	for range r.Series {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("\n")
+	for pi := range r.Series[0].Points {
+		sb.WriteString("| " + strconv.FormatFloat(r.Series[0].Points[pi].X, 'g', -1, 64) + " |")
+		for _, s := range r.Series {
+			fmt.Fprintf(&sb, " %.4f |", s.Points[pi].Mean)
+		}
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders a sweep result as CSV: x, then mean and stderr per
+// series.
+func (r *SweepResult) WriteCSV(w io.Writer) error {
+	if len(r.Series) == 0 || len(r.Series[0].Points) == 0 {
+		return fmt.Errorf("experiments: empty result %q: %w", r.Name, ErrParam)
+	}
+	var sb strings.Builder
+	sb.WriteString(r.XLabel)
+	for _, s := range r.Series {
+		label := strings.ReplaceAll(s.Label, ",", ";")
+		fmt.Fprintf(&sb, ",%s_mean,%s_stderr", label, label)
+	}
+	sb.WriteString("\n")
+	for pi := range r.Series[0].Points {
+		sb.WriteString(strconv.FormatFloat(r.Series[0].Points[pi].X, 'g', -1, 64))
+		for _, s := range r.Series {
+			fmt.Fprintf(&sb, ",%.6f,%.6f", s.Points[pi].Mean, s.Points[pi].StdErr)
+		}
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteMarkdown renders the Fig. 5 result as a markdown table with one row
+// per λ and one column per labeled/unlabeled setting, matching the layout of
+// the paper's figure.
+func (r *Fig5Result) WriteMarkdown(w io.Writer) error {
+	if len(r.AUC) == 0 || len(r.Lambdas) == 0 {
+		return fmt.Errorf("experiments: empty fig5 result: %w", ErrParam)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### fig5 — mean AUC (avg over %d split-experiments)\n\n", r.AUC[0][0].Reps)
+	sb.WriteString("| λ |")
+	for _, s := range r.Settings {
+		sb.WriteString(" " + s.String() + " |")
+	}
+	sb.WriteString("\n|---|")
+	for range r.Settings {
+		sb.WriteString("---|")
+	}
+	sb.WriteString("\n")
+	for li, l := range r.Lambdas {
+		sb.WriteString("| " + strconv.FormatFloat(l, 'g', -1, 64) + " |")
+		for s := range r.Settings {
+			fmt.Fprintf(&sb, " %.4f |", r.AUC[s][li].Mean)
+		}
+		sb.WriteString("\n")
+	}
+	if r.MCC != nil {
+		sb.WriteString("\nMCC at threshold 0.5:\n\n| λ |")
+		for _, s := range r.Settings {
+			sb.WriteString(" " + s.String() + " |")
+		}
+		sb.WriteString("\n|---|")
+		for range r.Settings {
+			sb.WriteString("---|")
+		}
+		sb.WriteString("\n")
+		for li, l := range r.Lambdas {
+			sb.WriteString("| " + strconv.FormatFloat(l, 'g', -1, 64) + " |")
+			for s := range r.Settings {
+				fmt.Fprintf(&sb, " %.4f |", r.MCC[s][li].Mean)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteCSV renders the Fig. 5 result as CSV with one row per λ.
+func (r *Fig5Result) WriteCSV(w io.Writer) error {
+	if len(r.AUC) == 0 || len(r.Lambdas) == 0 {
+		return fmt.Errorf("experiments: empty fig5 result: %w", ErrParam)
+	}
+	var sb strings.Builder
+	sb.WriteString("lambda")
+	for _, s := range r.Settings {
+		name := strings.ReplaceAll(s.String(), "/", "_")
+		fmt.Fprintf(&sb, ",auc_%s_mean,auc_%s_stderr", name, name)
+	}
+	sb.WriteString("\n")
+	for li, l := range r.Lambdas {
+		sb.WriteString(strconv.FormatFloat(l, 'g', -1, 64))
+		for s := range r.Settings {
+			fmt.Fprintf(&sb, ",%.6f,%.6f", r.AUC[s][li].Mean, r.AUC[s][li].StdErr)
+		}
+		sb.WriteString("\n")
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

@@ -1,0 +1,400 @@
+// Package graph builds and analyzes the weighted similarity graphs at the
+// heart of graph-based semi-supervised learning: full-kernel graphs, k-NN
+// and ε-ball sparsifications, the three standard Laplacians, and
+// connectivity analysis (needed because Proposition II.2 of the paper is
+// stated for connected graphs).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+var (
+	// ErrEmpty is returned for empty point sets.
+	ErrEmpty = errors.New("graph: empty input")
+	// ErrParam is returned for invalid construction parameters.
+	ErrParam = errors.New("graph: invalid parameter")
+)
+
+// Graph is an undirected weighted graph over n nodes with a symmetric
+// similarity matrix W (zero diagonal entries are permitted; the paper's RBF
+// graphs have w_ii = 1, which cancels in all Laplacian quantities).
+type Graph struct {
+	w *sparse.CSR
+}
+
+// FromWeights wraps a symmetric similarity matrix. The matrix is validated
+// for squareness and symmetry (tolerance 1e-12 of the largest entry).
+func FromWeights(w *sparse.CSR) (*Graph, error) {
+	r, c := w.Dims()
+	if r != c {
+		return nil, fmt.Errorf("graph: weights %dx%d not square: %w", r, c, ErrParam)
+	}
+	if !w.IsSymmetric(1e-12) {
+		return nil, fmt.Errorf("graph: weights not symmetric: %w", ErrParam)
+	}
+	return &Graph{w: w}, nil
+}
+
+// FromDenseWeights wraps a dense symmetric similarity matrix, dropping exact
+// zeros.
+func FromDenseWeights(w *mat.Dense) (*Graph, error) {
+	return FromWeights(sparse.FromDense(w, 0))
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.w.Rows() }
+
+// Weights returns the underlying CSR similarity matrix.
+func (g *Graph) Weights() *sparse.CSR { return g.w }
+
+// Weight returns w_ij.
+func (g *Graph) Weight(i, j int) float64 { return g.w.At(i, j) }
+
+// Degrees returns d_i = Σ_j w_ij.
+func (g *Graph) Degrees() []float64 { return g.w.RowSums() }
+
+// EdgeCount returns the number of undirected edges with positive weight,
+// excluding self-loops.
+func (g *Graph) EdgeCount() int {
+	count := 0
+	for i := 0; i < g.N(); i++ {
+		cols, vals := g.w.RowNNZ(i)
+		for k, j := range cols {
+			if j > i && vals[k] != 0 {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Builder configures graph construction from points.
+type Builder struct {
+	kernel *kernel.K
+	knn    int     // 0 = full graph
+	eps    float64 // 0 = no ε-ball truncation
+	loops  bool    // keep self-loops (w_ii = Profile(0))
+}
+
+// Option customizes a Builder.
+type Option interface {
+	apply(*Builder)
+}
+
+type optionFunc func(*Builder)
+
+func (f optionFunc) apply(b *Builder) { f(b) }
+
+// WithKNN keeps only the k strongest neighbours of each node
+// (symmetrized: an edge survives if either endpoint selects it).
+func WithKNN(k int) Option {
+	return optionFunc(func(b *Builder) { b.knn = k })
+}
+
+// WithEpsilon keeps only edges with distance at most eps.
+func WithEpsilon(eps float64) Option {
+	return optionFunc(func(b *Builder) { b.eps = eps })
+}
+
+// WithSelfLoops keeps self-similarities w_ii (the paper's W has w_ii = 1;
+// self-loops cancel in D−W, so the default drops them for sparsity).
+func WithSelfLoops() Option {
+	return optionFunc(func(b *Builder) { b.loops = true })
+}
+
+// NewBuilder returns a Builder for the given kernel.
+func NewBuilder(k *kernel.K, opts ...Option) (*Builder, error) {
+	if k == nil {
+		return nil, fmt.Errorf("graph: nil kernel: %w", ErrParam)
+	}
+	b := &Builder{kernel: k}
+	for _, o := range opts {
+		o.apply(b)
+	}
+	if b.knn < 0 {
+		return nil, fmt.Errorf("graph: knn=%d: %w", b.knn, ErrParam)
+	}
+	if b.eps < 0 {
+		return nil, fmt.Errorf("graph: eps=%v: %w", b.eps, ErrParam)
+	}
+	return b, nil
+}
+
+// Build constructs the similarity graph over the points x.
+func (b *Builder) Build(x [][]float64) (*Graph, error) {
+	if len(x) == 0 {
+		return nil, ErrEmpty
+	}
+	d2, err := kernel.PairwiseDist2(x)
+	if err != nil {
+		return nil, err
+	}
+	return b.BuildFromDist2(len(x), d2)
+}
+
+// BuildFromDist2 constructs the graph from a precomputed n×n row-major
+// squared-distance matrix. This is the fast path for experiments that sweep
+// λ or kernels over a fixed dataset.
+func (b *Builder) BuildFromDist2(n int, d2 []float64) (*Graph, error) {
+	if n <= 0 || len(d2) != n*n {
+		return nil, fmt.Errorf("graph: need n*n=%d distances, got %d: %w", n*n, len(d2), ErrParam)
+	}
+	eps2 := b.eps * b.eps
+
+	keep := func(i, j int, dist2 float64) bool {
+		if b.eps > 0 && dist2 > eps2 {
+			return false
+		}
+		return true
+	}
+
+	coo := sparse.NewCOO(n, n)
+	if b.knn > 0 {
+		if err := b.addKNNEdges(coo, n, d2, eps2); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				dist2 := d2[i*n+j]
+				if !keep(i, j, dist2) {
+					continue
+				}
+				w := b.kernel.WeightDist2(dist2)
+				if w > 0 {
+					if err := coo.AddSym(i, j, w); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	if b.loops {
+		for i := 0; i < n; i++ {
+			if err := coo.Add(i, i, b.kernel.WeightDist2(0)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Graph{w: coo.ToCSR()}, nil
+}
+
+// addKNNEdges adds the symmetrized k-nearest-neighbour edges.
+func (b *Builder) addKNNEdges(coo *sparse.COO, n int, d2 []float64, eps2 float64) error {
+	type edge struct{ i, j int }
+	selected := make(map[edge]bool, n*b.knn)
+	idx := make([]int, n-1)
+	for i := 0; i < n; i++ {
+		idx = idx[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				idx = append(idx, j)
+			}
+		}
+		row := d2[i*n : (i+1)*n]
+		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
+		k := b.knn
+		if k > len(idx) {
+			k = len(idx)
+		}
+		for _, j := range idx[:k] {
+			if b.eps > 0 && row[j] > eps2 {
+				break // sorted by distance: all further neighbours also fail
+			}
+			lo, hi := i, j
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			selected[edge{lo, hi}] = true
+		}
+	}
+	for e := range selected {
+		w := b.kernel.WeightDist2(d2[e.i*n+e.j])
+		if w > 0 {
+			if err := coo.AddSym(e.i, e.j, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LaplacianKind selects among the standard graph Laplacians.
+type LaplacianKind int
+
+// Supported Laplacians.
+const (
+	// Unnormalized is L = D − W, the Laplacian in the paper's criteria.
+	Unnormalized LaplacianKind = iota + 1
+	// SymNormalized is L_sym = I − D^{-1/2} W D^{-1/2}.
+	SymNormalized
+	// RandomWalk is L_rw = I − D^{-1} W.
+	RandomWalk
+)
+
+// Laplacian returns the requested Laplacian as a CSR matrix. Nodes with zero
+// degree contribute zero rows for Unnormalized and identity rows for the
+// normalized variants.
+func (g *Graph) Laplacian(kind LaplacianKind) (*sparse.CSR, error) {
+	n := g.N()
+	deg := g.Degrees()
+	coo := sparse.NewCOO(n, n)
+	switch kind {
+	case Unnormalized:
+		for i := 0; i < n; i++ {
+			cols, vals := g.w.RowNNZ(i)
+			diag := deg[i]
+			for k, j := range cols {
+				if j == i {
+					diag -= vals[k] // self-loop cancels within the row
+					continue
+				}
+				if err := coo.Add(i, j, -vals[k]); err != nil {
+					return nil, err
+				}
+			}
+			if err := coo.Add(i, i, diag); err != nil {
+				return nil, err
+			}
+		}
+	case SymNormalized, RandomWalk:
+		for i := 0; i < n; i++ {
+			if err := coo.Add(i, i, 1); err != nil {
+				return nil, err
+			}
+			if deg[i] == 0 {
+				continue
+			}
+			cols, vals := g.w.RowNNZ(i)
+			for k, j := range cols {
+				if deg[j] == 0 {
+					continue
+				}
+				var scale float64
+				if kind == SymNormalized {
+					scale = 1 / math.Sqrt(deg[i]*deg[j])
+				} else {
+					scale = 1 / deg[i]
+				}
+				if err := coo.Add(i, j, -vals[k]*scale); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("graph: laplacian kind %d: %w", int(kind), ErrParam)
+	}
+	return coo.ToCSR(), nil
+}
+
+// Components returns the connected components (by positive-weight edges) as
+// a slice of node-index slices, each sorted ascending, ordered by their
+// smallest node.
+func (g *Graph) Components() [][]int {
+	n := g.N()
+	uf := newUnionFind(n)
+	for i := 0; i < n; i++ {
+		cols, vals := g.w.RowNNZ(i)
+		for k, j := range cols {
+			if vals[k] > 0 && j != i {
+				uf.union(i, j)
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(a, b int) bool { return groups[roots[a]][0] < groups[roots[b]][0] })
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+// IsConnected reports whether the graph has a single connected component.
+// The empty graph is not connected.
+func (g *Graph) IsConnected() bool {
+	if g.N() == 0 {
+		return false
+	}
+	return len(g.Components()) == 1
+}
+
+// unionFind is a classic disjoint-set structure with path compression and
+// union by rank.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// Stats summarizes a graph for diagnostics and experiment logs.
+type Stats struct {
+	Nodes      int
+	Edges      int
+	Components int
+	MinDegree  float64
+	MaxDegree  float64
+	MeanDegree float64
+}
+
+// Summary computes the graph statistics.
+func (g *Graph) Summary() Stats {
+	deg := g.Degrees()
+	s := Stats{
+		Nodes:      g.N(),
+		Edges:      g.EdgeCount(),
+		Components: len(g.Components()),
+	}
+	if len(deg) == 0 {
+		return s
+	}
+	s.MinDegree, _ = mat.MinVec(deg)
+	s.MaxDegree, _ = mat.MaxVec(deg)
+	s.MeanDegree = mat.MeanVec(deg)
+	return s
+}

@@ -1,0 +1,179 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+func pathGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i+1 < n; i++ {
+		if err := coo.AddSym(i, i+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := FromWeights(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAlgebraicConnectivityPathGraph(t *testing.T) {
+	// Path graph P_n has λ₂ = 2(1 − cos(π/n)).
+	n := 8
+	g := pathGraph(t, n)
+	lam, err := g.AlgebraicConnectivity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (1 - math.Cos(math.Pi/float64(n)))
+	if math.Abs(lam-want) > 1e-6 {
+		t.Fatalf("λ₂ = %v, want %v", lam, want)
+	}
+}
+
+func TestAlgebraicConnectivityCompleteGraph(t *testing.T) {
+	// Complete graph K_n has λ₂ = n.
+	n := 6
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			_ = coo.AddSym(i, j, 1)
+		}
+	}
+	g, err := FromWeights(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam, err := g.AlgebraicConnectivity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-float64(n)) > 1e-6 {
+		t.Fatalf("K6 λ₂ = %v, want 6", lam)
+	}
+}
+
+func TestAlgebraicConnectivityDisconnectedIsZero(t *testing.T) {
+	coo := sparse.NewCOO(4, 4)
+	_ = coo.AddSym(0, 1, 1)
+	_ = coo.AddSym(2, 3, 1)
+	g, _ := FromWeights(coo.ToCSR())
+	lam, err := g.AlgebraicConnectivity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam > 1e-8 {
+		t.Fatalf("disconnected λ₂ = %v, want ≈ 0", lam)
+	}
+}
+
+func TestAlgebraicConnectivityTracksCoupling(t *testing.T) {
+	// Two clusters with a weak bridge: λ₂ grows with the bridge weight.
+	build := func(w float64) *Graph {
+		coo := sparse.NewCOO(6, 6)
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				_ = coo.AddSym(i, j, 1)
+				_ = coo.AddSym(i+3, j+3, 1)
+			}
+		}
+		_ = coo.AddSym(2, 3, w)
+		g, err := FromWeights(coo.ToCSR())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	weak, err := build(0.01).AlgebraicConnectivity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := build(1).AlgebraicConnectivity(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weak >= strong {
+		t.Fatalf("λ₂(weak bridge)=%v must be below λ₂(strong bridge)=%v", weak, strong)
+	}
+}
+
+func TestAlgebraicConnectivityValidation(t *testing.T) {
+	g, _ := FromWeights(sparse.NewCOO(1, 1).ToCSR())
+	if _, err := g.AlgebraicConnectivity(0); !errors.Is(err, ErrParam) {
+		t.Fatal("n=1 must error")
+	}
+}
+
+func TestSpectralEmbeddingSeparatesClusters(t *testing.T) {
+	// Two dense clusters with a weak bridge; the 2nd embedding coordinate
+	// must separate them by sign.
+	coo := sparse.NewCOO(8, 8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			_ = coo.AddSym(i, j, 1)
+			_ = coo.AddSym(i+4, j+4, 1)
+		}
+	}
+	_ = coo.AddSym(3, 4, 0.05)
+	g, err := FromWeights(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	emb, vals, err := g.SpectralEmbedding(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] > vals[1] {
+		t.Fatalf("embedding values %v", vals)
+	}
+	if vals[0] > 1e-8 {
+		t.Fatalf("first normalized-Laplacian eigenvalue %v, want ≈ 0", vals[0])
+	}
+	signA := emb.At(0, 1) > 0
+	for i := 1; i < 4; i++ {
+		if (emb.At(i, 1) > 0) != signA {
+			t.Fatal("cluster A not sign-consistent in Fiedler coordinate")
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if (emb.At(i, 1) > 0) == signA {
+			t.Fatal("cluster B not separated in Fiedler coordinate")
+		}
+	}
+}
+
+func TestSpectralEmbeddingValidation(t *testing.T) {
+	g := pathGraph(t, 4)
+	if _, _, err := g.SpectralEmbedding(0); !errors.Is(err, ErrParam) {
+		t.Fatal("k=0 must error")
+	}
+	if _, _, err := g.SpectralEmbedding(5); !errors.Is(err, ErrParam) {
+		t.Fatal("k>n must error")
+	}
+}
+
+func TestSpectralEmbeddingOrthonormalColumns(t *testing.T) {
+	g := pathGraph(t, 6)
+	emb, _, err := g.SpectralEmbedding(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 3; a++ {
+		ca := emb.Col(a)
+		if math.Abs(mat.Norm2(ca)-1) > 1e-8 {
+			t.Fatalf("column %d not unit norm", a)
+		}
+		for b := a + 1; b < 3; b++ {
+			if math.Abs(mat.Dot(ca, emb.Col(b))) > 1e-8 {
+				t.Fatalf("columns %d,%d not orthogonal", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package kernel
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Gaussian, "gaussian"},
+		{Uniform, "uniform"},
+		{Epanechnikov, "epanechnikov"},
+		{Triangular, "triangular"},
+		{Tricube, "tricube"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		give string
+		want Kind
+	}{
+		{"gaussian", Gaussian},
+		{"rbf", Gaussian},
+		{"uniform", Uniform},
+		{"boxcar", Uniform},
+		{"epanechnikov", Epanechnikov},
+		{"triangular", Triangular},
+		{"tricube", Tricube},
+	}
+	for _, tt := range tests {
+		got, err := Parse(tt.give)
+		if err != nil || got != tt.want {
+			t.Errorf("Parse(%q) = %v, %v", tt.give, got, err)
+		}
+	}
+	if _, err := Parse("nope"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("want ErrUnknown, got %v", err)
+	}
+}
+
+func TestCompactSupport(t *testing.T) {
+	if Gaussian.CompactSupport() {
+		t.Fatal("Gaussian must not report compact support")
+	}
+	for _, k := range []Kind{Uniform, Epanechnikov, Triangular, Tricube} {
+		if !k.CompactSupport() {
+			t.Fatalf("%v must report compact support", k)
+		}
+	}
+}
+
+func TestProfileAtZeroIsOne(t *testing.T) {
+	for _, k := range []Kind{Gaussian, Uniform, Epanechnikov, Triangular, Tricube} {
+		if got := k.Profile(0); got != 1 {
+			t.Errorf("%v.Profile(0) = %v, want 1", k, got)
+		}
+	}
+}
+
+func TestProfileCompactKernelsVanishOutsideSupport(t *testing.T) {
+	for _, k := range []Kind{Uniform, Epanechnikov, Triangular, Tricube} {
+		if got := k.Profile(1.001); got != 0 {
+			t.Errorf("%v.Profile(1.001) = %v, want 0", k, got)
+		}
+	}
+	if got := Gaussian.Profile(3); got <= 0 {
+		t.Fatal("Gaussian must stay positive")
+	}
+}
+
+func TestProfileKnownValues(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		u    float64
+		want float64
+	}{
+		{Gaussian, 1, math.Exp(-1)},
+		{Uniform, 0.5, 1},
+		{Epanechnikov, 0.5, 0.75},
+		{Triangular, 0.25, 0.75},
+		{Tricube, 0.5, math.Pow(1-0.125, 3)},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.Profile(tt.u); math.Abs(got-tt.want) > 1e-15 {
+			t.Errorf("%v.Profile(%v) = %v, want %v", tt.kind, tt.u, got, tt.want)
+		}
+	}
+}
+
+// Property: every profile is bounded in [0,1], even (symmetric in u), and
+// nonincreasing in |u| — conditions (i) and (iii) of Theorem II.1 follow.
+func TestProfileBoundsAndMonotonicityProperty(t *testing.T) {
+	kinds := []Kind{Gaussian, Uniform, Epanechnikov, Triangular, Tricube}
+	f := func(u1, u2 float64) bool {
+		u1, u2 = math.Abs(u1), math.Abs(u2)
+		if math.IsNaN(u1) || math.IsNaN(u2) || math.IsInf(u1, 0) || math.IsInf(u2, 0) {
+			return true
+		}
+		lo, hi := math.Min(u1, u2), math.Max(u1, u2)
+		for _, k := range kinds {
+			pl, ph := k.Profile(lo), k.Profile(hi)
+			if pl < 0 || pl > 1 || ph < 0 || ph > 1 {
+				return false
+			}
+			if ph > pl+1e-12 {
+				return false
+			}
+			if k.Profile(-lo) != pl {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, h := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := New(Gaussian, h); !errors.Is(err, ErrBandwidth) {
+			t.Errorf("New(h=%v): want ErrBandwidth, got %v", h, err)
+		}
+	}
+	k, err := New(Uniform, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Kind() != Uniform || k.Bandwidth() != 2 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad bandwidth must panic")
+		}
+	}()
+	MustNew(Gaussian, -1)
+}
+
+func TestWeightGaussianMatchesPaperRBF(t *testing.T) {
+	// Paper: w_ij = exp(-||xi-xj||²/σ²).
+	k := MustNew(Gaussian, 2) // σ = 2
+	x := []float64{0, 0}
+	y := []float64{1, 1} // squared distance 2
+	want := math.Exp(-2.0 / 4.0)
+	if got := k.Weight(x, y); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("Weight = %v, want %v", got, want)
+	}
+}
+
+func TestWeightDist2ConsistentWithWeight(t *testing.T) {
+	for _, kind := range []Kind{Gaussian, Uniform, Epanechnikov, Triangular, Tricube} {
+		k := MustNew(kind, 1.5)
+		x := []float64{0.3, -0.2, 1}
+		y := []float64{-0.5, 0.9, 0.4}
+		d2 := 0.8*0.8 + 1.1*1.1 + 0.6*0.6
+		if got, want := k.WeightDist2(d2), k.Weight(x, y); math.Abs(got-want) > 1e-14 {
+			t.Errorf("%v: WeightDist2 = %v, Weight = %v", kind, got, want)
+		}
+	}
+}
+
+func TestWeightIdenticalPointsIsOne(t *testing.T) {
+	for _, kind := range []Kind{Gaussian, Uniform, Epanechnikov, Triangular, Tricube} {
+		k := MustNew(kind, 0.7)
+		x := []float64{1, 2, 3}
+		if got := k.Weight(x, x); got != 1 {
+			t.Errorf("%v: Weight(x,x) = %v, want 1", kind, got)
+		}
+	}
+}
+
+func TestWeightPanicsOnDimMismatch(t *testing.T) {
+	k := MustNew(Gaussian, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch must panic")
+		}
+	}()
+	k.Weight([]float64{1}, []float64{1, 2})
+}
+
+func TestPaperBandwidth(t *testing.T) {
+	h, err := PaperBandwidth(100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(math.Log(100)/100, 0.2)
+	if math.Abs(h-want) > 1e-15 {
+		t.Fatalf("PaperBandwidth = %v, want %v", h, want)
+	}
+	if _, err := PaperBandwidth(1, 5); err == nil {
+		t.Fatal("n=1 must error")
+	}
+	if _, err := PaperBandwidth(10, 0); err == nil {
+		t.Fatal("p=0 must error")
+	}
+}
+
+func TestPaperBandwidthShrinks(t *testing.T) {
+	// h_n → 0 and n·h_n^d → ∞ are the Theorem II.1 conditions; check the
+	// first numerically and the trend of the second.
+	h100, _ := PaperBandwidth(100, 5)
+	h10000, _ := PaperBandwidth(10000, 5)
+	if h10000 >= h100 {
+		t.Fatal("bandwidth must shrink with n")
+	}
+	nh100 := 100 * math.Pow(h100, 5)
+	nh10000 := 10000 * math.Pow(h10000, 5)
+	if nh10000 <= nh100 {
+		t.Fatal("n·h^d must grow with n")
+	}
+}
+
+func TestMedianHeuristic(t *testing.T) {
+	x := [][]float64{{0}, {1}, {3}}
+	// Squared distances: 1, 9, 4 → median 4 → σ = 2.
+	sigma, err := MedianHeuristic(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sigma-2) > 1e-15 {
+		t.Fatalf("MedianHeuristic = %v, want 2", sigma)
+	}
+}
+
+func TestMedianHeuristicEvenCount(t *testing.T) {
+	x := [][]float64{{0}, {2}} // one pair, squared distance 4
+	sigma, err := MedianHeuristic(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma != 2 {
+		t.Fatalf("MedianHeuristic = %v, want 2", sigma)
+	}
+}
+
+func TestMedianHeuristicIdenticalPoints(t *testing.T) {
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	sigma, err := MedianHeuristic(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sigma != 1 {
+		t.Fatalf("identical points fallback = %v, want 1", sigma)
+	}
+}
+
+func TestMedianHeuristicSubsampled(t *testing.T) {
+	x := make([][]float64, 60)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+	}
+	full, err := MedianHeuristic(x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := MedianHeuristic(x, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-sub)/full > 0.5 {
+		t.Fatalf("subsampled median %v too far from full %v", sub, full)
+	}
+}
+
+func TestMedianHeuristicErrors(t *testing.T) {
+	if _, err := MedianHeuristic(nil, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := MedianHeuristic([][]float64{{1}}, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty for single point, got %v", err)
+	}
+}
+
+func TestSilvermanBandwidth(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5}
+	h, err := SilvermanBandwidth(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd := math.Sqrt(2.5) // sample sd of 1..5
+	want := 1.06 * sd * math.Pow(5, -0.2)
+	if math.Abs(h-want) > 1e-14 {
+		t.Fatalf("Silverman = %v, want %v", h, want)
+	}
+	if _, err := SilvermanBandwidth([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := SilvermanBandwidth([]float64{2, 2, 2}); !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("want ErrBandwidth for zero variance, got %v", err)
+	}
+}
+
+func TestPairwiseDist2(t *testing.T) {
+	x := [][]float64{{0, 0}, {3, 4}}
+	d2, err := PairwiseDist2(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[0] != 0 || d2[3] != 0 || d2[1] != 25 || d2[2] != 25 {
+		t.Fatalf("PairwiseDist2 = %v", d2)
+	}
+	if _, err := PairwiseDist2(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}

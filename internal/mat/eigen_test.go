@@ -1,0 +1,157 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := Diag([]float64{3, 1, 2})
+	e, err := NewEigenSym(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(e.Values, []float64{1, 2, 3}, 1e-14) {
+		t.Fatalf("Values = %v", e.Values)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a, _ := NewDenseData(2, 2, []float64{2, 1, 1, 2})
+	e, err := NewEigenSym(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(e.Values, []float64{1, 3}, 1e-12) {
+		t.Fatalf("Values = %v", e.Values)
+	}
+}
+
+func TestEigenSymReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(8)
+		a := randSPD(rng, n)
+		e, err := NewEigenSym(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// V diag(λ) Vᵀ must reconstruct A.
+		vd, _ := MulDiagRight(e.Vectors, e.Values)
+		rec, _ := Mul(vd, e.Vectors.T())
+		if !rec.Equal(a, 1e-8*math.Max(1, a.MaxAbs())) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+		// Eigenvectors must be orthonormal.
+		vtv, _ := Mul(e.Vectors.T(), e.Vectors)
+		if !vtv.Equal(Eye(n), 1e-10) {
+			t.Fatalf("trial %d: eigenvectors not orthonormal", trial)
+		}
+		// Eigenvalues ascending.
+		for i := 1; i < n; i++ {
+			if e.Values[i] < e.Values[i-1] {
+				t.Fatalf("trial %d: eigenvalues not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestEigenSymTraceAndDetInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randSPD(rng, 6)
+	e, err := NewEigenSym(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := a.Trace()
+	if math.Abs(SumVec(e.Values)-tr) > 1e-9*math.Abs(tr) {
+		t.Fatal("sum of eigenvalues != trace")
+	}
+	lu, _ := NewLU(a)
+	det := lu.Det()
+	prod := 1.0
+	for _, v := range e.Values {
+		prod *= v
+	}
+	if math.Abs(prod-det) > 1e-7*math.Abs(det) {
+		t.Fatalf("product of eigenvalues %v != det %v", prod, det)
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{1, 5, 0, 1})
+	if _, err := NewEigenSym(a, 0); err == nil {
+		t.Fatal("asymmetric input must error")
+	}
+	if _, err := NewEigenSym(NewDense(2, 3), 0); !errors.Is(err, ErrSquare) {
+		t.Fatalf("want ErrSquare, got %v", err)
+	}
+}
+
+func TestSpectralRadiusSym(t *testing.T) {
+	a, _ := NewDenseData(2, 2, []float64{0, 2, 2, 0}) // eigenvalues ±2
+	r, err := SpectralRadiusSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-2) > 1e-12 {
+		t.Fatalf("SpectralRadiusSym = %v, want 2", r)
+	}
+}
+
+func TestPowerIterationDiagonal(t *testing.T) {
+	a := Diag([]float64{1, 5, 2})
+	lam, vec, err := PowerIteration(a, nil, 1e-13, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lam-5) > 1e-9 {
+		t.Fatalf("dominant eigenvalue = %v, want 5", lam)
+	}
+	// Eigenvector should concentrate on coordinate 1.
+	if math.Abs(math.Abs(vec[1])-1) > 1e-6 {
+		t.Fatalf("eigenvector = %v", vec)
+	}
+}
+
+func TestPowerIterationAgreesWithJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := randSPD(rng, 8)
+	lam, _, err := PowerIteration(a, nil, 1e-13, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEigenSym(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := e.Values[len(e.Values)-1] // SPD: largest magnitude = largest
+	if math.Abs(lam-want) > 1e-6*want {
+		t.Fatalf("power iteration %v vs Jacobi %v", lam, want)
+	}
+}
+
+func TestPowerIterationErrors(t *testing.T) {
+	if _, _, err := PowerIteration(NewDense(2, 3), nil, 0, 0); !errors.Is(err, ErrSquare) {
+		t.Fatalf("want ErrSquare, got %v", err)
+	}
+	if _, _, err := PowerIteration(Eye(2), []float64{1}, 0, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape for bad x0, got %v", err)
+	}
+	if _, _, err := PowerIteration(Eye(2), []float64{0, 0}, 0, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape for zero x0, got %v", err)
+	}
+}
+
+func TestPowerIterationZeroMatrix(t *testing.T) {
+	lam, _, err := PowerIteration(NewDense(3, 3), nil, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam != 0 {
+		t.Fatalf("zero matrix dominant eigenvalue = %v, want 0", lam)
+	}
+}

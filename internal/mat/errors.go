@@ -1,0 +1,20 @@
+package mat
+
+import "errors"
+
+var (
+	// ErrShape is returned when operand dimensions are incompatible.
+	ErrShape = errors.New("mat: dimension mismatch")
+	// ErrSingular is returned when a matrix is exactly or numerically singular.
+	ErrSingular = errors.New("mat: matrix is singular")
+	// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+	// symmetric positive definite.
+	ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+	// ErrNotConverged is returned by iterative routines that exhaust their
+	// iteration budget before reaching the requested tolerance.
+	ErrNotConverged = errors.New("mat: iteration did not converge")
+	// ErrIndex is returned on out-of-range element access.
+	ErrIndex = errors.New("mat: index out of range")
+	// ErrSquare is returned when a square matrix is required.
+	ErrSquare = errors.New("mat: matrix must be square")
+)

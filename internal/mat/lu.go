@@ -1,0 +1,156 @@
+package mat
+
+import "math"
+
+// LU is an LU factorization with partial (row) pivoting: P*A = L*U, with L
+// unit lower triangular and U upper triangular, packed into a single matrix.
+type LU struct {
+	lu   *Dense
+	piv  []int
+	sign float64 // determinant sign from row swaps
+}
+
+// NewLU factors the square matrix a. It returns ErrSingular if a zero pivot
+// is encountered (the factorization is then unusable for solving).
+func NewLU(a *Dense) (*LU, error) {
+	if !a.IsSquare() {
+		return nil, ErrSquare
+	}
+	n := a.rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Select the pivot row by maximum absolute value in column k.
+		p, pmax := k, math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu.data[i*n+k]); a > pmax {
+				p, pmax = i, a
+			}
+		}
+		if pmax == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		pivVal := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivVal
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, sign: sign}, nil
+}
+
+// Order returns the dimension of the factored matrix.
+func (f *LU) Order() int { return f.lu.rows }
+
+// Solve solves A x = b for a single right-hand side.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	x := make([]float64, n)
+	// Apply the permutation: x = P b.
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit-diagonal L.
+	for i := 1; i < n; i++ {
+		row := f.lu.data[i*n : i*n+i]
+		x[i] -= Dot(row, x[:i])
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.data[i*n : (i+1)*n]
+		s := x[i] - Dot(row[i+1:], x[i+1:])
+		x[i] = s / row[i]
+	}
+	return x, nil
+}
+
+// SolveMatrix solves A X = B column by column.
+func (f *LU) SolveMatrix(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, ErrShape
+	}
+	out := NewDense(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x, err := f.Solve(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := f.sign
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Inverse returns A⁻¹.
+func (f *LU) Inverse() (*Dense, error) {
+	return f.SolveMatrix(Eye(f.lu.rows))
+}
+
+// SolveLU is a convenience wrapper: factor a and solve a x = b.
+func SolveLU(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns a⁻¹ via LU with partial pivoting.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse()
+}
+
+// Cond1 returns the 1-norm condition number κ₁(a) = ‖a‖₁ ‖a⁻¹‖₁ computed via
+// an explicit inverse. Intended for diagnostics on the moderate sizes used in
+// the experiments, not for very large systems.
+func Cond1(a *Dense) (float64, error) {
+	inv, err := Inverse(a)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	return a.Norm1() * inv.Norm1(), nil
+}

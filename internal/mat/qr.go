@@ -1,0 +1,130 @@
+package mat
+
+import "math"
+
+// QR is a Householder QR factorization A = Q R for an m-by-n matrix with
+// m >= n. It supports least-squares solves min ‖A x − b‖₂.
+type QR struct {
+	qr   *Dense    // Householder vectors below the diagonal, R on and above
+	tau  []float64 // scalar factors of the reflectors
+	m, n int
+}
+
+// NewQR factors a (m-by-n, m >= n) using Householder reflections.
+func NewQR(a *Dense) (*QR, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, ErrShape
+	}
+	qr := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the reflector for column k, rows k..m-1.
+		colNorm := 0.0
+		for i := k; i < m; i++ {
+			v := qr.data[i*n+k]
+			colNorm += v * v
+		}
+		colNorm = math.Sqrt(colNorm)
+		if colNorm == 0 {
+			tau[k] = 0
+			continue
+		}
+		akk := qr.data[k*n+k]
+		alpha := -math.Copysign(colNorm, akk)
+		// v = x - alpha e1, normalized so v[0] = 1.
+		v0 := akk - alpha
+		qr.data[k*n+k] = alpha // R diagonal
+		// Store v[1:] scaled by 1/v0 below the diagonal.
+		for i := k + 1; i < m; i++ {
+			qr.data[i*n+k] /= v0
+		}
+		tau[k] = (alpha - akk) / alpha
+		if tau[k] == 0 {
+			continue
+		}
+		// Apply the reflector H = I - tau v vᵀ to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.data[k*n+j]
+			for i := k + 1; i < m; i++ {
+				s += qr.data[i*n+k] * qr.data[i*n+j]
+			}
+			s *= tau[k]
+			qr.data[k*n+j] -= s
+			for i := k + 1; i < m; i++ {
+				qr.data[i*n+j] -= s * qr.data[i*n+k]
+			}
+		}
+	}
+	return &QR{qr: qr, tau: tau, m: m, n: n}, nil
+}
+
+// R returns the n-by-n upper triangular factor.
+func (q *QR) R() *Dense {
+	r := NewDense(q.n, q.n)
+	for i := 0; i < q.n; i++ {
+		for j := i; j < q.n; j++ {
+			r.data[i*q.n+j] = q.qr.data[i*q.n+j]
+		}
+	}
+	return r
+}
+
+// applyQT overwrites b (length m) with Qᵀ b.
+func (q *QR) applyQT(b []float64) {
+	for k := 0; k < q.n; k++ {
+		if q.tau[k] == 0 {
+			continue
+		}
+		s := b[k]
+		for i := k + 1; i < q.m; i++ {
+			s += q.qr.data[i*q.n+k] * b[i]
+		}
+		s *= q.tau[k]
+		b[k] -= s
+		for i := k + 1; i < q.m; i++ {
+			b[i] -= s * q.qr.data[i*q.n+k]
+		}
+	}
+}
+
+// Solve returns the least-squares solution x of min ‖A x − b‖₂.
+// ErrSingular is returned when R has a zero diagonal element (rank deficient).
+func (q *QR) Solve(b []float64) ([]float64, error) {
+	if len(b) != q.m {
+		return nil, ErrShape
+	}
+	work := CloneVec(b)
+	q.applyQT(work)
+	// A diagonal of R that is negligibly small relative to the largest one
+	// signals (numerical) rank deficiency.
+	var maxDiag float64
+	for i := 0; i < q.n; i++ {
+		if a := math.Abs(q.qr.data[i*q.n+i]); a > maxDiag {
+			maxDiag = a
+		}
+	}
+	tol := 1e-12 * maxDiag * float64(q.n)
+	x := make([]float64, q.n)
+	for i := q.n - 1; i >= 0; i-- {
+		s := work[i]
+		for j := i + 1; j < q.n; j++ {
+			s -= q.qr.data[i*q.n+j] * x[j]
+		}
+		d := q.qr.data[i*q.n+i]
+		if math.Abs(d) <= tol {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖A x − b‖₂ via QR. Convenience wrapper.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}

@@ -1,0 +1,201 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// SVD is a thin singular value decomposition A = U diag(σ) Vᵀ of an m-by-n
+// matrix with m >= n: U is m-by-n with orthonormal columns, V is n-by-n
+// orthogonal, and the singular values are sorted descending.
+type SVD struct {
+	U      *Dense
+	V      *Dense
+	Values []float64
+}
+
+// NewSVD computes the thin SVD by the one-sided Jacobi method: columns of a
+// working copy of A are orthogonalized by plane rotations; their final
+// norms are the singular values. Numerically robust for the moderate sizes
+// used here (m up to a few thousand, n up to a few hundred).
+func NewSVD(a *Dense) (*SVD, error) {
+	m, n := a.Dims()
+	if m < n {
+		return nil, ErrShape
+	}
+	if n == 0 {
+		return nil, ErrShape
+	}
+	w := a.Clone()
+	v := Eye(n)
+
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries for columns p and q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					app += cp * cp
+					aqq += cq * cq
+					apq += cp * cq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				for i := 0; i < m; i++ {
+					cp := w.data[i*n+p]
+					cq := w.data[i*n+q]
+					w.data[i*n+p] = c*cp - s*cq
+					w.data[i*n+q] = s*cp + c*cq
+				}
+				for i := 0; i < n; i++ {
+					vp := v.data[i*n+p]
+					vq := v.data[i*n+q]
+					v.data[i*n+p] = c*vp - s*vq
+					v.data[i*n+q] = s*vp + c*vq
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms are the singular values; normalize U's columns.
+	type col struct {
+		sigma float64
+		idx   int
+	}
+	cols := make([]col, n)
+	for j := 0; j < n; j++ {
+		var ss float64
+		for i := 0; i < m; i++ {
+			cv := w.data[i*n+j]
+			ss += cv * cv
+		}
+		cols[j] = col{sigma: math.Sqrt(ss), idx: j}
+	}
+	sort.Slice(cols, func(a, b int) bool { return cols[a].sigma > cols[b].sigma })
+
+	u := NewDense(m, n)
+	vOut := NewDense(n, n)
+	values := make([]float64, n)
+	for k, cl := range cols {
+		values[k] = cl.sigma
+		if cl.sigma > 0 {
+			inv := 1 / cl.sigma
+			for i := 0; i < m; i++ {
+				u.data[i*n+k] = w.data[i*n+cl.idx] * inv
+			}
+		}
+		for i := 0; i < n; i++ {
+			vOut.data[i*n+k] = v.data[i*n+cl.idx]
+		}
+	}
+	return &SVD{U: u, V: vOut, Values: values}, nil
+}
+
+// Rank returns the numerical rank at the given relative tolerance
+// (singular values below tol·σ₁ count as zero; tol defaults to 1e-12).
+func (s *SVD) Rank(tol float64) int {
+	if len(s.Values) == 0 || s.Values[0] == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	thr := tol * s.Values[0]
+	r := 0
+	for _, v := range s.Values {
+		if v > thr {
+			r++
+		}
+	}
+	return r
+}
+
+// Cond2 returns the 2-norm condition number σ₁/σₙ (infinity when rank
+// deficient).
+func (s *SVD) Cond2() float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return math.Inf(1)
+	}
+	if s.Values[n-1] == 0 {
+		return math.Inf(1)
+	}
+	return s.Values[0] / s.Values[n-1]
+}
+
+// PCA projects the rows of x (mean-centered internally) onto the top-k
+// principal components, returning the n-by-k score matrix and the fraction
+// of variance captured by each component.
+func PCA(x *Dense, k int) (*Dense, []float64, error) {
+	n, d := x.Dims()
+	if k < 1 || k > d || n < 2 {
+		return nil, nil, ErrShape
+	}
+	// Center columns.
+	centered := x.Clone()
+	for j := 0; j < d; j++ {
+		var mean float64
+		for i := 0; i < n; i++ {
+			mean += centered.At(i, j)
+		}
+		mean /= float64(n)
+		for i := 0; i < n; i++ {
+			centered.Set(i, j, centered.At(i, j)-mean)
+		}
+	}
+	var (
+		svd *SVD
+		err error
+	)
+	if n >= d {
+		svd, err = NewSVD(centered)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Wide matrix: decompose the transpose and swap factors.
+		st, terr := NewSVD(centered.T())
+		if terr != nil {
+			return nil, nil, terr
+		}
+		svd = &SVD{U: st.V, V: st.U, Values: st.Values}
+	}
+	// Scores = U Σ restricted to k components.
+	scores := NewDense(n, k)
+	for i := 0; i < n; i++ {
+		for c := 0; c < k; c++ {
+			scores.Set(i, c, svd.U.At(i, c)*svd.Values[c])
+		}
+	}
+	var total float64
+	for _, v := range svd.Values {
+		total += v * v
+	}
+	frac := make([]float64, k)
+	if total > 0 {
+		for c := 0; c < k; c++ {
+			frac[c] = svd.Values[c] * svd.Values[c] / total
+		}
+	}
+	return scores, frac, nil
+}

@@ -1,0 +1,204 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := Diag([]float64{3, 1, 2})
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VecEqual(svd.Values, []float64{3, 2, 1}, 1e-12) {
+		t.Fatalf("values = %v", svd.Values)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 5; trial++ {
+		m := 4 + rng.Intn(8)
+		n := 2 + rng.Intn(m-1)
+		a := randDense(rng, m, n)
+		svd, err := NewSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// U Σ Vᵀ must reconstruct A.
+		us, err := MulDiagRight(svd.U, svd.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Mul(us, svd.V.T())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Equal(a, 1e-9*math.Max(1, a.MaxAbs())) {
+			t.Fatalf("trial %d: reconstruction failed", trial)
+		}
+		// U and V orthonormal.
+		utu, _ := Mul(svd.U.T(), svd.U)
+		if !utu.Equal(Eye(n), 1e-9) {
+			t.Fatalf("trial %d: U columns not orthonormal", trial)
+		}
+		vtv, _ := Mul(svd.V.T(), svd.V)
+		if !vtv.Equal(Eye(n), 1e-9) {
+			t.Fatalf("trial %d: V not orthogonal", trial)
+		}
+		// Singular values nonnegative descending.
+		for i := 1; i < n; i++ {
+			if svd.Values[i] > svd.Values[i-1]+1e-12 || svd.Values[i] < 0 {
+				t.Fatalf("trial %d: values not sorted: %v", trial, svd.Values)
+			}
+		}
+	}
+}
+
+func TestSVDMatchesEigenOfGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	a := randDense(rng, 10, 4)
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ata, _ := Mul(a.T(), a)
+	eig, err := NewEigenSym(ata, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues of AᵀA are squared singular values (ascending order).
+	for i := 0; i < 4; i++ {
+		want := math.Sqrt(math.Max(0, eig.Values[3-i]))
+		if math.Abs(svd.Values[i]-want) > 1e-8*math.Max(1, want) {
+			t.Fatalf("σ[%d] = %v, want %v", i, svd.Values[i], want)
+		}
+	}
+}
+
+func TestSVDShapeErrors(t *testing.T) {
+	if _, err := NewSVD(NewDense(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatal("wide matrix must error")
+	}
+	if _, err := NewSVD(NewDense(0, 0)); !errors.Is(err, ErrShape) {
+		t.Fatal("empty must error")
+	}
+}
+
+func TestSVDRankAndCond(t *testing.T) {
+	// Rank-1 matrix.
+	a := OuterProduct([]float64{1, 2, 3}, []float64{4, 5})
+	svd, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := svd.Rank(0); r != 1 {
+		t.Fatalf("rank = %d, want 1", r)
+	}
+	// Rounding can leave σ₂ at ~1e-16 rather than exactly 0, so the
+	// condition number is astronomically large rather than +Inf.
+	if c := svd.Cond2(); !math.IsInf(c, 1) && c < 1e12 {
+		t.Fatalf("cond = %v, want huge", c)
+	}
+	id, err := NewSVD(Eye(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Rank(0) != 3 || math.Abs(id.Cond2()-1) > 1e-12 {
+		t.Fatalf("identity rank/cond wrong: %d, %v", id.Rank(0), id.Cond2())
+	}
+}
+
+func TestSVDZeroMatrix(t *testing.T) {
+	svd, err := NewSVD(NewDense(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svd.Rank(0) != 0 {
+		t.Fatalf("zero matrix rank = %d", svd.Rank(0))
+	}
+	if !math.IsInf(svd.Cond2(), 1) {
+		t.Fatal("zero matrix cond must be +Inf")
+	}
+}
+
+func TestPCARecoversDominantDirection(t *testing.T) {
+	// Points along direction (1,1) with small orthogonal noise: the first
+	// component must capture almost all variance.
+	rng := rand.New(rand.NewSource(95))
+	n := 200
+	x := NewDense(n, 2)
+	for i := 0; i < n; i++ {
+		tv := rng.NormFloat64() * 3
+		noise := rng.NormFloat64() * 0.1
+		x.Set(i, 0, tv+noise)
+		x.Set(i, 1, tv-noise)
+	}
+	scores, frac, err := PCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := scores.Dims(); r != n || c != 2 {
+		t.Fatalf("scores dims (%d,%d)", r, c)
+	}
+	if frac[0] < 0.95 {
+		t.Fatalf("first component variance fraction %v, want > 0.95", frac[0])
+	}
+	if frac[0]+frac[1] > 1+1e-9 {
+		t.Fatal("variance fractions exceed 1")
+	}
+}
+
+func TestPCAWideMatrix(t *testing.T) {
+	// More columns than rows exercises the transpose path.
+	rng := rand.New(rand.NewSource(97))
+	x := randDense(rng, 5, 12)
+	scores, frac, err := PCA(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := scores.Dims(); r != 5 || c != 3 {
+		t.Fatalf("scores dims (%d,%d)", r, c)
+	}
+	if len(frac) != 3 {
+		t.Fatalf("frac = %v", frac)
+	}
+}
+
+func TestPCAValidation(t *testing.T) {
+	x := NewDense(3, 2)
+	if _, _, err := PCA(x, 0); !errors.Is(err, ErrShape) {
+		t.Fatal("k=0 must error")
+	}
+	if _, _, err := PCA(x, 3); !errors.Is(err, ErrShape) {
+		t.Fatal("k>d must error")
+	}
+	if _, _, err := PCA(NewDense(1, 2), 1); !errors.Is(err, ErrShape) {
+		t.Fatal("n<2 must error")
+	}
+}
+
+func TestPCACentersData(t *testing.T) {
+	// Adding a constant offset to every row must not change the scores'
+	// variance structure.
+	rng := rand.New(rand.NewSource(99))
+	x := randDense(rng, 40, 3)
+	shifted := x.Clone()
+	shifted.Apply(func(_, j int, v float64) float64 { return v + 100*float64(j+1) })
+	_, f1, err := PCA(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, f2, err := PCA(shifted, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if math.Abs(f1[i]-f2[i]) > 1e-9 {
+			t.Fatalf("offset changed variance fractions: %v vs %v", f1, f2)
+		}
+	}
+}

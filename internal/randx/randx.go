@@ -1,0 +1,208 @@
+// Package randx supplies the deterministic random-variate machinery the
+// experiments need: seeded RNGs, multivariate normal sampling via Cholesky
+// factors, the paper's truncated multivariate normal input distribution,
+// Bernoulli responses, permutations, and k-fold split generators.
+package randx
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+var (
+	// ErrParam is returned for invalid distribution parameters.
+	ErrParam = errors.New("randx: invalid parameter")
+)
+
+// RNG wraps math/rand with convenience samplers. All experiment code draws
+// randomness through an explicit *RNG so every figure is reproducible from a
+// seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// New returns an RNG seeded deterministically.
+func New(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform variate in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative 63-bit integer.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// Norm returns a standard normal variate.
+func (g *RNG) Norm() float64 { return g.r.NormFloat64() }
+
+// NormVec fills a length-n slice with standard normal variates.
+func (g *RNG) NormVec(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.r.NormFloat64()
+	}
+	return out
+}
+
+// Bernoulli returns 1 with probability p, else 0.
+func (g *RNG) Bernoulli(p float64) float64 {
+	if g.r.Float64() < p {
+		return 1
+	}
+	return 0
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle permutes idx in place.
+func (g *RNG) Shuffle(idx []int) {
+	g.r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+}
+
+// Split derives an independent child RNG; used to fan replications out so
+// each replicate is reproducible in isolation.
+func (g *RNG) Split() *RNG {
+	return New(g.r.Int63())
+}
+
+// MVN is a multivariate normal sampler N(mu, Sigma) backed by the Cholesky
+// factor of Sigma.
+type MVN struct {
+	mu []float64
+	l  *mat.Dense
+}
+
+// NewMVN constructs the sampler; Sigma must be symmetric positive definite.
+func NewMVN(mu []float64, sigma *mat.Dense) (*MVN, error) {
+	r, c := sigma.Dims()
+	if r != c || r != len(mu) {
+		return nil, fmt.Errorf("randx: MVN dims mu=%d sigma=%dx%d: %w", len(mu), r, c, ErrParam)
+	}
+	ch, err := mat.NewCholesky(sigma)
+	if err != nil {
+		return nil, fmt.Errorf("randx: sigma not SPD: %w", err)
+	}
+	return &MVN{mu: mat.CloneVec(mu), l: ch.L()}, nil
+}
+
+// Dim returns the dimension of the distribution.
+func (m *MVN) Dim() int { return len(m.mu) }
+
+// Sample draws one variate: mu + L z with z ~ N(0, I).
+func (m *MVN) Sample(g *RNG) []float64 {
+	z := g.NormVec(len(m.mu))
+	x, err := mat.MulVec(m.l, z)
+	if err != nil {
+		// Impossible by construction: L is square of matching size.
+		panic(err)
+	}
+	for i := range x {
+		x[i] += m.mu[i]
+	}
+	return x
+}
+
+// SampleN draws n variates as rows.
+func (m *MVN) SampleN(g *RNG, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = m.Sample(g)
+	}
+	return out
+}
+
+// PaperTruncatedMVN is the input distribution of the paper's synthetic
+// studies: X̃ ~ N(mu, Sigma) with each coordinate k replaced by 0 whenever
+// X̃_k falls outside [0,1]. (The paper keeps X̃_k when it is in [0,1] and
+// zeroes it otherwise — a censoring rule, not a rejection sampler.)
+type PaperTruncatedMVN struct {
+	mvn *MVN
+}
+
+// NewPaperTruncatedMVN builds the distribution with the paper's parameters
+// for dimension p: mean (0.5,…,0.5) and covariance 0.05·(I + 1 1ᵀ) with
+// diagonal 0.1 (i.e. off-diagonal 0.05, diagonal 0.1).
+func NewPaperTruncatedMVN(p int) (*PaperTruncatedMVN, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("randx: dimension %d: %w", p, ErrParam)
+	}
+	mu := mat.Constant(p, 0.5)
+	sigma := mat.NewDense(p, p)
+	sigma.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return 0.10
+		}
+		return 0.05
+	})
+	mvn, err := NewMVN(mu, sigma)
+	if err != nil {
+		return nil, err
+	}
+	return &PaperTruncatedMVN{mvn: mvn}, nil
+}
+
+// Dim returns the dimension p.
+func (d *PaperTruncatedMVN) Dim() int { return d.mvn.Dim() }
+
+// Sample draws one censored variate.
+func (d *PaperTruncatedMVN) Sample(g *RNG) []float64 {
+	x := d.mvn.Sample(g)
+	for k, v := range x {
+		if v < 0 || v > 1 {
+			x[k] = 0
+		}
+	}
+	return x
+}
+
+// SampleN draws n censored variates as rows.
+func (d *PaperTruncatedMVN) SampleN(g *RNG, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = d.Sample(g)
+	}
+	return out
+}
+
+// Logistic returns the logistic sigmoid 1/(1+e^{−t}).
+func Logistic(t float64) float64 {
+	// Numerically stable on both tails.
+	if t >= 0 {
+		z := math.Exp(-t)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(t)
+	return z / (1 + z)
+}
+
+// KFold partitions [0,n) into k random folds of near-equal size
+// (sizes differ by at most one). It returns the folds as index slices.
+func KFold(g *RNG, n, k int) ([][]int, error) {
+	if k < 2 || k > n {
+		return nil, fmt.Errorf("randx: KFold(n=%d, k=%d): %w", n, k, ErrParam)
+	}
+	perm := g.Perm(n)
+	folds := make([][]int, k)
+	for i, p := range perm {
+		folds[i%k] = append(folds[i%k], p)
+	}
+	return folds, nil
+}
+
+// SplitLabeled splits [0,n) into a labeled set of size nLabeled and the
+// complementary unlabeled set, uniformly at random.
+func SplitLabeled(g *RNG, n, nLabeled int) (labeled, unlabeled []int, err error) {
+	if nLabeled < 1 || nLabeled >= n {
+		return nil, nil, fmt.Errorf("randx: SplitLabeled(n=%d, labeled=%d): %w", n, nLabeled, ErrParam)
+	}
+	perm := g.Perm(n)
+	return perm[:nLabeled], perm[nLabeled:], nil
+}

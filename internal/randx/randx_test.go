@@ -1,0 +1,274 @@
+package randx
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+	c := New(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if New(42).Float64() == c.Float64() {
+			continue
+		}
+		same = false
+	}
+	if same {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestNormVecLen(t *testing.T) {
+	g := New(1)
+	v := g.NormVec(7)
+	if len(v) != 7 {
+		t.Fatalf("len = %d", len(v))
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	g := New(2)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Bernoulli(0.3)
+	}
+	if p := sum / n; math.Abs(p-0.3) > 0.02 {
+		t.Fatalf("empirical p = %v, want ~0.3", p)
+	}
+	if g.Bernoulli(0) != 0 {
+		t.Fatal("Bernoulli(0) must be 0")
+	}
+	if g.Bernoulli(1) != 1 {
+		t.Fatal("Bernoulli(1) must be 1")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	g := New(3)
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	g := New(4)
+	idx := []int{1, 2, 3, 4, 5}
+	g.Shuffle(idx)
+	sum := 0
+	for _, v := range idx {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", idx)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := New(5)
+	c1 := g.Split()
+	c2 := g.Split()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("children should produce different streams")
+	}
+}
+
+func TestNewMVNValidation(t *testing.T) {
+	sigma := mat.Eye(2)
+	if _, err := NewMVN([]float64{0}, sigma); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	notPD, _ := mat.NewDenseData(2, 2, []float64{1, 2, 2, 1})
+	if _, err := NewMVN([]float64{0, 0}, notPD); err == nil {
+		t.Fatal("non-SPD sigma must error")
+	}
+}
+
+func TestMVNMoments(t *testing.T) {
+	mu := []float64{1, -2}
+	sigma, _ := mat.NewDenseData(2, 2, []float64{2, 0.5, 0.5, 1})
+	d, err := NewMVN(mu, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 2 {
+		t.Fatal("Dim wrong")
+	}
+	g := New(7)
+	const n = 40000
+	var m0, m1, c00, c01, c11 float64
+	xs := d.SampleN(g, n)
+	for _, x := range xs {
+		m0 += x[0]
+		m1 += x[1]
+	}
+	m0 /= n
+	m1 /= n
+	for _, x := range xs {
+		c00 += (x[0] - m0) * (x[0] - m0)
+		c01 += (x[0] - m0) * (x[1] - m1)
+		c11 += (x[1] - m1) * (x[1] - m1)
+	}
+	c00 /= n
+	c01 /= n
+	c11 /= n
+	if math.Abs(m0-1) > 0.05 || math.Abs(m1+2) > 0.05 {
+		t.Fatalf("means (%v,%v)", m0, m1)
+	}
+	if math.Abs(c00-2) > 0.1 || math.Abs(c01-0.5) > 0.05 || math.Abs(c11-1) > 0.05 {
+		t.Fatalf("covariances (%v,%v,%v)", c00, c01, c11)
+	}
+}
+
+func TestNewPaperTruncatedMVN(t *testing.T) {
+	if _, err := NewPaperTruncatedMVN(0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	d, err := NewPaperTruncatedMVN(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 5 {
+		t.Fatal("Dim wrong")
+	}
+}
+
+func TestPaperTruncatedMVNRange(t *testing.T) {
+	d, _ := NewPaperTruncatedMVN(5)
+	g := New(11)
+	for _, x := range d.SampleN(g, 2000) {
+		if len(x) != 5 {
+			t.Fatal("dimension wrong")
+		}
+		for _, v := range x {
+			if v < 0 || v > 1 {
+				t.Fatalf("censored coordinate out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestPaperTruncatedMVNCensoringHappens(t *testing.T) {
+	// With sd ≈ 0.32 around 0.5, a noticeable fraction of coordinates falls
+	// outside [0,1] and must be set to exactly 0.
+	d, _ := NewPaperTruncatedMVN(5)
+	g := New(13)
+	zeros := 0
+	total := 0
+	for _, x := range d.SampleN(g, 2000) {
+		for _, v := range x {
+			total++
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	frac := float64(zeros) / float64(total)
+	if frac < 0.02 || frac > 0.3 {
+		t.Fatalf("censoring fraction %v implausible", frac)
+	}
+}
+
+func TestPaperTruncatedMVNMeanNearHalf(t *testing.T) {
+	d, _ := NewPaperTruncatedMVN(5)
+	g := New(17)
+	var sum float64
+	const n = 5000
+	for _, x := range d.SampleN(g, n) {
+		sum += x[0]
+	}
+	mean := sum / n
+	// Censoring pulls the mean slightly below 0.5.
+	if mean < 0.35 || mean > 0.55 {
+		t.Fatalf("coordinate mean %v implausible", mean)
+	}
+}
+
+func TestLogistic(t *testing.T) {
+	if Logistic(0) != 0.5 {
+		t.Fatal("Logistic(0) must be 0.5")
+	}
+	if got := Logistic(1000); got != 1 {
+		t.Fatalf("Logistic(1000) = %v, want 1", got)
+	}
+	if got := Logistic(-1000); got != 0 {
+		t.Fatalf("Logistic(-1000) = %v, want 0", got)
+	}
+	// Symmetry: σ(−t) = 1 − σ(t).
+	for _, v := range []float64{0.3, 1.7, 5} {
+		if math.Abs(Logistic(-v)-(1-Logistic(v))) > 1e-15 {
+			t.Fatalf("symmetry violated at %v", v)
+		}
+	}
+}
+
+func TestKFold(t *testing.T) {
+	g := New(19)
+	folds, err := KFold(g, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 3 {
+		t.Fatalf("folds = %d", len(folds))
+	}
+	seen := make(map[int]bool)
+	for _, f := range folds {
+		if len(f) < 3 || len(f) > 4 {
+			t.Fatalf("fold size %d out of balance", len(f))
+		}
+		for _, v := range f {
+			if seen[v] {
+				t.Fatalf("index %d appears twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatal("folds do not cover all indices")
+	}
+	if _, err := KFold(g, 3, 5); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := KFold(g, 3, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam for k=1, got %v", err)
+	}
+}
+
+func TestSplitLabeled(t *testing.T) {
+	g := New(23)
+	lab, unl, err := SplitLabeled(g, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab) != 3 || len(unl) != 7 {
+		t.Fatalf("sizes %d/%d", len(lab), len(unl))
+	}
+	seen := make(map[int]bool)
+	for _, v := range append(append([]int{}, lab...), unl...) {
+		if seen[v] {
+			t.Fatal("overlap between labeled and unlabeled")
+		}
+		seen[v] = true
+	}
+	if _, _, err := SplitLabeled(g, 5, 5); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, _, err := SplitLabeled(g, 5, 0); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+}

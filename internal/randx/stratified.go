@@ -1,0 +1,87 @@
+package randx
+
+import "fmt"
+
+// StratifiedSplit draws a labeled subset of size nLabeled whose class
+// proportions match the full label vector as closely as possible (exact up
+// to rounding, with remainders assigned to the largest classes first). It
+// returns the labeled and unlabeled index sets.
+//
+// Stratification matters for the COIL-style experiments at low labeled
+// ratios: a uniform draw can miss a class entirely, leaving one-vs-rest
+// columns with no positive examples.
+func StratifiedSplit(g *RNG, labels []int, nLabeled int) (labeled, unlabeled []int, err error) {
+	n := len(labels)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("randx: empty labels: %w", ErrParam)
+	}
+	if nLabeled < 1 || nLabeled >= n {
+		return nil, nil, fmt.Errorf("randx: StratifiedSplit(n=%d, labeled=%d): %w", n, nLabeled, ErrParam)
+	}
+	byClass := make(map[int][]int)
+	for i, c := range labels {
+		byClass[c] = append(byClass[c], i)
+	}
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	// Deterministic class order, then shuffle members per class.
+	for i := 1; i < len(classes); i++ {
+		for j := i; j > 0 && classes[j] < classes[j-1]; j-- {
+			classes[j], classes[j-1] = classes[j-1], classes[j]
+		}
+	}
+
+	// Proportional allocation with largest-remainder rounding.
+	type alloc struct {
+		class     int
+		base      int
+		remainder float64
+	}
+	allocs := make([]alloc, 0, len(classes))
+	total := 0
+	for _, c := range classes {
+		exact := float64(nLabeled) * float64(len(byClass[c])) / float64(n)
+		base := int(exact)
+		if base > len(byClass[c]) {
+			base = len(byClass[c])
+		}
+		allocs = append(allocs, alloc{class: c, base: base, remainder: exact - float64(base)})
+		total += base
+	}
+	for total < nLabeled {
+		best := -1
+		for i := range allocs {
+			if allocs[i].base >= len(byClass[allocs[i].class]) {
+				continue
+			}
+			if best == -1 || allocs[i].remainder > allocs[best].remainder {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // every class exhausted (cannot happen with nLabeled < n)
+		}
+		allocs[best].base++
+		allocs[best].remainder = -1
+		total++
+	}
+
+	taken := make(map[int]bool, nLabeled)
+	for _, a := range allocs {
+		members := byClass[a.class]
+		perm := g.Perm(len(members))
+		for _, pi := range perm[:a.base] {
+			idx := members[pi]
+			labeled = append(labeled, idx)
+			taken[idx] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		if !taken[i] {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+	return labeled, unlabeled, nil
+}

@@ -1,0 +1,132 @@
+package randx
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestStratifiedSplitProportions(t *testing.T) {
+	// 60 points: 30 class 0, 20 class 1, 10 class 2; request 12 labeled
+	// ⇒ expect 6 / 4 / 2.
+	labels := make([]int, 60)
+	for i := 30; i < 50; i++ {
+		labels[i] = 1
+	}
+	for i := 50; i < 60; i++ {
+		labels[i] = 2
+	}
+	g := New(91)
+	lab, unl, err := StratifiedSplit(g, labels, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab) != 12 || len(unl) != 48 {
+		t.Fatalf("sizes %d/%d", len(lab), len(unl))
+	}
+	count := map[int]int{}
+	for _, idx := range lab {
+		count[labels[idx]]++
+	}
+	if count[0] != 6 || count[1] != 4 || count[2] != 2 {
+		t.Fatalf("class allocation %v", count)
+	}
+}
+
+func TestStratifiedSplitNoOverlapFullCover(t *testing.T) {
+	labels := []int{0, 1, 0, 1, 0, 1, 0, 1}
+	g := New(93)
+	lab, unl, err := StratifiedSplit(g, labels, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, v := range append(append([]int{}, lab...), unl...) {
+		if seen[v] {
+			t.Fatalf("index %d appears twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatal("indices lost")
+	}
+}
+
+func TestStratifiedSplitEveryClassRepresented(t *testing.T) {
+	// Small labeled budget: largest-remainder must still give each sizable
+	// class at least proportional share; with three balanced classes and
+	// budget 3 each class gets exactly one.
+	labels := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	g := New(95)
+	lab, _, err := StratifiedSplit(g, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, idx := range lab {
+		got[labels[idx]] = true
+	}
+	if len(got) != 3 {
+		t.Fatalf("classes covered: %v", got)
+	}
+}
+
+func TestStratifiedSplitRoundingBias(t *testing.T) {
+	// Remainders must go to the classes with the largest fractional share.
+	// 10 points: 7 class 0, 3 class 1; request 3 ⇒ exact 2.1 / 0.9 ⇒ 2 / 1.
+	labels := []int{0, 0, 0, 0, 0, 0, 0, 1, 1, 1}
+	g := New(97)
+	lab, _, err := StratifiedSplit(g, labels, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := map[int]int{}
+	for _, idx := range lab {
+		count[labels[idx]]++
+	}
+	if count[0] != 2 || count[1] != 1 {
+		t.Fatalf("allocation %v, want 2/1", count)
+	}
+}
+
+func TestStratifiedSplitStatisticalBalance(t *testing.T) {
+	// Across many draws the labeled fraction per class tracks the global
+	// ratio.
+	labels := make([]int, 100)
+	for i := 40; i < 100; i++ {
+		labels[i] = 1
+	}
+	g := New(99)
+	var frac0 float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		lab, _, err := StratifiedSplit(g, labels, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0 := 0
+		for _, idx := range lab {
+			if labels[idx] == 0 {
+				c0++
+			}
+		}
+		frac0 += float64(c0) / 10
+	}
+	frac0 /= trials
+	if math.Abs(frac0-0.4) > 0.02 {
+		t.Fatalf("class-0 labeled fraction %v, want 0.4", frac0)
+	}
+}
+
+func TestStratifiedSplitValidation(t *testing.T) {
+	g := New(101)
+	if _, _, err := StratifiedSplit(g, nil, 1); !errors.Is(err, ErrParam) {
+		t.Fatal("empty labels must error")
+	}
+	if _, _, err := StratifiedSplit(g, []int{0, 1}, 0); !errors.Is(err, ErrParam) {
+		t.Fatal("nLabeled=0 must error")
+	}
+	if _, _, err := StratifiedSplit(g, []int{0, 1}, 2); !errors.Is(err, ErrParam) {
+		t.Fatal("nLabeled=n must error")
+	}
+}

@@ -1,0 +1,283 @@
+package sparse
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// SolveResult reports how an iterative solve ended.
+type SolveResult struct {
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Residual is the final relative residual ‖b−Ax‖₂ / ‖b‖₂
+	// (absolute when b = 0).
+	Residual float64
+}
+
+// CGOptions configures the conjugate gradient solver.
+type CGOptions struct {
+	// Tol is the relative residual target; default 1e-10.
+	Tol float64
+	// MaxIter caps iterations; default 10*n.
+	MaxIter int
+	// Precondition enables Jacobi (diagonal) preconditioning.
+	Precondition bool
+	// X0 is the starting guess; default the zero vector.
+	X0 []float64
+}
+
+func (o *CGOptions) fill(n int) error {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 100 {
+			o.MaxIter = 100
+		}
+	}
+	if o.X0 != nil && len(o.X0) != n {
+		return ErrShape
+	}
+	return nil
+}
+
+// CG solves A x = b for a symmetric positive definite CSR matrix using the
+// conjugate gradient method, optionally with Jacobi preconditioning.
+func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, SolveResult{}, ErrShape
+	}
+	if err := opts.fill(n); err != nil {
+		return nil, SolveResult{}, err
+	}
+
+	var invDiag []float64
+	if opts.Precondition {
+		invDiag = make([]float64, n)
+		for i, d := range a.Diag() {
+			if d == 0 {
+				return nil, SolveResult{}, ErrZeroDiagonal
+			}
+			invDiag[i] = 1 / d
+		}
+	}
+
+	x := make([]float64, n)
+	if opts.X0 != nil {
+		copy(x, opts.X0)
+	}
+	r := make([]float64, n)
+	if err := a.MulVecTo(r, x); err != nil {
+		return nil, SolveResult{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bnorm := mat.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	z := make([]float64, n)
+	applyPrec := func() {
+		if invDiag == nil {
+			copy(z, r)
+			return
+		}
+		for i := range z {
+			z[i] = invDiag[i] * r[i]
+		}
+	}
+	applyPrec()
+	p := mat.CloneVec(z)
+	rz := mat.Dot(r, z)
+	ap := make([]float64, n)
+
+	res := mat.Norm2(r) / bnorm
+	for it := 0; it < opts.MaxIter; it++ {
+		if res <= opts.Tol {
+			return x, SolveResult{Iterations: it, Residual: res}, nil
+		}
+		if err := a.MulVecTo(ap, p); err != nil {
+			return nil, SolveResult{}, err
+		}
+		pap := mat.Dot(p, ap)
+		if pap <= 0 {
+			// Not positive definite along p: cannot proceed.
+			return nil, SolveResult{Iterations: it, Residual: res}, ErrNotConverged
+		}
+		alpha := rz / pap
+		mat.AXPY(alpha, p, x)
+		mat.AXPY(-alpha, ap, r)
+		res = mat.Norm2(r) / bnorm
+		applyPrec()
+		rzNew := mat.Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	if res <= opts.Tol {
+		return x, SolveResult{Iterations: opts.MaxIter, Residual: res}, nil
+	}
+	return x, SolveResult{Iterations: opts.MaxIter, Residual: res}, ErrNotConverged
+}
+
+// Jacobi solves A x = b by Jacobi iteration x ← D⁻¹(b − R x). It converges
+// when A is strictly diagonally dominant, which holds for the hard
+// criterion's D22−W22 system whenever every unlabeled node has positive
+// similarity to a labeled node.
+func Jacobi(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, SolveResult{}, ErrShape
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	diag := a.Diag()
+	for _, d := range diag {
+		if d == 0 {
+			return nil, SolveResult{}, ErrZeroDiagonal
+		}
+	}
+	bnorm := mat.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	x := make([]float64, n)
+	next := make([]float64, n)
+	r := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		for i := 0; i < n; i++ {
+			cols, vals := a.RowNNZ(i)
+			s := b[i]
+			for k, j := range cols {
+				if j != i {
+					s -= vals[k] * x[j]
+				}
+			}
+			next[i] = s / diag[i]
+		}
+		x, next = next, x
+		if err := a.MulVecTo(r, x); err != nil {
+			return nil, SolveResult{}, err
+		}
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res := mat.Norm2(r) / bnorm
+		if res <= tol {
+			return x, SolveResult{Iterations: it + 1, Residual: res}, nil
+		}
+	}
+	if err := a.MulVecTo(r, x); err != nil {
+		return nil, SolveResult{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return x, SolveResult{Iterations: maxIter, Residual: mat.Norm2(r) / bnorm}, ErrNotConverged
+}
+
+// GaussSeidel solves A x = b by forward Gauss–Seidel sweeps. Like Jacobi it
+// converges for strictly diagonally dominant systems, typically in fewer
+// iterations.
+func GaussSeidel(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	n := a.rows
+	if a.cols != n || len(b) != n {
+		return nil, SolveResult{}, ErrShape
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	diag := a.Diag()
+	for _, d := range diag {
+		if d == 0 {
+			return nil, SolveResult{}, ErrZeroDiagonal
+		}
+	}
+	bnorm := mat.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	for it := 0; it < maxIter; it++ {
+		for i := 0; i < n; i++ {
+			cols, vals := a.RowNNZ(i)
+			s := b[i]
+			for k, j := range cols {
+				if j != i {
+					s -= vals[k] * x[j]
+				}
+			}
+			x[i] = s / diag[i]
+		}
+		if err := a.MulVecTo(r, x); err != nil {
+			return nil, SolveResult{}, err
+		}
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		res := mat.Norm2(r) / bnorm
+		if res <= tol {
+			return x, SolveResult{Iterations: it + 1, Residual: res}, nil
+		}
+	}
+	if err := a.MulVecTo(r, x); err != nil {
+		return nil, SolveResult{}, err
+	}
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	return x, SolveResult{Iterations: maxIter, Residual: mat.Norm2(r) / bnorm}, ErrNotConverged
+}
+
+// SpectralRadiusEstimate estimates the spectral radius of the matrix by
+// power iteration on AᵀA when A is asymmetric, or directly when symmetric.
+// It is used for contraction diagnostics in the propagation solver.
+func SpectralRadiusEstimate(a *CSR, maxIter int) (float64, error) {
+	if a.rows != a.cols {
+		return 0, ErrShape
+	}
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	n := a.rows
+	if n == 0 {
+		return 0, nil
+	}
+	x := mat.Ones(n)
+	mat.ScaleVec(1/mat.Norm2(x), x)
+	y := make([]float64, n)
+	var lam float64
+	for it := 0; it < maxIter; it++ {
+		if err := a.MulVecTo(y, x); err != nil {
+			return 0, err
+		}
+		ny := mat.Norm2(y)
+		if ny == 0 {
+			return 0, nil
+		}
+		newLam := ny
+		for i := range x {
+			x[i] = y[i] / ny
+		}
+		if it > 5 && math.Abs(newLam-lam) <= 1e-10*math.Max(1, newLam) {
+			return newLam, nil
+		}
+		lam = newLam
+	}
+	return lam, nil
+}

@@ -1,0 +1,256 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mat"
+)
+
+// randSPDCSR builds a random sparse strictly diagonally dominant SPD matrix.
+func randSPDCSR(rng *rand.Rand, n int) *CSR {
+	coo := NewCOO(n, n)
+	rowAbs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.3 {
+				v := rng.NormFloat64()
+				_ = coo.AddSym(i, j, v)
+				rowAbs[i] += math.Abs(v)
+				rowAbs[j] += math.Abs(v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		_ = coo.Add(i, i, rowAbs[i]+1+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func checkSolve(t *testing.T, name string, a *CSR, x, b []float64) {
+	t.Helper()
+	ax, err := a.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := mat.NormInf(mat.SubVec(ax, b)); r > 1e-7 {
+		t.Fatalf("%s: residual %g too large", name, r)
+	}
+}
+
+func TestCGSolvesSPD(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(30)
+		a := randSPDCSR(rng, n)
+		b := randVec(rng, n)
+		x, res, err := CG(a, b, CGOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v (res=%+v)", trial, err, res)
+		}
+		checkSolve(t, "CG", a, x, b)
+		if res.Iterations > 10*n+100 {
+			t.Fatalf("trial %d: too many iterations %d", trial, res.Iterations)
+		}
+	}
+}
+
+func TestCGPreconditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	a := randSPDCSR(rng, 40)
+	b := randVec(rng, 40)
+	x, _, err := CG(a, b, CGOptions{Precondition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSolve(t, "PCG", a, x, b)
+}
+
+func TestCGWithX0(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randSPDCSR(rng, 10)
+	b := randVec(rng, 10)
+	exact, _, err := CG(a, b, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm start from the exact solution converges immediately.
+	x, res, err := CG(a, b, CGOptions{X0: exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("warm-started CG took %d iterations", res.Iterations)
+	}
+	checkSolve(t, "CG warm", a, x, b)
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	a := randSPDCSR(rng, 5)
+	x, _, err := CG(a, make([]float64, 5), CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mat.NormInf(x) != 0 {
+		t.Fatalf("CG with b=0 should return 0, got %v", x)
+	}
+}
+
+func TestCGShapeErrors(t *testing.T) {
+	a := randSPDCSR(rand.New(rand.NewSource(1)), 4)
+	if _, _, err := CG(a, []float64{1}, CGOptions{}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+	if _, _, err := CG(a, make([]float64, 4), CGOptions{X0: []float64{1}}); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape for bad X0, got %v", err)
+	}
+}
+
+func TestCGIndefiniteFails(t *testing.T) {
+	coo := NewCOO(2, 2)
+	_ = coo.Add(0, 0, 1)
+	_ = coo.Add(1, 1, -1)
+	a := coo.ToCSR()
+	if _, _, err := CG(a, []float64{1, 1}, CGOptions{}); err == nil {
+		t.Fatal("CG on indefinite matrix must fail")
+	}
+}
+
+func TestJacobiSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randSPDCSR(rng, n)
+		b := randVec(rng, n)
+		x, _, err := Jacobi(a, b, 1e-10, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkSolve(t, "Jacobi", a, x, b)
+	}
+}
+
+func TestGaussSeidelSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	for trial := 0; trial < 5; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randSPDCSR(rng, n)
+		b := randVec(rng, n)
+		x, _, err := GaussSeidel(a, b, 1e-10, 0)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkSolve(t, "GaussSeidel", a, x, b)
+	}
+}
+
+func TestGaussSeidelFasterThanJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	a := randSPDCSR(rng, 30)
+	b := randVec(rng, 30)
+	_, rj, err := Jacobi(a, b, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rg, err := GaussSeidel(a, b, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Iterations > rj.Iterations {
+		t.Fatalf("Gauss–Seidel (%d it) slower than Jacobi (%d it)", rg.Iterations, rj.Iterations)
+	}
+}
+
+func TestIterativeSolversAgreeWithDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	a := randSPDCSR(rng, 15)
+	b := randVec(rng, 15)
+	want, err := mat.SolveSPD(a.ToDense(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xcg, _, err := CG(a, b, CGOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(xcg, want, 1e-7) {
+		t.Fatal("CG disagrees with dense solve")
+	}
+	xgs, _, err := GaussSeidel(a, b, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(xgs, want, 1e-6) {
+		t.Fatal("Gauss–Seidel disagrees with dense solve")
+	}
+}
+
+func TestZeroDiagonalErrors(t *testing.T) {
+	coo := NewCOO(2, 2)
+	_ = coo.Add(0, 1, 1)
+	_ = coo.Add(1, 0, 1)
+	a := coo.ToCSR()
+	b := []float64{1, 1}
+	if _, _, err := Jacobi(a, b, 0, 0); !errors.Is(err, ErrZeroDiagonal) {
+		t.Fatalf("Jacobi: want ErrZeroDiagonal, got %v", err)
+	}
+	if _, _, err := GaussSeidel(a, b, 0, 0); !errors.Is(err, ErrZeroDiagonal) {
+		t.Fatalf("GaussSeidel: want ErrZeroDiagonal, got %v", err)
+	}
+	if _, _, err := CG(a, b, CGOptions{Precondition: true}); !errors.Is(err, ErrZeroDiagonal) {
+		t.Fatalf("CG: want ErrZeroDiagonal, got %v", err)
+	}
+}
+
+func TestJacobiNotConverged(t *testing.T) {
+	// Not diagonally dominant: Jacobi diverges or stalls within 3 iterations.
+	coo := NewCOO(2, 2)
+	_ = coo.Add(0, 0, 1)
+	_ = coo.Add(0, 1, 5)
+	_ = coo.Add(1, 0, 5)
+	_ = coo.Add(1, 1, 1)
+	a := coo.ToCSR()
+	if _, _, err := Jacobi(a, []float64{1, 1}, 1e-12, 3); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("want ErrNotConverged, got %v", err)
+	}
+}
+
+func TestSpectralRadiusEstimate(t *testing.T) {
+	coo := NewCOO(2, 2)
+	_ = coo.Add(0, 0, 3)
+	_ = coo.Add(1, 1, 1)
+	a := coo.ToCSR()
+	r, err := SpectralRadiusEstimate(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-3) > 1e-6 {
+		t.Fatalf("spectral radius = %v, want 3", r)
+	}
+	rect := NewCOO(2, 3).ToCSR()
+	if _, err := SpectralRadiusEstimate(rect, 0); !errors.Is(err, ErrShape) {
+		t.Fatalf("want ErrShape, got %v", err)
+	}
+}
+
+func TestSpectralRadiusZeroMatrix(t *testing.T) {
+	a := NewCOO(3, 3).ToCSR()
+	r, err := SpectralRadiusEstimate(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 0 {
+		t.Fatalf("zero matrix radius = %v", r)
+	}
+}

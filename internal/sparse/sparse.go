@@ -1,0 +1,275 @@
+// Package sparse provides the sparse-matrix substrate used by the graph and
+// solver layers: a COO builder, an immutable CSR matrix with fast
+// matrix-vector products, and classic iterative solvers (conjugate gradient,
+// Jacobi, Gauss–Seidel) for the symmetric positive definite systems that
+// arise from graph Laplacians.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+var (
+	// ErrShape is returned when operand dimensions are incompatible.
+	ErrShape = errors.New("sparse: dimension mismatch")
+	// ErrNotConverged is returned when an iterative solver exhausts its
+	// iteration budget.
+	ErrNotConverged = errors.New("sparse: iteration did not converge")
+	// ErrZeroDiagonal is returned by solvers that require a nonzero diagonal.
+	ErrZeroDiagonal = errors.New("sparse: zero diagonal entry")
+	// ErrIndex is returned for out-of-range coordinates.
+	ErrIndex = errors.New("sparse: index out of range")
+)
+
+// COO is a coordinate-format builder for sparse matrices. Duplicate entries
+// are summed when converting to CSR.
+type COO struct {
+	rows, cols int
+	ri, ci     []int
+	v          []float64
+}
+
+// NewCOO returns an empty r-by-c COO builder.
+func NewCOO(r, c int) *COO {
+	return &COO{rows: r, cols: c}
+}
+
+// Rows returns the number of rows.
+func (a *COO) Rows() int { return a.rows }
+
+// Cols returns the number of columns.
+func (a *COO) Cols() int { return a.cols }
+
+// NNZ returns the number of stored entries (duplicates counted separately).
+func (a *COO) NNZ() int { return len(a.v) }
+
+// Add appends the entry (i, j, v). Zero values are skipped.
+func (a *COO) Add(i, j int, v float64) error {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		return fmt.Errorf("sparse: Add(%d,%d) outside %dx%d: %w", i, j, a.rows, a.cols, ErrIndex)
+	}
+	if v == 0 {
+		return nil
+	}
+	a.ri = append(a.ri, i)
+	a.ci = append(a.ci, j)
+	a.v = append(a.v, v)
+	return nil
+}
+
+// AddSym appends (i, j, v) and, when i != j, (j, i, v).
+func (a *COO) AddSym(i, j int, v float64) error {
+	if err := a.Add(i, j, v); err != nil {
+		return err
+	}
+	if i != j {
+		return a.Add(j, i, v)
+	}
+	return nil
+}
+
+// ToCSR compiles the builder into an immutable CSR matrix, summing duplicate
+// coordinates.
+func (a *COO) ToCSR() *CSR {
+	nnz := len(a.v)
+	order := make([]int, nnz)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		ix, iy := order[x], order[y]
+		if a.ri[ix] != a.ri[iy] {
+			return a.ri[ix] < a.ri[iy]
+		}
+		return a.ci[ix] < a.ci[iy]
+	})
+
+	indptr := make([]int, a.rows+1)
+	indices := make([]int, 0, nnz)
+	data := make([]float64, 0, nnz)
+	prevRow, prevCol := -1, -1
+	for _, k := range order {
+		r, c, v := a.ri[k], a.ci[k], a.v[k]
+		if r == prevRow && c == prevCol {
+			data[len(data)-1] += v
+			continue
+		}
+		indices = append(indices, c)
+		data = append(data, v)
+		indptr[r+1]++
+		prevRow, prevCol = r, c
+	}
+	for i := 0; i < a.rows; i++ {
+		indptr[i+1] += indptr[i]
+	}
+	return &CSR{rows: a.rows, cols: a.cols, indptr: indptr, indices: indices, data: data}
+}
+
+// CSR is an immutable compressed-sparse-row matrix.
+type CSR struct {
+	rows, cols int
+	indptr     []int
+	indices    []int
+	data       []float64
+}
+
+// Rows returns the number of rows.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CSR) Cols() int { return m.cols }
+
+// Dims returns the row and column counts.
+func (m *CSR) Dims() (int, int) { return m.rows, m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.data) }
+
+// At returns the element at (i, j); zero when the entry is not stored.
+func (m *CSR) At(i, j int) float64 {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(ErrIndex)
+	}
+	lo, hi := m.indptr[i], m.indptr[i+1]
+	k := lo + sort.SearchInts(m.indices[lo:hi], j)
+	if k < hi && m.indices[k] == j {
+		return m.data[k]
+	}
+	return 0
+}
+
+// RowNNZ returns the stored column indices and values of row i, aliasing the
+// internal storage. Callers must not mutate the returned slices.
+func (m *CSR) RowNNZ(i int) (cols []int, vals []float64) {
+	lo, hi := m.indptr[i], m.indptr[i+1]
+	return m.indices[lo:hi], m.data[lo:hi]
+}
+
+// MulVec returns m*x.
+func (m *CSR) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.cols {
+		return nil, ErrShape
+	}
+	out := make([]float64, m.rows)
+	if err := m.MulVecTo(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MulVecTo computes dst = m*x without allocating. dst must not alias x.
+func (m *CSR) MulVecTo(dst, x []float64) error {
+	if len(x) != m.cols || len(dst) != m.rows {
+		return ErrShape
+	}
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.indptr[i], m.indptr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.data[k] * x[m.indices[k]]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
+// Diag returns the main diagonal as a dense slice.
+func (m *CSR) Diag() []float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.At(i, i)
+	}
+	return out
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.indptr[i], m.indptr[i+1]
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += m.data[k]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// ToDense expands the matrix into a dense mat.Dense.
+func (m *CSR) ToDense() *mat.Dense {
+	d := mat.NewDense(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.indptr[i], m.indptr[i+1]
+		for k := lo; k < hi; k++ {
+			d.Set(i, m.indices[k], m.data[k])
+		}
+	}
+	return d
+}
+
+// FromDense builds a CSR matrix from a dense one, dropping entries with
+// |v| <= dropTol.
+func FromDense(d *mat.Dense, dropTol float64) *CSR {
+	r, c := d.Dims()
+	coo := NewCOO(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			v := d.At(i, j)
+			if v > dropTol || v < -dropTol {
+				// Error is impossible: indices are in range by construction.
+				_ = coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Transpose returns the transpose as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	coo := NewCOO(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.indptr[i], m.indptr[i+1]
+		for k := lo; k < hi; k++ {
+			_ = coo.Add(m.indices[k], i, m.data[k])
+		}
+	}
+	return coo.ToCSR()
+}
+
+// IsSymmetric reports whether the matrix equals its transpose within tol.
+func (m *CSR) IsSymmetric(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	t := m.Transpose()
+	if len(t.data) != len(m.data) {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		lo, hi := m.indptr[i], m.indptr[i+1]
+		tlo := t.indptr[i]
+		if t.indptr[i+1]-tlo != hi-lo {
+			return false
+		}
+		for k := lo; k < hi; k++ {
+			tk := tlo + (k - lo)
+			if m.indices[k] != t.indices[tk] {
+				return false
+			}
+			diff := m.data[k] - t.data[tk]
+			if diff > tol || diff < -tol {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversTrueMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	// Sample from N(5, 1): the 95% CI for the mean should usually cover 5.
+	covered := 0
+	const trials = 50
+	for trial := 0; trial < trials; trial++ {
+		sample := make([]float64, 60)
+		for i := range sample {
+			sample[i] = 5 + rng.NormFloat64()
+		}
+		lo, hi, err := BootstrapCI(sample, MeanStat, 0.95, 500, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("inverted interval [%v, %v]", lo, hi)
+		}
+		if lo <= 5 && 5 <= hi {
+			covered++
+		}
+	}
+	if covered < 40 { // ≥80% empirical coverage of a 95% interval
+		t.Fatalf("coverage %d/%d too low", covered, trials)
+	}
+}
+
+func TestBootstrapCIIntervalShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	small := make([]float64, 10)
+	large := make([]float64, 1000)
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	for i := range large {
+		large[i] = rng.NormFloat64()
+	}
+	lo1, hi1, err := BootstrapCI(small, MeanStat, 0.95, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(large, MeanStat, 0.95, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatalf("interval did not shrink: %v vs %v", hi2-lo2, hi1-lo1)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	sample := []float64{1, 2, 3, 4, 5, 6}
+	lo1, hi1, err := BootstrapCI(sample, MedianStat, 0.9, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo2, hi2, err := BootstrapCI(sample, MedianStat, 0.9, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Fatal("same seed must reproduce the interval")
+	}
+}
+
+func TestBootstrapCIErrors(t *testing.T) {
+	if _, _, err := BootstrapCI([]float64{1}, MeanStat, 0.95, 100, 1); !errors.Is(err, ErrEmpty) {
+		t.Fatal("n<2 must error")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, nil, 0.95, 100, 1); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("nil statistic must error")
+	}
+	if _, _, err := BootstrapCI([]float64{1, 2}, MeanStat, 1.5, 100, 1); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bad level must error")
+	}
+}
+
+func TestMeanMedianStats(t *testing.T) {
+	if MeanStat([]float64{1, 2, 3}) != 2 {
+		t.Fatal("MeanStat wrong")
+	}
+	if MedianStat([]float64{3, 1, 2}) != 2 {
+		t.Fatal("MedianStat odd wrong")
+	}
+	if MedianStat([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("MedianStat even wrong")
+	}
+	x := []float64{3, 1}
+	_ = MedianStat(x)
+	if x[0] != 3 {
+		t.Fatal("MedianStat must not mutate input")
+	}
+}

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Brier returns the Brier score mean((p−y)²) of probabilistic predictions
+// against binary outcomes — a proper scoring rule complementing AUC for the
+// criteria's probability estimates (the hard criterion's scores estimate
+// E[Y|X] directly, so calibration is meaningful).
+func Brier(probs, labels []float64) (float64, error) {
+	if len(probs) != len(labels) {
+		return 0, ErrLength
+	}
+	if len(probs) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, p := range probs {
+		if labels[i] != 0 && labels[i] != 1 {
+			return 0, fmt.Errorf("stats: label %v not in {0,1}: %w", labels[i], ErrDegenerate)
+		}
+		d := p - labels[i]
+		s += d * d
+	}
+	return s / float64(len(probs)), nil
+}
+
+// CalibrationBin is one reliability-curve bucket.
+type CalibrationBin struct {
+	// MeanPredicted is the average predicted probability in the bin.
+	MeanPredicted float64
+	// ObservedRate is the empirical positive rate in the bin.
+	ObservedRate float64
+	// Count is the number of points in the bin.
+	Count int
+}
+
+// Calibration builds an equal-width reliability curve with the given number
+// of bins over [0,1]. Predictions outside [0,1] are clamped. Empty bins are
+// omitted.
+func Calibration(probs, labels []float64, bins int) ([]CalibrationBin, error) {
+	if len(probs) != len(labels) {
+		return nil, ErrLength
+	}
+	if len(probs) == 0 {
+		return nil, ErrEmpty
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: bins=%d: %w", bins, ErrDegenerate)
+	}
+	sums := make([]float64, bins)
+	pos := make([]float64, bins)
+	count := make([]int, bins)
+	for i, p := range probs {
+		if labels[i] != 0 && labels[i] != 1 {
+			return nil, fmt.Errorf("stats: label %v not in {0,1}: %w", labels[i], ErrDegenerate)
+		}
+		if p < 0 {
+			p = 0
+		} else if p > 1 {
+			p = 1
+		}
+		b := int(p * float64(bins))
+		if b == bins {
+			b = bins - 1
+		}
+		sums[b] += p
+		pos[b] += labels[i]
+		count[b]++
+	}
+	var out []CalibrationBin
+	for b := 0; b < bins; b++ {
+		if count[b] == 0 {
+			continue
+		}
+		out = append(out, CalibrationBin{
+			MeanPredicted: sums[b] / float64(count[b]),
+			ObservedRate:  pos[b] / float64(count[b]),
+			Count:         count[b],
+		})
+	}
+	return out, nil
+}
+
+// ECE returns the expected calibration error: the count-weighted mean
+// absolute gap between predicted and observed rates across the reliability
+// bins.
+func ECE(probs, labels []float64, bins int) (float64, error) {
+	curve, err := Calibration(probs, labels, bins)
+	if err != nil {
+		return 0, err
+	}
+	var total, weighted float64
+	for _, b := range curve {
+		weighted += float64(b.Count) * math.Abs(b.MeanPredicted-b.ObservedRate)
+		total += float64(b.Count)
+	}
+	return weighted / total, nil
+}

@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBrierKnown(t *testing.T) {
+	b, err := Brier([]float64{1, 0}, []float64{1, 0})
+	if err != nil || b != 0 {
+		t.Fatalf("perfect Brier = %v, %v", b, err)
+	}
+	b, err = Brier([]float64{0.5, 0.5}, []float64{1, 0})
+	if err != nil || b != 0.25 {
+		t.Fatalf("coin-flip Brier = %v, %v", b, err)
+	}
+	b, err = Brier([]float64{0, 1}, []float64{1, 0})
+	if err != nil || b != 1 {
+		t.Fatalf("anti-perfect Brier = %v, %v", b, err)
+	}
+}
+
+func TestBrierErrors(t *testing.T) {
+	if _, err := Brier(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must error")
+	}
+	if _, err := Brier([]float64{1}, []float64{1, 0}); !errors.Is(err, ErrLength) {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := Brier([]float64{0.5}, []float64{2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bad label must error")
+	}
+}
+
+func TestCalibrationPerfectlyCalibrated(t *testing.T) {
+	// Predictions equal to true rates: observed ≈ predicted per bin.
+	rng := rand.New(rand.NewSource(121))
+	n := 20000
+	probs := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range probs {
+		probs[i] = rng.Float64()
+		if rng.Float64() < probs[i] {
+			labels[i] = 1
+		}
+	}
+	curve, err := Calibration(probs, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 10 {
+		t.Fatalf("bins = %d", len(curve))
+	}
+	for _, b := range curve {
+		if math.Abs(b.MeanPredicted-b.ObservedRate) > 0.05 {
+			t.Fatalf("calibrated predictor off in bin: %+v", b)
+		}
+	}
+	ece, err := ECE(probs, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ece > 0.03 {
+		t.Fatalf("ECE = %v for calibrated predictor", ece)
+	}
+}
+
+func TestCalibrationMiscalibrated(t *testing.T) {
+	// Constant prediction 0.9 with true rate 0.5: ECE ≈ 0.4.
+	n := 2000
+	probs := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range probs {
+		probs[i] = 0.9
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+	ece, err := ECE(probs, labels, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ece-0.4) > 1e-9 {
+		t.Fatalf("ECE = %v, want 0.4", ece)
+	}
+}
+
+func TestCalibrationClampsAndBins(t *testing.T) {
+	probs := []float64{-0.5, 1.5, 0.5}
+	labels := []float64{0, 1, 1}
+	curve, err := Calibration(probs, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to 0 and 1: bins 0 and 1 both occupied.
+	if len(curve) != 2 {
+		t.Fatalf("curve = %+v", curve)
+	}
+	if curve[0].Count != 1 || curve[1].Count != 2 {
+		t.Fatalf("counts = %+v", curve)
+	}
+}
+
+func TestCalibrationErrors(t *testing.T) {
+	if _, err := Calibration(nil, nil, 5); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must error")
+	}
+	if _, err := Calibration([]float64{1}, []float64{1, 0}, 5); !errors.Is(err, ErrLength) {
+		t.Fatal("mismatch must error")
+	}
+	if _, err := Calibration([]float64{0.5}, []float64{1}, 0); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bins=0 must error")
+	}
+	if _, err := Calibration([]float64{0.5}, []float64{3}, 2); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bad label must error")
+	}
+	if _, err := ECE(nil, nil, 5); err == nil {
+		t.Fatal("ECE empty must error")
+	}
+}

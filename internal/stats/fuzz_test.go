@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAUC checks AUC's structural invariants on arbitrary score/label
+// inputs: the result is always in [0,1] and complementing the scores
+// reflects it around 1/2.
+func FuzzAUC(f *testing.F) {
+	f.Add([]byte{10, 200, 30, 4}, uint8(5))
+	f.Add([]byte{1, 1, 1, 1, 1, 1}, uint8(21))
+	f.Add([]byte{255, 0, 255, 0}, uint8(10))
+	f.Fuzz(func(t *testing.T, raw []byte, labelBits uint8) {
+		if len(raw) < 2 || len(raw) > 64 {
+			return
+		}
+		scores := make([]float64, len(raw))
+		labels := make([]float64, len(raw))
+		var pos, neg int
+		for i, b := range raw {
+			scores[i] = float64(b) / 255
+			if (labelBits>>(i%8))&1 == 1 {
+				labels[i] = 1
+				pos++
+			} else {
+				neg++
+			}
+		}
+		auc, err := AUC(scores, labels)
+		if pos == 0 || neg == 0 {
+			if err == nil {
+				t.Fatal("single-class input must error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if auc < 0 || auc > 1 || math.IsNaN(auc) {
+			t.Fatalf("AUC = %v out of range", auc)
+		}
+		inv := make([]float64, len(scores))
+		for i, s := range scores {
+			inv[i] = -s
+		}
+		aucInv, err := AUC(inv, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(auc+aucInv-1) > 1e-9 {
+			t.Fatalf("complement symmetry violated: %v + %v != 1", auc, aucInv)
+		}
+	})
+}
+
+// FuzzQuantile checks that quantiles are always within the sample range and
+// monotone in q.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 0.3, 0.7)
+	f.Add([]byte{200}, 0.0, 1.0)
+	f.Fuzz(func(t *testing.T, raw []byte, q1, q2 float64) {
+		if len(raw) == 0 || len(raw) > 64 {
+			return
+		}
+		if math.IsNaN(q1) || math.IsNaN(q2) || q1 < 0 || q1 > 1 || q2 < 0 || q2 > 1 {
+			return
+		}
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		x := make([]float64, len(raw))
+		for i, b := range raw {
+			x[i] = float64(b)
+		}
+		v1, err := Quantile(x, q1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := Quantile(x, q2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := Quantile(x, 0)
+		hi, _ := Quantile(x, 1)
+		if v1 < lo || v2 > hi {
+			t.Fatalf("quantiles outside range: %v %v not in [%v,%v]", v1, v2, lo, hi)
+		}
+		if v1 > v2 {
+			t.Fatalf("quantile not monotone: q%v=%v > q%v=%v", q1, v1, q2, v2)
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package stats implements the evaluation metrics of the paper's numerical
+// studies (RMSE on the regression function, AUC for the COIL-style binary
+// task) plus the supporting descriptive statistics, confusion-matrix
+// classification metrics (accuracy, MCC, F1 — MCC is named in the paper's
+// future-work section), and streaming aggregation for replicated
+// experiments.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+var (
+	// ErrEmpty is returned for empty samples.
+	ErrEmpty = errors.New("stats: empty input")
+	// ErrLength is returned for mismatched slice lengths.
+	ErrLength = errors.New("stats: length mismatch")
+	// ErrDegenerate is returned when a metric is undefined for the input
+	// (e.g. AUC with a single class).
+	ErrDegenerate = errors.New("stats: metric undefined for input")
+)
+
+// RMSE returns sqrt(mean((pred-truth)²)) — the paper's synthetic-study
+// metric with truth = q(X) on the unlabeled points.
+func RMSE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, ErrLength
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var ss float64
+	for i, p := range pred {
+		d := p - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred))), nil
+}
+
+// MAE returns mean(|pred-truth|).
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, ErrLength
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// Bias returns mean(pred-truth).
+func Bias(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, ErrLength
+	}
+	if len(pred) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for i, p := range pred {
+		s += p - truth[i]
+	}
+	return s / float64(len(pred)), nil
+}
+
+// AUC returns the area under the ROC curve for scores against binary labels
+// (1 = positive, 0 = negative). Ties in scores receive the standard 1/2
+// credit (rank-based Mann–Whitney formulation), so the result is exact for
+// any tie structure.
+func AUC(scores []float64, labels []float64) (float64, error) {
+	if len(scores) != len(labels) {
+		return 0, ErrLength
+	}
+	n := len(scores)
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	var pos, neg float64
+	for _, l := range labels {
+		switch l {
+		case 1:
+			pos++
+		case 0:
+			neg++
+		default:
+			return 0, fmt.Errorf("stats: label %v not in {0,1}: %w", l, ErrDegenerate)
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("stats: AUC needs both classes: %w", ErrDegenerate)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Midranks over tied score groups.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[idx[k]] = mid
+		}
+		i = j
+	}
+	var rankSumPos float64
+	for i, l := range labels {
+		if l == 1 {
+			rankSumPos += ranks[i]
+		}
+	}
+	u := rankSumPos - pos*(pos+1)/2
+	return u / (pos * neg), nil
+}
+
+// ROCPoint is one point on the ROC curve.
+type ROCPoint struct {
+	FPR       float64
+	TPR       float64
+	Threshold float64
+}
+
+// ROC returns the ROC curve from the highest threshold (0,0) to the lowest
+// (1,1), merging tied scores into single steps.
+func ROC(scores, labels []float64) ([]ROCPoint, error) {
+	if len(scores) != len(labels) {
+		return nil, ErrLength
+	}
+	n := len(scores)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	var pos, neg float64
+	for _, l := range labels {
+		if l != 0 && l != 1 {
+			return nil, fmt.Errorf("stats: label %v not in {0,1}: %w", l, ErrDegenerate)
+		}
+		if l == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return nil, fmt.Errorf("stats: ROC needs both classes: %w", ErrDegenerate)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	curve := []ROCPoint{{FPR: 0, TPR: 0, Threshold: math.Inf(1)}}
+	var tp, fp float64
+	for i := 0; i < n; {
+		j := i
+		thr := scores[idx[i]]
+		for j < n && scores[idx[j]] == thr {
+			if labels[idx[j]] == 1 {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		curve = append(curve, ROCPoint{FPR: fp / neg, TPR: tp / pos, Threshold: thr})
+		i = j
+	}
+	return curve, nil
+}
+
+// AUCFromROC integrates an ROC curve by the trapezoid rule; it matches AUC
+// exactly because ties are merged into single curve steps.
+func AUCFromROC(curve []ROCPoint) (float64, error) {
+	if len(curve) < 2 {
+		return 0, ErrEmpty
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area, nil
+}
+
+// Confusion is a 2x2 confusion matrix for binary classification.
+type Confusion struct {
+	TP, FP, TN, FN float64
+}
+
+// NewConfusion thresholds scores at thr (score > thr ⇒ predicted positive)
+// against binary labels.
+func NewConfusion(scores, labels []float64, thr float64) (Confusion, error) {
+	if len(scores) != len(labels) {
+		return Confusion{}, ErrLength
+	}
+	if len(scores) == 0 {
+		return Confusion{}, ErrEmpty
+	}
+	var c Confusion
+	for i, s := range scores {
+		predPos := s > thr
+		switch {
+		case labels[i] == 1 && predPos:
+			c.TP++
+		case labels[i] == 1 && !predPos:
+			c.FN++
+		case labels[i] == 0 && predPos:
+			c.FP++
+		case labels[i] == 0 && !predPos:
+			c.TN++
+		default:
+			return Confusion{}, fmt.Errorf("stats: label %v not in {0,1}: %w", labels[i], ErrDegenerate)
+		}
+	}
+	return c, nil
+}
+
+// Accuracy returns (TP+TN)/total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return math.NaN()
+	}
+	return (c.TP + c.TN) / total
+}
+
+// Precision returns TP/(TP+FP); NaN when no positives were predicted.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return math.NaN()
+	}
+	return c.TP / (c.TP + c.FP)
+}
+
+// Recall returns TP/(TP+FN); NaN when there are no positive labels.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return math.NaN()
+	}
+	return c.TP / (c.TP + c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if math.IsNaN(p) || math.IsNaN(r) || p+r == 0 {
+		return math.NaN()
+	}
+	return 2 * p * r / (p + r)
+}
+
+// MCC returns the Matthews correlation coefficient; 0 when any marginal is
+// empty (the standard convention).
+func (c Confusion) MCC() float64 {
+	den := math.Sqrt((c.TP + c.FP) * (c.TP + c.FN) * (c.TN + c.FP) * (c.TN + c.FN))
+	if den == 0 {
+		return 0
+	}
+	return (c.TP*c.TN - c.FP*c.FN) / den
+}
+
+// Mean returns the arithmetic mean.
+func Mean(x []float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x)), nil
+}
+
+// Variance returns the unbiased sample variance.
+func Variance(x []float64) (float64, error) {
+	if len(x) < 2 {
+		return 0, ErrEmpty
+	}
+	m, _ := Mean(x)
+	var ss float64
+	for _, v := range x {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(len(x)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(x []float64) (float64, error) {
+	v, err := Variance(x)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics (type-7, the R default).
+func Quantile(x []float64, q float64) (float64, error) {
+	if len(x) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]: %w", q, ErrDegenerate)
+	}
+	s := make([]float64, len(x))
+	copy(s, x)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median returns the 0.5 quantile.
+func Median(x []float64) (float64, error) { return Quantile(x, 0.5) }
+
+// Welford accumulates mean and variance in one pass; used by the experiment
+// harness to aggregate replicated RMSEs/AUCs without storing them all.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean; NaN when empty.
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Variance returns the running unbiased variance; NaN when n < 2.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdErr returns the standard error of the mean; NaN when n < 2.
+func (w *Welford) StdErr() float64 {
+	v := w.Variance()
+	if math.IsNaN(v) {
+		return v
+	}
+	return math.Sqrt(v / float64(w.n))
+}

@@ -1,0 +1,376 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("RMSE exact = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Sqrt(12.5); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Fatalf("want ErrLength, got %v", err)
+	}
+	if _, err := RMSE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+}
+
+func TestMAEBias(t *testing.T) {
+	mae, err := MAE([]float64{1, -1}, []float64{0, 0})
+	if err != nil || mae != 1 {
+		t.Fatalf("MAE = %v, %v", mae, err)
+	}
+	b, err := Bias([]float64{2, 2}, []float64{1, 1})
+	if err != nil || b != 1 {
+		t.Fatalf("Bias = %v, %v", b, err)
+	}
+	if _, err := MAE(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("MAE empty must error")
+	}
+	if _, err := Bias([]float64{1}, []float64{}); !errors.Is(err, ErrLength) {
+		t.Fatal("Bias mismatch must error")
+	}
+	if _, err := Bias(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Bias empty must error")
+	}
+}
+
+func TestAUCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []float64{1, 1, 0, 0}
+	auc, err := AUC(scores, labels)
+	if err != nil || auc != 1 {
+		t.Fatalf("AUC = %v, %v", auc, err)
+	}
+}
+
+func TestAUCAntiPerfect(t *testing.T) {
+	auc, err := AUC([]float64{0.1, 0.9}, []float64{1, 0})
+	if err != nil || auc != 0 {
+		t.Fatalf("AUC = %v, %v", auc, err)
+	}
+}
+
+func TestAUCRandomScoresNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 4000
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if rng.Float64() < 0.5 {
+			labels[i] = 1
+		}
+	}
+	auc, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestAUCAllTiedScoresIsHalf(t *testing.T) {
+	auc, err := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []float64{1, 0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc != 0.5 {
+		t.Fatalf("tied AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestAUCErrors(t *testing.T) {
+	if _, err := AUC([]float64{1}, []float64{1, 0}); !errors.Is(err, ErrLength) {
+		t.Fatalf("want ErrLength, got %v", err)
+	}
+	if _, err := AUC(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("want ErrEmpty, got %v", err)
+	}
+	if _, err := AUC([]float64{1, 2}, []float64{1, 1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("single class: want ErrDegenerate, got %v", err)
+	}
+	if _, err := AUC([]float64{1}, []float64{2}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("bad label: want ErrDegenerate, got %v", err)
+	}
+}
+
+func TestAUCComplementSymmetryProperty(t *testing.T) {
+	// AUC(-scores) = 1 - AUC(scores) when there are no ties.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(50)
+		scores := make([]float64, n)
+		labels := make([]float64, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			if rng.Float64() < 0.5 {
+				labels[i] = 1
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		a1, err1 := AUC(scores, labels)
+		neg := make([]float64, n)
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		a2, err2 := AUC(neg, labels)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a1+a2-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROCAndAUCAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 200
+	scores := make([]float64, n)
+	labels := make([]float64, n)
+	for i := range scores {
+		if rng.Float64() < 0.4 {
+			labels[i] = 1
+			scores[i] = rng.NormFloat64() + 1
+		} else {
+			scores[i] = rng.NormFloat64()
+		}
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve[0].FPR != 0 || curve[0].TPR != 0 {
+		t.Fatal("ROC must start at origin")
+	}
+	last := curve[len(curve)-1]
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Fatalf("ROC must end at (1,1), got (%v,%v)", last.FPR, last.TPR)
+	}
+	fromCurve, err := AUCFromROC(curve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := AUC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fromCurve-direct) > 1e-12 {
+		t.Fatalf("AUCFromROC %v != AUC %v", fromCurve, direct)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	scores := make([]float64, 50)
+	labels := make([]float64, 50)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		if i%2 == 0 {
+			labels[i] = 1
+		}
+	}
+	curve, err := ROC(scores, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatal("ROC must be monotone")
+		}
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must error")
+	}
+	if _, err := ROC([]float64{1}, []float64{1, 0}); !errors.Is(err, ErrLength) {
+		t.Fatal("mismatch must error")
+	}
+	if _, err := ROC([]float64{1, 2}, []float64{1, 1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("one class must error")
+	}
+	if _, err := ROC([]float64{1}, []float64{7}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bad label must error")
+	}
+	if _, err := AUCFromROC(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty curve must error")
+	}
+}
+
+func TestConfusionAndDerivedMetrics(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.4, 0.1}
+	labels := []float64{1, 0, 1, 0}
+	c, err := NewConfusion(scores, labels, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Accuracy() != 0.5 {
+		t.Fatalf("accuracy = %v", c.Accuracy())
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 {
+		t.Fatalf("precision/recall = %v/%v", c.Precision(), c.Recall())
+	}
+	if c.F1() != 0.5 {
+		t.Fatalf("F1 = %v", c.F1())
+	}
+	if c.MCC() != 0 {
+		t.Fatalf("MCC = %v, want 0 for coin-flip confusion", c.MCC())
+	}
+}
+
+func TestConfusionPerfect(t *testing.T) {
+	c, err := NewConfusion([]float64{0.9, 0.1}, []float64{1, 0}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MCC() != 1 || c.Accuracy() != 1 || c.F1() != 1 {
+		t.Fatalf("perfect classifier metrics wrong: %+v", c)
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion(nil, nil, 0); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must error")
+	}
+	if _, err := NewConfusion([]float64{1}, []float64{1, 0}, 0); !errors.Is(err, ErrLength) {
+		t.Fatal("mismatch must error")
+	}
+	if _, err := NewConfusion([]float64{1}, []float64{3}, 0); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("bad label must error")
+	}
+}
+
+func TestConfusionNaNEdgeCases(t *testing.T) {
+	var c Confusion
+	if !math.IsNaN(c.Accuracy()) || !math.IsNaN(c.Precision()) ||
+		!math.IsNaN(c.Recall()) || !math.IsNaN(c.F1()) {
+		t.Fatal("empty confusion metrics must be NaN")
+	}
+	if c.MCC() != 0 {
+		t.Fatal("empty confusion MCC must be 0")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(x)
+	if err != nil || m != 5 {
+		t.Fatalf("Mean = %v, %v", m, err)
+	}
+	v, err := Variance(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-32.0/7.0) > 1e-14 {
+		t.Fatalf("Variance = %v", v)
+	}
+	sd, err := StdDev(x)
+	if err != nil || math.Abs(sd-math.Sqrt(32.0/7.0)) > 1e-14 {
+		t.Fatalf("StdDev = %v, %v", sd, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Mean empty must error")
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Variance single must error")
+	}
+	if _, err := StdDev(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("StdDev empty must error")
+	}
+}
+
+func TestQuantileMedian(t *testing.T) {
+	x := []float64{3, 1, 2}
+	med, err := Median(x)
+	if err != nil || med != 2 {
+		t.Fatalf("Median = %v, %v", med, err)
+	}
+	q0, _ := Quantile(x, 0)
+	q1, _ := Quantile(x, 1)
+	if q0 != 1 || q1 != 3 {
+		t.Fatalf("extremes = %v, %v", q0, q1)
+	}
+	q25, _ := Quantile([]float64{1, 2, 3, 4}, 0.25)
+	if math.Abs(q25-1.75) > 1e-15 {
+		t.Fatalf("Q25 = %v, want 1.75", q25)
+	}
+	single, _ := Quantile([]float64{5}, 0.7)
+	if single != 5 {
+		t.Fatalf("single-element quantile = %v", single)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty must error")
+	}
+	if _, err := Quantile(x, 1.5); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("q>1 must error")
+	}
+	if _, err := Quantile(x, math.NaN()); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("NaN q must error")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	x := []float64{3, 1, 2}
+	if _, err := Median(x); err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatal("Quantile must not sort the caller's slice")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	x := make([]float64, 500)
+	var w Welford
+	for i := range x {
+		x[i] = rng.NormFloat64()*3 + 1
+		w.Add(x[i])
+	}
+	m, _ := Mean(x)
+	v, _ := Variance(x)
+	if w.N() != 500 {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-m) > 1e-12 {
+		t.Fatalf("Welford mean %v vs %v", w.Mean(), m)
+	}
+	if math.Abs(w.Variance()-v) > 1e-12 {
+		t.Fatalf("Welford var %v vs %v", w.Variance(), v)
+	}
+	if math.Abs(w.StdErr()-math.Sqrt(v/500)) > 1e-12 {
+		t.Fatalf("StdErr = %v", w.StdErr())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if !math.IsNaN(w.Mean()) || !math.IsNaN(w.Variance()) || !math.IsNaN(w.StdErr()) {
+		t.Fatal("empty Welford stats must be NaN")
+	}
+}

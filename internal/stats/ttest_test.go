@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPairedTTestIdenticalSamples(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	res, err := PairedTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T != 0 || res.P != 1 || res.MeanDiff != 0 {
+		t.Fatalf("identical samples: %+v", res)
+	}
+}
+
+func TestPairedTTestConstantShift(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 3, 4}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.T, -1) || res.P != 0 || res.MeanDiff != -1 {
+		t.Fatalf("constant shift: %+v", res)
+	}
+}
+
+func TestPairedTTestKnownValue(t *testing.T) {
+	// d = [1, 2, 3, 4, 5]: mean 3, sd sqrt(2.5), se sqrt(0.5),
+	// t = 3/sqrt(0.5) ≈ 4.2426, df = 4, two-sided p ≈ 0.0132.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{0, 0, 0, 0, 0}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.T-4.242640687) > 1e-6 {
+		t.Fatalf("t = %v", res.T)
+	}
+	if res.DF != 4 {
+		t.Fatalf("df = %d", res.DF)
+	}
+	if math.Abs(res.P-0.01324) > 5e-4 {
+		t.Fatalf("p = %v, want ≈ 0.0132", res.P)
+	}
+}
+
+func TestPairedTTestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	a := make([]float64, 30)
+	b := make([]float64, 30)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64() + 0.5
+	}
+	r1, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := PairedTTest(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.T+r2.T) > 1e-12 || math.Abs(r1.P-r2.P) > 1e-12 {
+		t.Fatalf("asymmetric: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestPairedTTestNullCalibration(t *testing.T) {
+	// Under the null, P should be roughly uniform: count p<0.05 over many
+	// repetitions and expect around 5%.
+	rng := rand.New(rand.NewSource(63))
+	const trials = 400
+	rejections := 0
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 20)
+		b := make([]float64, 20)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := PairedTTest(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.P < 0.05 {
+			rejections++
+		}
+	}
+	rate := float64(rejections) / trials
+	if rate > 0.10 {
+		t.Fatalf("null rejection rate %v too high", rate)
+	}
+}
+
+func TestPairedTTestDetectsRealDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		base := rng.NormFloat64()
+		a[i] = base
+		b[i] = base + 1 + rng.NormFloat64()*0.2
+	}
+	res, err := PairedTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > 1e-6 {
+		t.Fatalf("large paired difference not detected: %+v", res)
+	}
+}
+
+func TestPairedTTestErrors(t *testing.T) {
+	if _, err := PairedTTest([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLength) {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Fatal("n<2 must error")
+	}
+}
+
+func TestTTestString(t *testing.T) {
+	res := &TTestResult{T: 2.5, DF: 9, P: 0.034, MeanDiff: 0.12}
+	s := res.String()
+	if !strings.Contains(s, "t(9)") || !strings.Contains(s, "p=0.034") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("boundary values wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.5, 0.9} {
+		if math.Abs(regIncBeta(1, 1, x)-x) > 1e-12 {
+			t.Fatalf("I_%v(1,1) = %v", x, regIncBeta(1, 1, x))
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	if math.Abs(regIncBeta(2.5, 4, 0.3)-(1-regIncBeta(4, 2.5, 0.7))) > 1e-12 {
+		t.Fatal("symmetry identity violated")
+	}
+}
+
+func TestStudentTSFKnownQuantiles(t *testing.T) {
+	// For df=10, P(T > 1.812) ≈ 0.05 (standard t-table).
+	if p := studentTSF(1.812, 10); math.Abs(p-0.05) > 2e-3 {
+		t.Fatalf("sf(1.812; 10) = %v, want ≈ 0.05", p)
+	}
+	// For df=1 (Cauchy), P(T > 1) = 0.25.
+	if p := studentTSF(1, 1); math.Abs(p-0.25) > 1e-10 {
+		t.Fatalf("sf(1; 1) = %v, want 0.25", p)
+	}
+	if p := studentTSF(0, 5); p != 0.5 {
+		t.Fatalf("sf(0) = %v, want 0.5", p)
+	}
+}

@@ -1,0 +1,189 @@
+// Package synth generates the synthetic datasets of the paper's Section V-A:
+// truncated multivariate normal inputs with logistic binary responses under
+// a linear logit (Model 1, Eq. 11) and a non-linear logit (Model 2), plus
+// the Section III toy design (identical inputs) and continuous-response
+// regression variants used by extension experiments.
+package synth
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/randx"
+)
+
+var (
+	// ErrParam is returned for invalid generation parameters.
+	ErrParam = errors.New("synth: invalid parameter")
+)
+
+// Dim is the input dimension of the paper's synthetic studies.
+const Dim = 5
+
+// Model identifies a response model.
+type Model int
+
+// Available synthetic response models.
+const (
+	// Model1 uses the paper's linear logit (Eq. 11):
+	// logit q(x) = −1.35 + 2x₁ − x₂ + x₃ − x₄ + 2x₅.
+	Model1 Model = iota + 1
+	// Model2 adds the interaction terms x₁x₃ + x₂x₄ to Model1's logit.
+	Model2
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case Model1:
+		return "model1"
+	case Model2:
+		return "model2"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Logit evaluates the model's logit at x (len(x) must be Dim).
+func (m Model) Logit(x []float64) (float64, error) {
+	if len(x) != Dim {
+		return 0, fmt.Errorf("synth: input dim %d, want %d: %w", len(x), Dim, ErrParam)
+	}
+	base := -1.35 + 2*x[0] - x[1] + x[2] - x[3] + 2*x[4]
+	switch m {
+	case Model1:
+		return base, nil
+	case Model2:
+		return base + x[0]*x[2] + x[1]*x[3], nil
+	default:
+		return 0, fmt.Errorf("synth: unknown model %d: %w", int(m), ErrParam)
+	}
+}
+
+// Q evaluates the true regression function q(x) = P(Y=1|x) = σ(logit(x)).
+func (m Model) Q(x []float64) (float64, error) {
+	l, err := m.Logit(x)
+	if err != nil {
+		return 0, err
+	}
+	return randx.Logistic(l), nil
+}
+
+// Dataset is one synthetic draw: n labeled followed by m unlabeled points.
+type Dataset struct {
+	// X holds all n+m inputs, labeled first.
+	X [][]float64
+	// Y holds all n+m binary responses (the last m are "unobserved" and
+	// used only for evaluation).
+	Y []float64
+	// Q holds the true regression function values q(X_i) for all points —
+	// the RMSE target on unlabeled data.
+	Q []float64
+	// N and M are the labeled and unlabeled counts.
+	N, M int
+}
+
+// YLabeled returns the observed responses (first N).
+func (d *Dataset) YLabeled() []float64 {
+	out := make([]float64, d.N)
+	copy(out, d.Y[:d.N])
+	return out
+}
+
+// QUnlabeled returns the true regression values on the unlabeled points.
+func (d *Dataset) QUnlabeled() []float64 {
+	out := make([]float64, d.M)
+	copy(out, d.Q[d.N:])
+	return out
+}
+
+// Generate draws one dataset of n labeled and m unlabeled points from the
+// paper's input distribution with the given response model.
+func Generate(g *randx.RNG, model Model, n, m int) (*Dataset, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("synth: n=%d m=%d: %w", n, m, ErrParam)
+	}
+	dist, err := randx.NewPaperTruncatedMVN(Dim)
+	if err != nil {
+		return nil, err
+	}
+	total := n + m
+	d := &Dataset{
+		X: dist.SampleN(g, total),
+		Y: make([]float64, total),
+		Q: make([]float64, total),
+		N: n,
+		M: m,
+	}
+	for i, x := range d.X {
+		q, err := model.Q(x)
+		if err != nil {
+			return nil, err
+		}
+		d.Q[i] = q
+		d.Y[i] = g.Bernoulli(q)
+	}
+	return d, nil
+}
+
+// GenerateToy draws the Section III toy design: all inputs equal to a
+// constant vector, responses i.i.d. Bernoulli(p). The hard criterion's
+// solution on this design is exactly the labeled mean (tested against that
+// oracle).
+func GenerateToy(g *randx.RNG, n, m int, p float64) (*Dataset, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("synth: n=%d m=%d: %w", n, m, ErrParam)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("synth: p=%v: %w", p, ErrParam)
+	}
+	total := n + m
+	d := &Dataset{
+		X: make([][]float64, total),
+		Y: make([]float64, total),
+		Q: make([]float64, total),
+		N: n,
+		M: m,
+	}
+	for i := 0; i < total; i++ {
+		x := make([]float64, Dim)
+		for k := range x {
+			x[k] = 0.5
+		}
+		d.X[i] = x
+		d.Q[i] = p
+		d.Y[i] = g.Bernoulli(p)
+	}
+	return d, nil
+}
+
+// RegressionFunc is a continuous-response regression surface.
+type RegressionFunc func(x []float64) float64
+
+// GenerateRegression draws a continuous-response dataset Y = f(X) + noise·ε
+// over the paper's input distribution, for the regression-case extensions.
+func GenerateRegression(g *randx.RNG, f RegressionFunc, noise float64, n, m int) (*Dataset, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("synth: n=%d m=%d: %w", n, m, ErrParam)
+	}
+	if f == nil || noise < 0 {
+		return nil, fmt.Errorf("synth: bad regression spec: %w", ErrParam)
+	}
+	dist, err := randx.NewPaperTruncatedMVN(Dim)
+	if err != nil {
+		return nil, err
+	}
+	total := n + m
+	d := &Dataset{
+		X: dist.SampleN(g, total),
+		Y: make([]float64, total),
+		Q: make([]float64, total),
+		N: n,
+		M: m,
+	}
+	for i, x := range d.X {
+		d.Q[i] = f(x)
+		d.Y[i] = d.Q[i] + noise*g.Norm()
+	}
+	return d, nil
+}

@@ -1,0 +1,248 @@
+package synth
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+)
+
+func TestModelString(t *testing.T) {
+	if Model1.String() != "model1" || Model2.String() != "model2" {
+		t.Fatal("model names wrong")
+	}
+	if Model(9).String() != "Model(9)" {
+		t.Fatal("unknown model name wrong")
+	}
+}
+
+func TestLogitModel1Known(t *testing.T) {
+	x := []float64{1, 0, 0, 0, 0}
+	l, err := Model1.Logit(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l-0.65) > 1e-12 { // −1.35 + 2
+		t.Fatalf("logit = %v, want 0.65", l)
+	}
+	all := []float64{1, 1, 1, 1, 1}
+	l, _ = Model1.Logit(all)
+	if math.Abs(l-1.65) > 1e-12 { // −1.35+2−1+1−1+2
+		t.Fatalf("logit(1..1) = %v, want 1.65", l)
+	}
+}
+
+func TestLogitModel2AddsInteractions(t *testing.T) {
+	x := []float64{0.5, 0.4, 0.3, 0.2, 0.1}
+	l1, err := Model1.Logit(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Model2.Logit(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := l1 + 0.5*0.3 + 0.4*0.2
+	if math.Abs(l2-want) > 1e-12 {
+		t.Fatalf("model2 logit = %v, want %v", l2, want)
+	}
+}
+
+func TestLogitErrors(t *testing.T) {
+	if _, err := Model1.Logit([]float64{1, 2}); !errors.Is(err, ErrParam) {
+		t.Fatalf("want ErrParam, got %v", err)
+	}
+	if _, err := Model(7).Logit(make([]float64, Dim)); !errors.Is(err, ErrParam) {
+		t.Fatalf("unknown model: want ErrParam, got %v", err)
+	}
+	if _, err := Model(7).Q(make([]float64, Dim)); !errors.Is(err, ErrParam) {
+		t.Fatalf("unknown model Q: want ErrParam, got %v", err)
+	}
+}
+
+func TestQInUnitInterval(t *testing.T) {
+	g := randx.New(301)
+	dist, err := randx.NewPaperTruncatedMVN(Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range dist.SampleN(g, 500) {
+		for _, m := range []Model{Model1, Model2} {
+			q, err := m.Q(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q < 0 || q > 1 {
+				t.Fatalf("q = %v outside [0,1]", q)
+			}
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	g := randx.New(303)
+	d, err := Generate(g, Model1, 50, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 50 || d.M != 30 {
+		t.Fatalf("N=%d M=%d", d.N, d.M)
+	}
+	if len(d.X) != 80 || len(d.Y) != 80 || len(d.Q) != 80 {
+		t.Fatal("slice lengths wrong")
+	}
+	for _, x := range d.X {
+		if len(x) != Dim {
+			t.Fatal("input dimension wrong")
+		}
+	}
+	for i := range d.Y {
+		if d.Y[i] != 0 && d.Y[i] != 1 {
+			t.Fatalf("Y[%d] = %v not binary", i, d.Y[i])
+		}
+		if d.Q[i] < 0 || d.Q[i] > 1 {
+			t.Fatalf("Q[%d] = %v", i, d.Q[i])
+		}
+	}
+	if len(d.YLabeled()) != 50 || len(d.QUnlabeled()) != 30 {
+		t.Fatal("accessor lengths wrong")
+	}
+}
+
+func TestGenerateAccessorsAreCopies(t *testing.T) {
+	g := randx.New(305)
+	d, err := Generate(g, Model1, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := d.YLabeled()
+	y[0] = 99
+	if d.Y[0] == 99 {
+		t.Fatal("YLabeled must copy")
+	}
+	q := d.QUnlabeled()
+	q[0] = 99
+	if d.Q[d.N] == 99 {
+		t.Fatal("QUnlabeled must copy")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	g := randx.New(307)
+	if _, err := Generate(g, Model1, 0, 5); !errors.Is(err, ErrParam) {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := Generate(g, Model1, 5, 0); !errors.Is(err, ErrParam) {
+		t.Fatal("m=0 must error")
+	}
+	if _, err := Generate(g, Model(9), 5, 5); !errors.Is(err, ErrParam) {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	d1, err := Generate(randx.New(42), Model2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Generate(randx.New(42), Model2, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d1.X {
+		for k := range d1.X[i] {
+			if d1.X[i][k] != d2.X[i][k] {
+				t.Fatal("same seed must reproduce inputs")
+			}
+		}
+		if d1.Y[i] != d2.Y[i] {
+			t.Fatal("same seed must reproduce responses")
+		}
+	}
+}
+
+func TestGenerateResponseCalibration(t *testing.T) {
+	// Empirical P(Y=1) must match mean(Q) closely on a large draw.
+	g := randx.New(309)
+	d, err := Generate(g, Model1, 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meanQ, meanY float64
+	for i := 0; i < d.N; i++ {
+		meanQ += d.Q[i]
+		meanY += d.Y[i]
+	}
+	meanQ /= float64(d.N)
+	meanY /= float64(d.N)
+	if math.Abs(meanQ-meanY) > 0.03 {
+		t.Fatalf("mean(Y) = %v vs mean(Q) = %v", meanY, meanQ)
+	}
+}
+
+func TestGenerateToy(t *testing.T) {
+	g := randx.New(311)
+	d, err := GenerateToy(g, 20, 10, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		for k, v := range x {
+			if v != 0.5 {
+				t.Fatalf("X[%d][%d] = %v, want 0.5", i, k, v)
+			}
+		}
+		if d.Q[i] != 0.7 {
+			t.Fatalf("Q[%d] = %v", i, d.Q[i])
+		}
+	}
+	if _, err := GenerateToy(g, 0, 1, 0.5); !errors.Is(err, ErrParam) {
+		t.Fatal("n=0 must error")
+	}
+	if _, err := GenerateToy(g, 1, 1, 1.5); !errors.Is(err, ErrParam) {
+		t.Fatal("p>1 must error")
+	}
+}
+
+func TestGenerateRegression(t *testing.T) {
+	g := randx.New(313)
+	f := func(x []float64) float64 { return x[0] + x[1] }
+	d, err := GenerateRegression(g, f, 0.1, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resid float64
+	for i := range d.Y {
+		resid += math.Abs(d.Y[i] - d.Q[i])
+	}
+	resid /= float64(len(d.Y))
+	// Mean |N(0,0.1²)| ≈ 0.08.
+	if resid < 0.01 || resid > 0.3 {
+		t.Fatalf("noise level %v implausible", resid)
+	}
+	// Noiseless variant: Y == Q.
+	d2, err := GenerateRegression(g, f, 0, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d2.Y {
+		if d2.Y[i] != d2.Q[i] {
+			t.Fatal("zero-noise regression must have Y = Q")
+		}
+	}
+}
+
+func TestGenerateRegressionValidation(t *testing.T) {
+	g := randx.New(315)
+	f := func(x []float64) float64 { return 0 }
+	if _, err := GenerateRegression(g, nil, 0.1, 5, 5); !errors.Is(err, ErrParam) {
+		t.Fatal("nil f must error")
+	}
+	if _, err := GenerateRegression(g, f, -1, 5, 5); !errors.Is(err, ErrParam) {
+		t.Fatal("negative noise must error")
+	}
+	if _, err := GenerateRegression(g, f, 0.1, 0, 5); !errors.Is(err, ErrParam) {
+		t.Fatal("n=0 must error")
+	}
+}
