@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet ci bench perfbench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The gate run by CI and expected to pass before every commit.
+ci: vet build race
+
+# Worker-parameterized microbenchmarks of the parallel compute layer.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkPairwiseDist2|BenchmarkBuildKNN|BenchmarkCGMulVec' -benchmem .
+
+# Times the parallel layer against the pre-parallel serial baselines and
+# records the comparison under results/.
+perfbench:
+	$(GO) run ./cmd/perfbench -out results/BENCH_parallel.json

@@ -11,6 +11,7 @@ package graphssl
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cluster"
@@ -264,6 +265,103 @@ func BenchmarkDistributedPropagation(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := cluster.SolveLocal(sys, cluster.LocalOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchWorkerCounts are the worker-count axis of the parallel-layer
+// benchmarks. On a multicore host the higher counts should approach linear
+// scaling; on GOMAXPROCS=1 they document the (small) scheduling overhead.
+var benchWorkerCounts = []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+
+// benchPoints draws a deterministic point cloud for the parallel benches.
+func benchPoints(n, d int, seed int64) [][]float64 {
+	rng := randx.New(seed)
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.Norm()
+		}
+	}
+	return x
+}
+
+// BenchmarkPairwiseDist2 measures the O(n²d) distance pass at the
+// acceptance-criteria shape (n=2000, d=50) across worker counts.
+func BenchmarkPairwiseDist2(b *testing.B) {
+	x := benchPoints(2000, 50, 61)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := kernel.PairwiseDist2Workers(x, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBuildKNN measures k-NN graph construction from a prebuilt
+// distance matrix (n=2000, k=10): quickselect partial selection plus
+// deterministic symmetrization and direct CSR assembly.
+func BenchmarkBuildKNN(b *testing.B) {
+	x := benchPoints(2000, 50, 67)
+	d2, err := kernel.PairwiseDist2(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernel.MustNew(kernel.Gaussian, 1.0)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			builder, err := graph.NewBuilder(k, graph.WithKNN(10), graph.WithWorkers(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := builder.BuildFromDist2(len(x), d2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCGMulVec measures the sparse matrix-vector product and the CG
+// solve it drives (the inner loop of every iterative hard/soft solve)
+// across worker counts, on a k-NN Laplacian system.
+func BenchmarkCGMulVec(b *testing.B) {
+	p := benchProblem(b, 300, 1200, 12)
+	sys, err := core.BuildPropagationSystem(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := sys.M()
+	xv := make([]float64, m)
+	for i := range xv {
+		xv[i] = float64(i%7) * 0.25
+	}
+	dst := make([]float64, m)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("mulvec/workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := sys.W.MulVecToWorkers(dst, xv, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("cg/workers%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveHard(p, core.WithMethod(core.MethodCG), core.WithWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+// TestBaselinesMatchLibrary keeps the perf comparison honest: the re-timed
+// serial baselines must produce the same distances and the same graph as
+// the parallel implementations they are compared against.
+func TestBaselinesMatchLibrary(t *testing.T) {
+	const n, d, k = 60, 7, 5
+	rng := rand.New(rand.NewSource(3))
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+
+	base := baselinePairwiseDist2(x)
+	d2, err := kernel.PairwiseDist2(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		// The baseline accumulates in a different order; allow rounding.
+		if diff := math.Abs(base[i] - d2[i]); diff > 1e-12*math.Max(1, d2[i]) {
+			t.Fatalf("distance %d: baseline %v vs library %v", i, base[i], d2[i])
+		}
+	}
+
+	kern := kernel.MustNew(kernel.Gaussian, 1.0)
+	bg := baselineKNNBuild(n, d2, k, kern)
+	builder, err := graph.NewBuilder(kern, graph.WithKNN(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := builder.BuildFromDist2(n, d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := g.Weights()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if bg.At(i, j) != w.At(i, j) {
+				t.Fatalf("graph weight (%d,%d): baseline %v vs library %v", i, j, bg.At(i, j), w.At(i, j))
+			}
+		}
+	}
+}

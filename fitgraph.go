@@ -44,7 +44,8 @@ func FitGraph(w *sparse.CSR, y []float64, labeled []int, opts ...Option) (*Resul
 	sol, err := core.SolveSoft(p, cfg.lambda,
 		core.WithMethod(cfg.solver),
 		core.WithTolerance(cfg.tol),
-		core.WithMaxIter(cfg.maxIter))
+		core.WithMaxIter(cfg.maxIter),
+		core.WithWorkers(cfg.workers))
 	if err != nil {
 		return nil, translateCoreErr(err)
 	}

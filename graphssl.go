@@ -61,6 +61,7 @@ type config struct {
 	solver      Solver
 	tol         float64
 	maxIter     int
+	workers     int // parallel compute layer: 0 = GOMAXPROCS, 1 = serial
 	distributed int // >0: distributed propagation with this many workers
 }
 
@@ -130,6 +131,20 @@ func WithTolerance(tol float64) Option {
 // WithMaxIter caps iterative-backend iterations.
 func WithMaxIter(n int) Option {
 	return optionFunc(func(c *config) { c.maxIter = n })
+}
+
+// WithWorkers sets the worker count for the shared-memory parallel compute
+// layer: the pairwise-distance pass, graph construction (including k-NN
+// selection), the matrix-vector products inside iterative solves, and the
+// per-class solves of FitMulticlass. n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0); n == 1 forces the serial path. For any fixed
+// input, the fitted result is bitwise-identical across worker counts.
+//
+// WithWorkers is orthogonal to WithDistributed: the former parallelizes the
+// numerical kernels in-process, the latter partitions the propagation solve
+// across the cluster engine's workers.
+func WithWorkers(n int) Option {
+	return optionFunc(func(c *config) { c.workers = n })
 }
 
 // WithDistributed solves the hard criterion with the block-partitioned
@@ -210,6 +225,7 @@ func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, er
 			core.WithMethod(cfg.solver),
 			core.WithTolerance(cfg.tol),
 			core.WithMaxIter(cfg.maxIter),
+			core.WithWorkers(cfg.workers),
 		}
 		sol, err = core.SolveSoft(p, cfg.lambda, solveOpts...)
 		if err != nil {
@@ -302,7 +318,7 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 		return nil, cfg, 0, nil, fmt.Errorf("graphssl: kernel: %w: %v", ErrParam, err)
 	}
 
-	var builderOpts []graph.Option
+	builderOpts := []graph.Option{graph.WithWorkers(cfg.workers)}
 	if cfg.knn > 0 {
 		builderOpts = append(builderOpts, graph.WithKNN(cfg.knn))
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -52,6 +53,7 @@ type solveConfig struct {
 	method  Method
 	tol     float64
 	maxIter int
+	workers int
 }
 
 type solveOptionFunc func(*solveConfig)
@@ -73,8 +75,17 @@ func WithMaxIter(n int) SolveOption {
 	return solveOptionFunc(func(c *solveConfig) { c.maxIter = n })
 }
 
+// WithWorkers sets the worker count for the parallel stages of a solve
+// (matrix-vector products in CG, propagation sweeps, and per-class
+// right-hand sides in multiclass). n <= 0 (the default) selects
+// runtime.GOMAXPROCS(0); n == 1 forces the serial path. Solutions are
+// bitwise-identical across worker counts.
+func WithWorkers(n int) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.workers = n })
+}
+
 func newSolveConfig(opts []SolveOption) solveConfig {
-	c := solveConfig{method: MethodAuto, tol: 1e-10, maxIter: 0}
+	c := solveConfig{method: MethodAuto, tol: 1e-10, maxIter: 0, workers: 0}
 	for _, o := range opts {
 		o.apply(&c)
 	}
@@ -186,9 +197,9 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 	case MethodLU:
 		fu, err = mat.SolveLU(sys.a.ToDense(), sys.b)
 	case MethodCG:
-		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true})
+		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers})
 	case MethodPropagation:
-		fu, res, err = propagate(sys, cfg.tol, cfg.maxIter)
+		fu, res, err = propagate(sys, cfg.tol, cfg.maxIter, cfg.workers)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
 	}
@@ -202,7 +213,12 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 // D22 also counts the similarity mass to labeled nodes, the iteration matrix
 // D22⁻¹W22 is substochastic and — whenever every unlabeled component touches
 // a labeled node — a contraction, so the iteration converges to Eq. 5.
-func propagate(sys *hardSystem, tol float64, maxIter int) ([]float64, sparse.SolveResult, error) {
+//
+// Every sweep is a Jacobi step: all rows read the frozen previous iterate
+// and write disjoint entries of the next one, so the sweep parallelizes over
+// row blocks. The convergence reduction is a max (exact under reordering),
+// making the iterates bitwise-identical for every worker count.
+func propagate(sys *hardSystem, tol float64, maxIter, workers int) ([]float64, sparse.SolveResult, error) {
 	m := len(sys.b)
 	if tol <= 0 {
 		tol = 1e-10
@@ -219,27 +235,43 @@ func propagate(sys *hardSystem, tol float64, maxIter int) ([]float64, sparse.Sol
 	}
 	f := make([]float64, m)
 	next := make([]float64, m)
-	wf := make([]float64, m)
+	blocks := parallel.Split(m, parallel.Workers(workers))
+	deltas := make([]float64, len(blocks))
+	scales := make([]float64, len(blocks))
 	for it := 0; it < maxIter; it++ {
-		if err := sys.w22.MulVecTo(wf, f); err != nil {
-			return nil, sparse.SolveResult{}, err
-		}
+		parallel.ForBlocks(workers, blocks, func(bi int, blk parallel.Block) {
+			var delta, scale float64
+			for k := blk.Lo; k < blk.Hi; k++ {
+				cols, vals := sys.w22.RowNNZ(k)
+				s := sys.b[k]
+				for c, j := range cols {
+					s += vals[c] * f[j]
+				}
+				v := s / sys.d22[k]
+				next[k] = v
+				d := v - f[k]
+				if d < 0 {
+					d = -d
+				}
+				if d > delta {
+					delta = d
+				}
+				if v < 0 {
+					v = -v
+				}
+				if v > scale {
+					scale = v
+				}
+			}
+			deltas[bi], scales[bi] = delta, scale
+		})
 		var delta, scale float64
-		for k := 0; k < m; k++ {
-			next[k] = (sys.b[k] + wf[k]) / sys.d22[k]
-			d := next[k] - f[k]
-			if d < 0 {
-				d = -d
+		for bi := range deltas {
+			if deltas[bi] > delta {
+				delta = deltas[bi]
 			}
-			if d > delta {
-				delta = d
-			}
-			a := next[k]
-			if a < 0 {
-				a = -a
-			}
-			if a > scale {
-				scale = a
+			if scales[bi] > scale {
+				scale = scales[bi]
 			}
 		}
 		f, next = next, f

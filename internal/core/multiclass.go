@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // MulticlassProblem is a transductive problem with K-way categorical
@@ -78,7 +79,13 @@ type MulticlassSolution struct {
 // columns. With normalize=true each class column is rescaled by class mass
 // normalization using the labeled class frequencies (Zhu et al.'s CMN),
 // which corrects imbalanced class sizes.
+//
+// The per-class solves are independent (one right-hand side each against a
+// shared read-only graph or factorization), so they run in parallel under
+// WithWorkers; the per-class outputs land in fixed columns, keeping the
+// result bitwise-identical across worker counts.
 func (m *MulticlassProblem) Solve(lambda float64, normalize bool, opts ...SolveOption) (*MulticlassSolution, error) {
+	cfg := newSolveConfig(opts)
 	nU := m.p.M()
 	k := len(m.classes)
 	scores := mat.NewDense(nU, k)
@@ -91,7 +98,8 @@ func (m *MulticlassProblem) Solve(lambda float64, normalize bool, opts ...SolveO
 			return nil, err
 		}
 	}
-	for ci, class := range m.classes {
+	solveClass := func(ci int) error {
+		class := m.classes[ci]
 		y := make([]float64, len(m.yClass))
 		var prior float64
 		for i, c := range m.yClass {
@@ -113,22 +121,38 @@ func (m *MulticlassProblem) Solve(lambda float64, normalize bool, opts ...SolveO
 			var pc *Problem
 			pc, err = NewProblem(m.p.g, m.p.labeled, y)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			sol, err = SolveSoft(pc, lambda, opts...)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("core: multiclass class %d: %w", class, err)
+			return fmt.Errorf("core: multiclass class %d: %w", class, err)
 		}
 		col := sol.FUnlabeled
 		if normalize {
 			col, err = ClassMassNormalize(col, clampPrior(prior))
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for i, v := range col {
 			scores.Set(i, ci, v)
+		}
+		return nil
+	}
+	blocks := parallel.Split(k, parallel.Workers(cfg.workers))
+	errs := make([]error, len(blocks))
+	parallel.ForBlocks(cfg.workers, blocks, func(bi int, blk parallel.Block) {
+		for ci := blk.Lo; ci < blk.Hi; ci++ {
+			if err := solveClass(ci); err != nil {
+				errs[bi] = err
+				return
+			}
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
 	pred := make([]int, nU)

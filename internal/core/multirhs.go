@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // HardFactorization is a reusable factorization of the hard criterion's
@@ -100,23 +101,43 @@ func (f *HardFactorization) rhs(y []float64) ([]float64, error) {
 
 // SolveColumns solves the hard criterion for every column of Y
 // (N()×k responses), returning an M()×k matrix of unlabeled scores.
+// It runs on all available cores; see SolveColumnsWorkers.
 func (f *HardFactorization) SolveColumns(y *mat.Dense) (*mat.Dense, error) {
+	return f.SolveColumnsWorkers(y, 0)
+}
+
+// SolveColumnsWorkers is SolveColumns with an explicit worker count (<= 0
+// selects GOMAXPROCS, 1 runs serially). Columns are independent solves
+// against the shared read-only factorization, so the result is
+// bitwise-identical for every worker count. This is what lets one-vs-rest
+// multiclass scale with cores: one right-hand side per class.
+func (f *HardFactorization) SolveColumnsWorkers(y *mat.Dense, workers int) (*mat.Dense, error) {
 	rows, k := y.Dims()
 	if rows != f.p.N() {
 		return nil, fmt.Errorf("core: SolveColumns with %d rows, want %d: %w", rows, f.p.N(), ErrParam)
 	}
 	out := mat.NewDense(f.M(), k)
-	col := make([]float64, rows)
-	for c := 0; c < k; c++ {
-		for i := 0; i < rows; i++ {
-			col[i] = y.At(i, c)
+	blocks := parallel.Split(k, parallel.Workers(workers))
+	errs := make([]error, len(blocks))
+	parallel.ForBlocks(workers, blocks, func(bi int, blk parallel.Block) {
+		col := make([]float64, rows)
+		for c := blk.Lo; c < blk.Hi; c++ {
+			for i := 0; i < rows; i++ {
+				col[i] = y.At(i, c)
+			}
+			sol, err := f.SolveY(col)
+			if err != nil {
+				errs[bi] = err
+				return
+			}
+			for i, v := range sol.FUnlabeled {
+				out.Set(i, c, v)
+			}
 		}
-		sol, err := f.SolveY(col)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
-		}
-		for i, v := range sol.FUnlabeled {
-			out.Set(i, c, v)
 		}
 	}
 	return out, nil

@@ -69,7 +69,7 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 	case MethodLU:
 		f, err = mat.SolveLU(a.ToDense(), rhs)
 	case MethodCG:
-		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true})
+		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers})
 	case MethodPropagation:
 		return nil, fmt.Errorf("core: propagation applies to the hard criterion only: %w", ErrParam)
 	default:

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/sparse"
 )
 
@@ -78,10 +79,11 @@ func (g *Graph) EdgeCount() int {
 
 // Builder configures graph construction from points.
 type Builder struct {
-	kernel *kernel.K
-	knn    int     // 0 = full graph
-	eps    float64 // 0 = no ε-ball truncation
-	loops  bool    // keep self-loops (w_ii = Profile(0))
+	kernel  *kernel.K
+	knn     int     // 0 = full graph
+	eps     float64 // 0 = no ε-ball truncation
+	loops   bool    // keep self-loops (w_ii = Profile(0))
+	workers int     // 0 = GOMAXPROCS, 1 = serial
 }
 
 // Option customizes a Builder.
@@ -110,6 +112,15 @@ func WithSelfLoops() Option {
 	return optionFunc(func(b *Builder) { b.loops = true })
 }
 
+// WithWorkers sets the worker count for the parallel stages of
+// construction (the pairwise distance pass, per-row weight computation, and
+// k-NN selection). n <= 0 (the default) selects runtime.GOMAXPROCS(0);
+// n == 1 forces the serial path. The built graph is byte-identical for
+// every worker count.
+func WithWorkers(n int) Option {
+	return optionFunc(func(b *Builder) { b.workers = n })
+}
+
 // NewBuilder returns a Builder for the given kernel.
 func NewBuilder(k *kernel.K, opts ...Option) (*Builder, error) {
 	if k == nil {
@@ -133,7 +144,7 @@ func (b *Builder) Build(x [][]float64) (*Graph, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
 	}
-	d2, err := kernel.PairwiseDist2(x)
+	d2, err := kernel.PairwiseDist2Workers(x, b.workers)
 	if err != nil {
 		return nil, err
 	}
@@ -141,90 +152,200 @@ func (b *Builder) Build(x [][]float64) (*Graph, error) {
 }
 
 // BuildFromDist2 constructs the graph from a precomputed n×n row-major
-// squared-distance matrix. This is the fast path for experiments that sweep
-// λ or kernels over a fixed dataset.
+// squared-distance matrix (symmetric; only the upper triangle is read).
+// This is the fast path for experiments that sweep λ or kernels over a
+// fixed dataset.
+//
+// Rows of the weight matrix are computed independently in parallel and
+// assembled directly into CSR form with sorted per-row neighbour lists, so
+// the output is byte-identical for every worker count and across runs.
 func (b *Builder) BuildFromDist2(n int, d2 []float64) (*Graph, error) {
 	if n <= 0 || len(d2) != n*n {
 		return nil, fmt.Errorf("graph: need n*n=%d distances, got %d: %w", n*n, len(d2), ErrParam)
 	}
-	eps2 := b.eps * b.eps
-
-	keep := func(i, j int, dist2 float64) bool {
-		if b.eps > 0 && dist2 > eps2 {
-			return false
-		}
-		return true
-	}
-
-	coo := sparse.NewCOO(n, n)
+	var (
+		rowCols [][]int
+		rowVals [][]float64
+	)
 	if b.knn > 0 {
-		if err := b.addKNNEdges(coo, n, d2, eps2); err != nil {
-			return nil, err
-		}
+		rowCols, rowVals = b.knnRows(n, d2)
 	} else {
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				dist2 := d2[i*n+j]
-				if !keep(i, j, dist2) {
-					continue
-				}
-				w := b.kernel.WeightDist2(dist2)
-				if w > 0 {
-					if err := coo.AddSym(i, j, w); err != nil {
-						return nil, err
-					}
-				}
-			}
-		}
+		rowCols, rowVals = b.fullRows(n, d2)
 	}
-	if b.loops {
-		for i := 0; i < n; i++ {
-			if err := coo.Add(i, i, b.kernel.WeightDist2(0)); err != nil {
-				return nil, err
-			}
-		}
+	w, err := assembleCSR(n, rowCols, rowVals, b.workers)
+	if err != nil {
+		return nil, err
 	}
-	return &Graph{w: coo.ToCSR()}, nil
+	return &Graph{w: w}, nil
 }
 
-// addKNNEdges adds the symmetrized k-nearest-neighbour edges.
-func (b *Builder) addKNNEdges(coo *sparse.COO, n int, d2 []float64, eps2 float64) error {
-	type edge struct{ i, j int }
-	selected := make(map[edge]bool, n*b.knn)
-	idx := make([]int, n-1)
-	for i := 0; i < n; i++ {
-		idx = idx[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
+// at returns the canonical (upper-triangle) squared distance between i and
+// j, so both endpoints of an edge derive the weight from the same stored
+// value even if the caller's matrix is asymmetric up to rounding.
+func at(d2 []float64, n, i, j int) float64 {
+	if i > j {
+		i, j = j, i
+	}
+	return d2[i*n+j]
+}
+
+// fullRows computes the dense-kernel rows: every pair within the ε-ball
+// (when set) with positive weight, plus the diagonal when self-loops are on.
+func (b *Builder) fullRows(n int, d2 []float64) (cols [][]int, vals [][]float64) {
+	cols = make([][]int, n)
+	vals = make([][]float64, n)
+	eps2 := b.eps * b.eps
+	parallel.For(b.workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := make([]int, 0, n)
+			vi := make([]float64, 0, n)
+			for j := 0; j < n; j++ {
+				if j == i {
+					if b.loops {
+						if w := b.kernel.WeightDist2(0); w != 0 {
+							ci = append(ci, i)
+							vi = append(vi, w)
+						}
+					}
+					continue
+				}
+				dv := at(d2, n, i, j)
+				if b.eps > 0 && dv > eps2 {
+					continue
+				}
+				if w := b.kernel.WeightDist2(dv); w > 0 {
+					ci = append(ci, j)
+					vi = append(vi, w)
+				}
+			}
+			cols[i], vals[i] = ci, vi
+		}
+	})
+	return cols, vals
+}
+
+// knnRows computes the symmetrized k-nearest-neighbour rows. Per row the k
+// nearest candidates are found by an O(n) quickselect (ties broken by index,
+// see selectK) instead of a full sort; symmetrization merges each row's
+// selection with the sorted reverse-selection lists, so every row comes out
+// sorted by column with no hash-map dedup.
+func (b *Builder) knnRows(n int, d2 []float64) (cols [][]int, vals [][]float64) {
+	eps2 := b.eps * b.eps
+	// Pass 1 (parallel): per-row selection, sorted ascending by index.
+	sel := make([][]int, n)
+	parallel.For(b.workers, n, func(lo, hi int) {
+		idx := make([]int, 0, n-1)
+		for i := lo; i < hi; i++ {
+			row := d2[i*n : (i+1)*n]
+			idx = idx[:0]
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				if b.eps > 0 && row[j] > eps2 {
+					continue
+				}
 				idx = append(idx, j)
 			}
-		}
-		row := d2[i*n : (i+1)*n]
-		sort.Slice(idx, func(a, b int) bool { return row[idx[a]] < row[idx[b]] })
-		k := b.knn
-		if k > len(idx) {
-			k = len(idx)
-		}
-		for _, j := range idx[:k] {
-			if b.eps > 0 && row[j] > eps2 {
-				break // sorted by distance: all further neighbours also fail
+			k := b.knn
+			if k > len(idx) {
+				k = len(idx)
 			}
-			lo, hi := i, j
-			if lo > hi {
-				lo, hi = hi, lo
-			}
-			selected[edge{lo, hi}] = true
+			selectK(row, idx, k)
+			top := make([]int, k)
+			copy(top, idx[:k])
+			sort.Ints(top)
+			sel[i] = top
+		}
+	})
+
+	// Pass 2 (serial, O(nk)): reverse lists. Appending in ascending row
+	// order leaves every rev list sorted ascending.
+	cnt := make([]int, n)
+	for i := range sel {
+		for _, j := range sel[i] {
+			cnt[j]++
 		}
 	}
-	for e := range selected {
-		w := b.kernel.WeightDist2(d2[e.i*n+e.j])
-		if w > 0 {
-			if err := coo.AddSym(e.i, e.j, w); err != nil {
-				return err
-			}
+	revptr := make([]int, n+1)
+	for j := 0; j < n; j++ {
+		revptr[j+1] = revptr[j] + cnt[j]
+	}
+	rev := make([]int, revptr[n])
+	fill := make([]int, n)
+	copy(fill, revptr[:n])
+	for i := range sel {
+		for _, j := range sel[i] {
+			rev[fill[j]] = i
+			fill[j]++
 		}
 	}
-	return nil
+
+	// Pass 3 (parallel): merge sel[i] with rev[i] (both sorted, dedup) and
+	// attach weights; an edge survives if either endpoint selected it.
+	cols = make([][]int, n)
+	vals = make([][]float64, n)
+	parallel.For(b.workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a, c := sel[i], rev[revptr[i]:revptr[i+1]]
+			ci := make([]int, 0, len(a)+len(c)+1)
+			vi := make([]float64, 0, len(a)+len(c)+1)
+			diagDone := !b.loops
+			emit := func(j int) {
+				if !diagDone && j > i {
+					if w := b.kernel.WeightDist2(0); w != 0 {
+						ci = append(ci, i)
+						vi = append(vi, w)
+					}
+					diagDone = true
+				}
+				if w := b.kernel.WeightDist2(at(d2, n, i, j)); w > 0 {
+					ci = append(ci, j)
+					vi = append(vi, w)
+				}
+			}
+			p, q := 0, 0
+			for p < len(a) || q < len(c) {
+				switch {
+				case q == len(c) || (p < len(a) && a[p] < c[q]):
+					emit(a[p])
+					p++
+				case p == len(a) || c[q] < a[p]:
+					emit(c[q])
+					q++
+				default: // equal: both endpoints selected the edge
+					emit(a[p])
+					p, q = p+1, q+1
+				}
+			}
+			if !diagDone {
+				if w := b.kernel.WeightDist2(0); w != 0 {
+					ci = append(ci, i)
+					vi = append(vi, w)
+				}
+			}
+			cols[i], vals[i] = ci, vi
+		}
+	})
+	return cols, vals
+}
+
+// assembleCSR concatenates per-row sorted (column, value) lists into a CSR
+// matrix: a serial prefix sum over row lengths followed by a parallel copy.
+func assembleCSR(n int, cols [][]int, vals [][]float64, workers int) (*sparse.CSR, error) {
+	indptr := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		indptr[i+1] = indptr[i] + len(cols[i])
+	}
+	indices := make([]int, indptr[n])
+	data := make([]float64, indptr[n])
+	parallel.For(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(indices[indptr[i]:indptr[i+1]], cols[i])
+			copy(data[indptr[i]:indptr[i+1]], vals[i])
+		}
+	})
+	return sparse.NewCSR(n, n, indptr, indices, data)
 }
 
 // LaplacianKind selects among the standard graph Laplacians.
@@ -382,16 +503,35 @@ type Stats struct {
 	MeanDegree float64
 }
 
-// Summary computes the graph statistics.
+// Summary computes the graph statistics in a single traversal of the CSR:
+// one pass accumulates edge counts, union-find components, and degrees
+// together instead of re-walking the matrix per statistic.
 func (g *Graph) Summary() Stats {
-	deg := g.Degrees()
-	s := Stats{
-		Nodes:      g.N(),
-		Edges:      g.EdgeCount(),
-		Components: len(g.Components()),
-	}
-	if len(deg) == 0 {
+	n := g.N()
+	s := Stats{Nodes: n}
+	if n == 0 {
 		return s
+	}
+	uf := newUnionFind(n)
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		cols, vals := g.w.RowNNZ(i)
+		var d float64
+		for k, j := range cols {
+			d += vals[k]
+			if j > i && vals[k] != 0 {
+				s.Edges++
+			}
+			if j != i && vals[k] > 0 {
+				uf.union(i, j)
+			}
+		}
+		deg[i] = d
+	}
+	for i := 0; i < n; i++ {
+		if uf.find(i) == i {
+			s.Components++
+		}
 	}
 	s.MinDegree, _ = mat.MinVec(deg)
 	s.MaxDegree, _ = mat.MaxVec(deg)

@@ -1,0 +1,63 @@
+package graph
+
+// Partial selection for the k-NN builder: selectK places the k nearest
+// candidates (by squared distance, ties broken by ascending index so the
+// selection is a deterministic function of the input) in idx[:k] in O(len)
+// expected time, replacing the previous full sort of every row.
+
+// distLess orders candidate indices by (distance, index). Distances come
+// from the row of a squared-distance matrix; the index tiebreak makes the
+// order strict and total, so the selected set is uniquely determined.
+func distLess(dist []float64, a, b int) bool {
+	da, db := dist[a], dist[b]
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// partitionDist partitions idx[lo..hi] around a median-of-three pivot and
+// returns the pivot's final position. Deterministic: no random pivoting.
+func partitionDist(dist []float64, idx []int, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if distLess(dist, idx[mid], idx[lo]) {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if distLess(dist, idx[hi], idx[mid]) {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+		if distLess(dist, idx[mid], idx[lo]) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+	}
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	pv := idx[hi]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if distLess(dist, idx[i], pv) {
+			idx[store], idx[i] = idx[i], idx[store]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}
+
+// selectK reorders idx so idx[:k] holds the k smallest candidates under
+// distLess (in arbitrary internal order; callers sort the prefix by index).
+func selectK(dist []float64, idx []int, k int) {
+	if k <= 0 || k >= len(idx) {
+		return
+	}
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		p := partitionDist(dist, idx, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p > k:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}

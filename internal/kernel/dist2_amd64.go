@@ -1,0 +1,44 @@
+//go:build amd64
+
+package kernel
+
+// cpuid executes the CPUID instruction with the given leaf/subleaf.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (only called when CPUID reports
+// OSXSAVE, so the instruction is guaranteed to exist).
+func xgetbv() (eax, edx uint32)
+
+// dist2x4Lanes accumulates squared differences of x against four rows over
+// the first nq dimensions (nq a multiple of 4) into out, four mod-4 lanes
+// per row, matching dist2Lanes exactly. Implemented in dist2_amd64.s with
+// AVX; separate VSUBPD/VMULPD/VADDPD (no FMA contraction) keep the rounding
+// identical to the scalar path.
+//
+//go:noescape
+func dist2x4Lanes(x, y0, y1, y2, y3 *float64, nq int, out *[16]float64)
+
+// dist2Row8 computes the eight finished squared distances of x against
+// eight rows, including scalar tail dimensions and lane reduction, in the
+// exact operation order of the scalar dist2.
+//
+//go:noescape
+func dist2Row8(x, y0, y1, y2, y3, y4, y5, y6, y7 *float64, d int, out *float64)
+
+// useAVX reports whether the CPU and OS support AVX (VEX-encoded ymm ops
+// and ymm state saving).
+var useAVX = func() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	_, _, ecx, _ := cpuid(1, 0)
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+	eax, _ := xgetbv()
+	return eax&0x6 == 0x6
+}()

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 var (
@@ -155,16 +157,102 @@ func (k *K) WeightDist2(d2 float64) float64 {
 	return k.kind.Profile(math.Sqrt(d2) / k.h)
 }
 
+// dist2Lanes accumulates the squared differences of the first nq elements
+// (nq a multiple of 4) into four lanes, lane l taking dimensions i ≡ l
+// (mod 4). The four independent accumulators break the loop-carried
+// dependency on a single sum, letting the FP adds pipeline; the lane
+// convention is shared with the AVX kernel so scalar and vector paths are
+// bitwise-identical.
+func dist2Lanes(x, y []float64, nq int) (s0, s1, s2, s3 float64) {
+	y = y[:len(x)] // bounds-check elimination hint
+	for i := 0; i+4 <= nq; i += 4 {
+		d0 := x[i] - y[i]
+		d1 := x[i+1] - y[i+1]
+		d2 := x[i+2] - y[i+2]
+		d3 := x[i+3] - y[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	return s0, s1, s2, s3
+}
+
 func dist2(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(errors.New("kernel: dimension mismatch"))
 	}
-	var s float64
-	for i, v := range x {
-		d := v - y[i]
-		s += d * d
+	nq := len(x) &^ 3
+	s0, s1, s2, s3 := dist2Lanes(x, y, nq)
+	for i := nq; i < len(x); i++ {
+		d := x[i] - y[i]
+		s0 += d * d
 	}
-	return s
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dist2x4 computes dist2 of x against four rows in one pass, writing the
+// results to out. The rows share the x loads and loop overhead, and on
+// amd64 hosts with AVX the quad runs vectorized (see dist2_amd64.s); the
+// scalar pairwise pass is load-throughput-bound, so batching pairs is the
+// only lever left past loop unrolling. Each pair accumulates in exactly
+// the lane order dist2 uses, so results are bitwise-identical to four
+// separate dist2 calls on every architecture.
+func dist2x4(x, y0, y1, y2, y3 []float64, out *[4]float64) {
+	d := len(x)
+	if len(y0) != d || len(y1) != d || len(y2) != d || len(y3) != d {
+		panic(errors.New("kernel: dimension mismatch"))
+	}
+	nq := d &^ 3
+	var lanes [16]float64
+	if useAVX && nq >= 4 {
+		dist2x4Lanes(&x[0], &y0[0], &y1[0], &y2[0], &y3[0], nq, &lanes)
+	} else {
+		lanes[0], lanes[1], lanes[2], lanes[3] = dist2Lanes(x, y0, nq)
+		lanes[4], lanes[5], lanes[6], lanes[7] = dist2Lanes(x, y1, nq)
+		lanes[8], lanes[9], lanes[10], lanes[11] = dist2Lanes(x, y2, nq)
+		lanes[12], lanes[13], lanes[14], lanes[15] = dist2Lanes(x, y3, nq)
+	}
+	ys := [4][]float64{y0, y1, y2, y3}
+	for p := 0; p < 4; p++ {
+		s0, s1, s2, s3 := lanes[4*p], lanes[4*p+1], lanes[4*p+2], lanes[4*p+3]
+		y := ys[p]
+		for i := nq; i < d; i++ {
+			dd := x[i] - y[i]
+			s0 += dd * dd
+		}
+		out[p] = (s0 + s1) + (s2 + s3)
+	}
+}
+
+// dist2x8 is the eight-row variant of dist2x4; on amd64 with AVX the whole
+// computation, tail and reduction included, runs in dist2Row8.
+func dist2x8(x []float64, ys *[8][]float64, out *[8]float64) {
+	d := len(x)
+	for _, y := range ys {
+		if len(y) != d {
+			panic(errors.New("kernel: dimension mismatch"))
+		}
+	}
+	if d == 0 {
+		*out = [8]float64{}
+		return
+	}
+	if useAVX {
+		dist2Row8(&x[0], &ys[0][0], &ys[1][0], &ys[2][0], &ys[3][0],
+			&ys[4][0], &ys[5][0], &ys[6][0], &ys[7][0], d, &out[0])
+		return
+	}
+	nq := d &^ 3
+	for p := 0; p < 8; p++ {
+		s0, s1, s2, s3 := dist2Lanes(x, ys[p], nq)
+		y := ys[p]
+		for i := nq; i < d; i++ {
+			dd := x[i] - y[i]
+			s0 += dd * dd
+		}
+		out[p] = (s0 + s1) + (s2 + s3)
+	}
 }
 
 // PaperBandwidth returns the bandwidth h_n = (log n / n)^{1/p} used in the
@@ -261,18 +349,88 @@ func SilvermanBandwidth(sample []float64) (float64, error) {
 // PairwiseDist2 returns the full matrix of squared Euclidean distances as a
 // flat row-major slice of length n*n. Shared by graph builders so the O(n²d)
 // distance pass happens once per dataset rather than once per λ value.
+// It runs on all available cores; see PairwiseDist2Workers.
 func PairwiseDist2(x [][]float64) ([]float64, error) {
+	return PairwiseDist2Workers(x, 0)
+}
+
+// PairwiseDist2Workers is PairwiseDist2 with an explicit worker count
+// (workers <= 0 selects runtime.GOMAXPROCS(0), workers == 1 runs serially on
+// the calling goroutine). Each element d²(i,j) is computed independently
+// from x[i] and x[j], so the output is bitwise-identical for every worker
+// count.
+//
+// Work is row-blocked over the upper triangle: the worker that owns row i
+// computes d²(i,j) for all j > i. Rows are over-decomposed into chunks to
+// balance the triangular load profile (early rows carry more pairs than
+// late ones), and within a chunk the j loop is tiled so the tile of points
+// stays cache-resident while every row of the chunk streams against it —
+// without tiling the pass re-reads all of x from memory for each row. The
+// lower triangle is filled per tile right after the tile is computed, a
+// cache-blocked transpose of hot data; mirroring element-by-element inside
+// the pair loop would scatter one write per element across n distinct
+// cache lines.
+//
+// distTilePts rows of x per tile: at d = 50 a tile is ~75 KiB, safely
+// L2-resident together with the output rows in flight.
+const distTilePts = 192
+
+func PairwiseDist2Workers(x [][]float64, workers int) ([]float64, error) {
 	n := len(x)
 	if n == 0 {
 		return nil, ErrEmpty
 	}
 	out := make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := dist2(x[i], x[j])
-			out[i*n+j] = d
-			out[j*n+i] = d
+	parallel.For(workers, n, func(lo, hi int) {
+		for jlo := lo + 1; jlo < n; jlo += distTilePts {
+			jhi := jlo + distTilePts
+			if jhi > n {
+				jhi = n
+			}
+			for i := lo; i < hi; i++ {
+				jstart := i + 1
+				if jstart < jlo {
+					jstart = jlo
+				}
+				if jstart >= jhi {
+					continue
+				}
+				xi := x[i]
+				row := out[i*n : (i+1)*n]
+				j := jstart
+				var oct [8]float64
+				var octRows [8][]float64
+				for ; j+8 <= jhi; j += 8 {
+					copy(octRows[:], x[j:j+8])
+					dist2x8(xi, &octRows, &oct)
+					copy(row[j:j+8], oct[:])
+				}
+				if j+4 <= jhi {
+					var quad [4]float64
+					dist2x4(xi, x[j], x[j+1], x[j+2], x[j+3], &quad)
+					row[j], row[j+1], row[j+2], row[j+3] = quad[0], quad[1], quad[2], quad[3]
+					j += 4
+				}
+				for ; j < jhi; j++ {
+					row[j] = dist2(xi, x[j])
+				}
+			}
+			// Mirror the freshly computed block to the lower triangle while
+			// it is still cache-resident. The writes land below the diagonal
+			// of rows j in the tile, disjoint from every upper-triangle write
+			// (row j's own worker only touches columns > j), so blocks stay
+			// independent across workers.
+			for j := jlo; j < jhi; j++ {
+				imax := j
+				if imax > hi {
+					imax = hi
+				}
+				rowj := out[j*n : (j+1)*n]
+				for i := lo; i < imax; i++ {
+					rowj[i] = out[i*n+j]
+				}
+			}
 		}
-	}
+	})
 	return out, nil
 }

@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestPairwiseDist2WorkersBitwiseIdentical asserts the row-blocked parallel
+// distance pass matches the serial path exactly for every worker count.
+func TestPairwiseDist2WorkersBitwiseIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 17, 130, 301} {
+		x := make([][]float64, n)
+		for i := range x {
+			x[i] = make([]float64, 7)
+			for j := range x[i] {
+				x[i][j] = rng.NormFloat64()
+			}
+		}
+		ref, err := PairwiseDist2Workers(x, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4, runtime.GOMAXPROCS(0)} {
+			got, err := PairwiseDist2Workers(x, workers)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for k := range ref {
+				if got[k] != ref[k] {
+					t.Fatalf("n=%d workers=%d: element %d = %v, want %v (must be bitwise-identical)",
+						n, workers, k, got[k], ref[k])
+				}
+			}
+		}
+	}
+}
+
+// TestPairwiseDist2MatchesDirect checks entries against dist2 on the same
+// pairs, plus symmetry and a zero diagonal.
+func TestPairwiseDist2MatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	const n, d = 40, 5
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+	}
+	d2, err := PairwiseDist2(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if d2[i*n+i] != 0 {
+			t.Fatalf("diagonal %d = %v", i, d2[i*n+i])
+		}
+		for j := 0; j < n; j++ {
+			if d2[i*n+j] != d2[j*n+i] {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+			if got, want := d2[i*n+j], dist2(x[i], x[j]); got != want {
+				t.Fatalf("(%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestDist2BatchedMatchesScalar pins the batched distance kernels (the AVX
+// path on amd64, the scalar lane path elsewhere) to dist2 bitwise, across
+// every unroll remainder.
+func TestDist2BatchedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for d := 0; d <= 13; d++ {
+		x := make([]float64, d)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		var ys [8][]float64
+		for p := range ys {
+			ys[p] = make([]float64, d)
+			for i := range ys[p] {
+				ys[p][i] = rng.NormFloat64()
+			}
+		}
+		var quad [4]float64
+		dist2x4(x, ys[0], ys[1], ys[2], ys[3], &quad)
+		for p := 0; p < 4; p++ {
+			if want := dist2(x, ys[p]); quad[p] != want {
+				t.Fatalf("d=%d: dist2x4[%d] = %v, want %v (must be bitwise-identical)", d, p, quad[p], want)
+			}
+		}
+		var oct [8]float64
+		dist2x8(x, &ys, &oct)
+		for p := 0; p < 8; p++ {
+			if want := dist2(x, ys[p]); oct[p] != want {
+				t.Fatalf("d=%d: dist2x8[%d] = %v, want %v (must be bitwise-identical)", d, p, oct[p], want)
+			}
+		}
+	}
+}
+
+// TestDist2UnrolledTail exercises every unroll remainder (len % 4).
+func TestDist2UnrolledTail(t *testing.T) {
+	for d := 0; d <= 9; d++ {
+		x := make([]float64, d)
+		y := make([]float64, d)
+		var want float64
+		for i := 0; i < d; i++ {
+			x[i] = float64(i + 1)
+			y[i] = float64(2*i) - 0.5
+			diff := x[i] - y[i]
+			want += diff * diff
+		}
+		got := dist2(x, y)
+		if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+			t.Fatalf("d=%d: dist2 = %v, want %v", d, got, want)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestSplitCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 16, 17, 100} {
+		for _, k := range []int{-1, 0, 1, 2, 3, 7, 200} {
+			blocks := Split(n, k)
+			if n == 0 {
+				if len(blocks) != 0 {
+					t.Fatalf("Split(0,%d) = %v, want empty", k, blocks)
+				}
+				continue
+			}
+			want := k
+			if want < 1 {
+				want = 1
+			}
+			if want > n {
+				want = n
+			}
+			if len(blocks) != want {
+				t.Fatalf("Split(%d,%d) produced %d blocks, want %d", n, k, len(blocks), want)
+			}
+			lo := 0
+			for i, b := range blocks {
+				if b.Lo != lo {
+					t.Fatalf("Split(%d,%d) block %d starts at %d, want %d", n, k, i, b.Lo, lo)
+				}
+				if b.Len() < 1 {
+					t.Fatalf("Split(%d,%d) block %d empty", n, k, i)
+				}
+				lo = b.Hi
+			}
+			if lo != n {
+				t.Fatalf("Split(%d,%d) covers [0,%d), want [0,%d)", n, k, lo, n)
+			}
+			// Near-equal: sizes differ by at most one.
+			min, max := n, 0
+			for _, b := range blocks {
+				if b.Len() < min {
+					min = b.Len()
+				}
+				if b.Len() > max {
+					max = b.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Split(%d,%d) sizes range [%d,%d]", n, k, min, max)
+			}
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	const n = 1237
+	for _, workers := range []int{1, 2, 4, 9} {
+		hits := make([]int32, n)
+		For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	const n = 501
+	run := func(workers int) []float64 {
+		out := make([]float64, n)
+		For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestForBlocksStableIndexing(t *testing.T) {
+	const n = 100
+	blocks := Split(n, 8)
+	sums := make([]int, len(blocks))
+	ForBlocks(4, blocks, func(i int, b Block) {
+		s := 0
+		for k := b.Lo; k < b.Hi; k++ {
+			s += k
+		}
+		sums[i] = s
+	})
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Fatalf("block sums total %d, want %d", total, want)
+	}
+}
+
+func TestForPanicPropagation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if workers > 1 {
+					pe, ok := r.(*panicError)
+					if !ok {
+						t.Fatalf("workers=%d: recovered %T, want *panicError", workers, r)
+					}
+					if !strings.Contains(pe.Error(), "boom") {
+						t.Fatalf("workers=%d: panic message %q lacks cause", workers, pe.Error())
+					}
+				}
+			}()
+			For(workers, 512, func(lo, hi int) {
+				if lo >= 256 || workers == 1 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+func TestForZeroLength(t *testing.T) {
+	called := false
+	For(4, 0, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("For called fn on empty range")
+	}
+	ForBlocks(4, nil, func(int, Block) { called = true })
+	if called {
+		t.Fatal("ForBlocks called fn on empty block list")
+	}
+}

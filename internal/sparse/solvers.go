@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 // SolveResult reports how an iterative solve ended.
@@ -25,6 +26,11 @@ type CGOptions struct {
 	Precondition bool
 	// X0 is the starting guess; default the zero vector.
 	X0 []float64
+	// Workers parallelizes the matrix-vector products over row ranges:
+	// <= 0 (the default) selects GOMAXPROCS, 1 forces the serial path.
+	// Dot products and vector updates stay serial, so the iterates are
+	// bitwise-identical across worker counts.
+	Workers int
 }
 
 func (o *CGOptions) fill(n int) error {
@@ -70,7 +76,7 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 		copy(x, opts.X0)
 	}
 	r := make([]float64, n)
-	if err := a.MulVecTo(r, x); err != nil {
+	if err := a.MulVecToWorkers(r, x, opts.Workers); err != nil {
 		return nil, SolveResult{}, err
 	}
 	for i := range r {
@@ -101,7 +107,7 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 		if res <= opts.Tol {
 			return x, SolveResult{Iterations: it, Residual: res}, nil
 		}
-		if err := a.MulVecTo(ap, p); err != nil {
+		if err := a.MulVecToWorkers(ap, p, opts.Workers); err != nil {
 			return nil, SolveResult{}, err
 		}
 		pap := mat.Dot(p, ap)
@@ -130,8 +136,18 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 // Jacobi solves A x = b by Jacobi iteration x ← D⁻¹(b − R x). It converges
 // when A is strictly diagonally dominant, which holds for the hard
 // criterion's D22−W22 system whenever every unlabeled node has positive
-// similarity to a labeled node.
+// similarity to a labeled node. It runs on all available cores; see
+// JacobiWorkers.
 func Jacobi(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	return JacobiWorkers(a, b, tol, maxIter, 0)
+}
+
+// JacobiWorkers is Jacobi with an explicit worker count (<= 0 selects
+// GOMAXPROCS, 1 runs serially). Every sweep reads the frozen previous
+// iterate and writes disjoint rows of the next one, so the schedule is
+// embarrassingly parallel and the iterates are bitwise-identical across
+// worker counts.
+func JacobiWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
 		return nil, SolveResult{}, ErrShape
@@ -156,18 +172,20 @@ func Jacobi(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResu
 	next := make([]float64, n)
 	r := make([]float64, n)
 	for it := 0; it < maxIter; it++ {
-		for i := 0; i < n; i++ {
-			cols, vals := a.RowNNZ(i)
-			s := b[i]
-			for k, j := range cols {
-				if j != i {
-					s -= vals[k] * x[j]
+		parallel.For(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cols, vals := a.RowNNZ(i)
+				s := b[i]
+				for k, j := range cols {
+					if j != i {
+						s -= vals[k] * x[j]
+					}
 				}
+				next[i] = s / diag[i]
 			}
-			next[i] = s / diag[i]
-		}
+		})
 		x, next = next, x
-		if err := a.MulVecTo(r, x); err != nil {
+		if err := a.MulVecToWorkers(r, x, workers); err != nil {
 			return nil, SolveResult{}, err
 		}
 		for i := range r {

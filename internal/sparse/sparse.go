@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 )
 
 var (
@@ -117,6 +118,42 @@ type CSR struct {
 	data       []float64
 }
 
+// NewCSR wraps pre-assembled CSR storage without copying. It validates the
+// structure: indptr must be a non-decreasing length-(rows+1) prefix-sum
+// starting at 0, indices/data must match its final value, and each row's
+// column indices must be strictly increasing and in range. Builders that
+// assemble rows in parallel (e.g. the graph constructors) use this to skip
+// the COO sort round-trip. The caller must not mutate the slices afterwards.
+func NewCSR(rows, cols int, indptr, indices []int, data []float64) (*CSR, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("sparse: NewCSR %dx%d: %w", rows, cols, ErrShape)
+	}
+	if len(indptr) != rows+1 || indptr[0] != 0 {
+		return nil, fmt.Errorf("sparse: NewCSR indptr length %d (rows=%d): %w", len(indptr), rows, ErrShape)
+	}
+	nnz := indptr[rows]
+	if len(indices) != nnz || len(data) != nnz {
+		return nil, fmt.Errorf("sparse: NewCSR nnz mismatch indptr=%d indices=%d data=%d: %w",
+			nnz, len(indices), len(data), ErrShape)
+	}
+	for i := 0; i < rows; i++ {
+		lo, hi := indptr[i], indptr[i+1]
+		if lo > hi {
+			return nil, fmt.Errorf("sparse: NewCSR row %d has negative extent: %w", i, ErrShape)
+		}
+		prev := -1
+		for k := lo; k < hi; k++ {
+			j := indices[k]
+			if j <= prev || j >= cols {
+				return nil, fmt.Errorf("sparse: NewCSR row %d column %d (prev %d, cols %d): %w",
+					i, j, prev, cols, ErrIndex)
+			}
+			prev = j
+		}
+	}
+	return &CSR{rows: rows, cols: cols, indptr: indptr, indices: indices, data: data}, nil
+}
+
 // Rows returns the number of rows.
 func (m *CSR) Rows() int { return m.rows }
 
@@ -163,17 +200,29 @@ func (m *CSR) MulVec(x []float64) ([]float64, error) {
 
 // MulVecTo computes dst = m*x without allocating. dst must not alias x.
 func (m *CSR) MulVecTo(dst, x []float64) error {
+	return m.MulVecToWorkers(dst, x, 1)
+}
+
+// MulVecToWorkers computes dst = m*x with rows distributed across the given
+// worker count (workers <= 0 selects GOMAXPROCS, 1 runs serially inline).
+// Each row's dot product is accumulated in the same left-to-right order as
+// the serial path, so the result is bitwise-identical for every worker
+// count. dst must not alias x. This is the inner loop of CG, label
+// propagation, and the Lanczos spectral routines.
+func (m *CSR) MulVecToWorkers(dst, x []float64, workers int) error {
 	if len(x) != m.cols || len(dst) != m.rows {
 		return ErrShape
 	}
-	for i := 0; i < m.rows; i++ {
-		lo, hi := m.indptr[i], m.indptr[i+1]
-		var s float64
-		for k := lo; k < hi; k++ {
-			s += m.data[k] * x[m.indices[k]]
+	parallel.For(workers, m.rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a, b := m.indptr[i], m.indptr[i+1]
+			var s float64
+			for k := a; k < b; k++ {
+				s += m.data[k] * x[m.indices[k]]
+			}
+			dst[i] = s
 		}
-		dst[i] = s
-	}
+	})
 	return nil
 }
 

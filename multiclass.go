@@ -46,7 +46,8 @@ func FitMulticlass(x [][]float64, labels []int, labeled []int, normalize bool, o
 	sol, err := mp.Solve(cfg.lambda, normalize,
 		core.WithMethod(cfg.solver),
 		core.WithTolerance(cfg.tol),
-		core.WithMaxIter(cfg.maxIter))
+		core.WithMaxIter(cfg.maxIter),
+		core.WithWorkers(cfg.workers))
 	if err != nil {
 		return nil, translateCoreErr(err)
 	}
