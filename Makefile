@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet ci bench perfbench
+.PHONY: all build test race race-concurrency vet ci bench perfbench
 
 all: build
 
@@ -16,6 +16,11 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the concurrency-heavy packages (spatial indexes,
+# graph construction, parallel primitives), run twice to vary interleavings.
+race-concurrency:
+	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/...
+
 # The gate run by CI and expected to pass before every commit.
 ci: vet build race
 
@@ -27,3 +32,4 @@ bench:
 # records the comparison under results/.
 perfbench:
 	$(GO) run ./cmd/perfbench -out results/BENCH_parallel.json
+	$(GO) run ./cmd/perfbench -suite spatial -out results/BENCH_spatial.json

@@ -40,6 +40,11 @@ type Measurement struct {
 	WorkersNs map[string]int64 `json:"workers_ns"`
 	// SpeedupAt4 is BaselineNs / WorkersNs["4"].
 	SpeedupAt4 float64 `json:"speedup_at_4_workers_vs_baseline"`
+	// BaselineAllocBytes / IndexedAllocBytes record the cumulative heap
+	// allocation of one serial baseline run vs one serial indexed run
+	// (spatial suite only; zero entries are omitted).
+	BaselineAllocBytes uint64 `json:"baseline_alloc_bytes,omitempty"`
+	IndexedAllocBytes  uint64 `json:"indexed_alloc_bytes,omitempty"`
 }
 
 // Report is the JSON document written to -out.
@@ -138,15 +143,51 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		out     = flag.String("out", "results/BENCH_parallel.json", "output JSON path")
-		n       = flag.Int("n", 2000, "point count for the distance/graph benches")
-		d       = flag.Int("d", 50, "point dimension")
-		knn     = flag.Int("k", 10, "neighbour count for the k-NN bench")
+		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling) or spatial (index vs brute construction)")
+		out     = flag.String("out", "", "output JSON path (default results/BENCH_parallel.json or results/BENCH_spatial.json per suite)")
+		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
+		d       = flag.Int("d", 50, "point dimension (parallel suite)")
+		knn     = flag.Int("k", 10, "neighbour count for the k-NN benches (both suites)")
 		cgN     = flag.Int("cgn", 300, "labeled count for the CG/mulvec bench")
 		cgM     = flag.Int("cgm", 1200, "unlabeled count for the CG/mulvec bench")
+		sn      = flag.Int("sn", 20000, "point count for the spatial suite")
+		sd      = flag.Int("sd", 3, "point dimension for the spatial suite")
+		sradius = flag.Float64("sradius", 0.05, "ε-radius bandwidth for the spatial radius bench")
+		snwLab  = flag.Int("snwlab", 2000, "labeled count for the spatial NW bench")
+		snwH    = flag.Float64("snwh", 0.3, "bandwidth for the spatial NW bench")
 		repeats = flag.Int("repeats", 3, "timed repetitions per configuration (min is reported)")
 	)
 	flag.Parse()
+
+	if *suite == "spatial" {
+		if *out == "" {
+			*out = "results/BENCH_spatial.json"
+		}
+		p := spatialParams{
+			n: *sn, d: *sd, knn: *knn,
+			radius: *sradius, nwLab: *snwLab, nwH: *snwH,
+			repeats: *repeats,
+		}
+		report := spatialReport(p)
+		record := func(m Measurement) {
+			report.Results = append(report.Results, m)
+			fmt.Printf("%-16s baseline %12d ns", m.Name, m.BaselineNs)
+			for _, w := range workerCounts() {
+				fmt.Printf("  w%d %12d ns", w, m.WorkersNs[fmt.Sprint(w)])
+			}
+			fmt.Printf("  speedup@4 %.2fx  alloc %d -> %d B\n",
+				m.SpeedupAt4, m.BaselineAllocBytes, m.IndexedAllocBytes)
+		}
+		runSpatialSuite(p, record)
+		writeReport(*out, report)
+		return
+	}
+	if *suite != "parallel" {
+		log.Fatalf("unknown -suite %q (want parallel or spatial)", *suite)
+	}
+	if *out == "" {
+		*out = "results/BENCH_parallel.json"
+	}
 
 	rng := randx.New(71)
 	x := make([][]float64, *n)
@@ -276,13 +317,18 @@ func main() {
 	m.SpeedupAt4 = float64(m.BaselineNs) / float64(m.WorkersNs["4"])
 	record(m)
 
+	writeReport(*out, report)
+}
+
+// writeReport marshals the report as indented JSON to path.
+func writeReport(path string, report Report) {
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }

@@ -98,6 +98,56 @@ func TestMulticlassDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestFitDeterministicAcrossIndexBackends extends the determinism suite
+// across construction backends: the fitted scores must be bitwise-identical
+// whether the similarity graph is built brute-force from the distance
+// matrix, through the grid cell-list, or through the KD-tree, at every
+// worker count.
+func TestFitDeterministicAcrossIndexBackends(t *testing.T) {
+	x, y := twoClusters(61, 40, 12)
+	cases := []struct {
+		name  string
+		k     *kernel.K
+		kinds []graph.IndexKind
+		opts  []graph.Option
+	}{
+		{"epanechnikov-radius", kernel.MustNew(kernel.Epanechnikov, 3.0),
+			[]graph.IndexKind{graph.IndexGrid, graph.IndexKDTree}, nil},
+		{"gaussian-eps", kernel.MustNew(kernel.Gaussian, 2.0),
+			[]graph.IndexKind{graph.IndexGrid, graph.IndexKDTree},
+			[]graph.Option{graph.WithEpsilon(3.5)}},
+		{"gaussian-knn", kernel.MustNew(kernel.Gaussian, 2.0),
+			[]graph.IndexKind{graph.IndexKDTree},
+			[]graph.Option{graph.WithKNN(6)}},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		fit := func(kind graph.IndexKind, workers int) *Result {
+			t.Helper()
+			opts := append([]graph.Option{graph.WithIndex(kind), graph.WithWorkers(workers)}, tc.opts...)
+			b, err := graph.NewBuilder(tc.k, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			g, err := b.Build(x)
+			if err != nil {
+				t.Fatalf("%s index=%v: %v", tc.name, kind, err)
+			}
+			res, err := FitGraph(g.Weights(), y, nil, WithWorkers(workers))
+			if err != nil {
+				t.Fatalf("%s index=%v: %v", tc.name, kind, err)
+			}
+			return res
+		}
+		ref := fit(graph.IndexBrute, 1)
+		for _, kind := range tc.kinds {
+			for _, w := range workerCounts {
+				fitEqual(t, tc.name, ref, fit(kind, w))
+			}
+		}
+	}
+}
+
 // TestConcurrentFitSharedDistances is the race stress test: many goroutines
 // build graphs from one shared prebuilt distance matrix and solve
 // concurrently with different worker counts (run under -race; the Makefile

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+	"repro/internal/spatial"
+)
+
+// Minimum labeled-set size before NadarayaWatsonPoints builds a spatial
+// index; below it the brute scan over labeled points is already cheap.
+const nwMinIndexLabeled = 64
+
+// NadarayaWatsonPoints computes the paper's Eq. 6 estimator directly from
+// points, without materializing a similarity graph: for every unlabeled
+// point (every index not in labeled, ascending) it returns
+// Σ w(x_u, x_i) Y_i / Σ w(x_u, x_i) over the labeled points, with the
+// second return value listing the unlabeled indices the estimates align to.
+//
+// For compactly supported kernels only labeled points within the bandwidth
+// contribute, so the labeled set is indexed in a spatial grid (or KD-tree in
+// higher dimensions) and each estimate touches O(k̄) labeled points instead
+// of all of them. The accumulation order is ascending labeled index with
+// zero weights skipped — exactly the order NadarayaWatson sees on a
+// default-built graph (no ε truncation, no k-NN, no self-loops), so the two
+// estimators are bitwise-identical there.
+//
+// An unlabeled point with zero similarity mass to every labeled point has an
+// undefined estimate; ErrIsolated is returned (naming the smallest such
+// index) in that case. workers follows the repo convention: <= 0 selects
+// GOMAXPROCS, 1 runs serially; results are identical for every worker count.
+func NadarayaWatsonPoints(x [][]float64, labeled []int, y []float64, k *kernel.K, workers int) ([]float64, []int, error) {
+	if k == nil {
+		return nil, nil, fmt.Errorf("core: nil kernel: %w", ErrParam)
+	}
+	n := len(x)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: no points: %w", ErrParam)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, nil, fmt.Errorf("core: zero-dimensional points: %w", ErrParam)
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, nil, fmt.Errorf("core: point %d has dim %d, want %d: %w", i, len(xi), dim, ErrParam)
+		}
+	}
+	if len(labeled) == 0 {
+		return nil, nil, fmt.Errorf("core: no labeled points: %w", ErrParam)
+	}
+	if len(y) != len(labeled) {
+		return nil, nil, fmt.Errorf("core: %d labeled indices but %d responses: %w", len(labeled), len(y), ErrParam)
+	}
+	isLabeled := make([]bool, n)
+	for _, idx := range labeled {
+		if idx < 0 || idx >= n {
+			return nil, nil, fmt.Errorf("core: labeled index %d outside [0,%d): %w", idx, n, ErrParam)
+		}
+		if isLabeled[idx] {
+			return nil, nil, fmt.Errorf("core: duplicate labeled index %d: %w", idx, ErrParam)
+		}
+		isLabeled[idx] = true
+	}
+
+	// Labeled nodes sorted ascending, with their responses and coordinates,
+	// so every accumulation below runs in ascending node order.
+	order := make([]int, len(labeled))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return labeled[order[a]] < labeled[order[b]] })
+	labNode := make([]int, len(labeled))
+	labY := make([]float64, len(labeled))
+	labX := make([][]float64, len(labeled))
+	for p, o := range order {
+		labNode[p] = labeled[o]
+		labY[p] = y[o]
+		labX[p] = x[labeled[o]]
+	}
+	unlabeled := make([]int, 0, n-len(labeled))
+	for i := 0; i < n; i++ {
+		if !isLabeled[i] {
+			unlabeled = append(unlabeled, i)
+		}
+	}
+
+	// candidates yields, for one query point, the ascending positions into
+	// labNode worth evaluating (a superset of the kernel's support).
+	var candidates func(q []float64, buf []int32) []int32
+	if h := k.Bandwidth(); k.Kind().CompactSupport() && len(labNode) >= nwMinIndexLabeled {
+		cell := h * (1 + 1e-6)
+		if dim <= 6 && cell >= spatial.MinCell && cell <= spatial.MaxCell {
+			g, err := spatial.NewGrid(labX, cell)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: nw grid index: %w", err)
+			}
+			candidates = func(q []float64, buf []int32) []int32 {
+				buf = g.Candidates(q, buf)
+				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+				return buf
+			}
+		} else if dim <= 16 {
+			t, err := spatial.NewKDTree(labX, workers)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: nw kd-tree index: %w", err)
+			}
+			r2 := h * h
+			candidates = func(q []float64, buf []int32) []int32 {
+				buf = t.Radius(q, -1, r2, buf)
+				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
+				return buf
+			}
+		}
+	}
+
+	out := make([]float64, len(unlabeled))
+	isolated := make([]bool, len(unlabeled))
+	parallel.For(workers, len(unlabeled), func(lo, hi int) {
+		var buf []int32
+		for r := lo; r < hi; r++ {
+			q := x[unlabeled[r]]
+			var num, den float64
+			if candidates != nil {
+				buf = candidates(q, buf[:0])
+				for _, p := range buf {
+					w := k.WeightDist2(kernel.Dist2(q, labX[p]))
+					if w > 0 {
+						num += w * labY[p]
+						den += w
+					}
+				}
+			} else {
+				for p := range labX {
+					w := k.WeightDist2(kernel.Dist2(q, labX[p]))
+					if w > 0 {
+						num += w * labY[p]
+						den += w
+					}
+				}
+			}
+			if den == 0 {
+				isolated[r] = true
+				continue
+			}
+			out[r] = num / den
+		}
+	})
+	for r, iso := range isolated {
+		if iso {
+			return nil, nil, fmt.Errorf("core: unlabeled point %d has no labeled neighbour: %w", unlabeled[r], ErrIsolated)
+		}
+	}
+	return out, unlabeled, nil
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+)
+
+// nwPointsCase draws a labeled/unlabeled split with interleaved labeled
+// indices (not the labeled-first layout) to exercise the sorting logic.
+func nwPointsCase(t *testing.T, seed int64, n, nLabeled, d int) (x [][]float64, labeled []int, y []float64) {
+	t.Helper()
+	rng := randx.New(seed)
+	x = make([][]float64, n)
+	for i := range x {
+		xi := make([]float64, d)
+		for j := range xi {
+			v := rng.Norm()
+			if rng.Float64() < 0.4 {
+				v = math.Round(v) // exact ties
+			}
+			xi[j] = v
+		}
+		x[i] = xi
+	}
+	stride := n / nLabeled
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; len(labeled) < nLabeled; i = (i + stride) % n {
+		dup := false
+		for _, l := range labeled {
+			if l == i {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			i++
+			continue
+		}
+		labeled = append(labeled, i)
+		y = append(y, rng.Bernoulli(0.5))
+	}
+	return x, labeled, y
+}
+
+// TestNadarayaWatsonPointsMatchesGraph checks the central contract: the
+// point-based estimator is bitwise-identical to the graph-based one on a
+// default-built graph, for compact kernels (spatial-indexed path) and the
+// Gaussian (brute path), at several dimensions and worker counts.
+func TestNadarayaWatsonPointsMatchesGraph(t *testing.T) {
+	cases := []struct {
+		name       string
+		k          *kernel.K
+		n, nLab, d int
+	}{
+		{"epan-grid", kernel.MustNew(kernel.Epanechnikov, 2.0), 300, 128, 2},
+		{"uniform-grid", kernel.MustNew(kernel.Uniform, 1.5), 260, 100, 3},
+		{"epan-kdtree", kernel.MustNew(kernel.Epanechnikov, 3.0), 220, 90, 8},
+		{"epan-small-brute", kernel.MustNew(kernel.Epanechnikov, 2.0), 80, 20, 2},
+		{"gaussian-brute", kernel.MustNew(kernel.Gaussian, 1.0), 150, 70, 2},
+	}
+	for _, tc := range cases {
+		x, labeled, y := nwPointsCase(t, int64(100+tc.n), tc.n, tc.nLab, tc.d)
+		b, err := graph.NewBuilder(tc.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := b.Build(x)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		p, err := NewProblem(g, labeled, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, refErr := NadarayaWatson(p)
+		for _, w := range []int{1, 4, 0} {
+			got, unl, err := NadarayaWatsonPoints(x, labeled, y, tc.k, w)
+			if refErr != nil {
+				if !errors.Is(err, ErrIsolated) {
+					t.Fatalf("%s workers=%d: graph NW failed (%v) but points NW returned %v", tc.name, w, refErr, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", tc.name, w, err)
+			}
+			pu := p.Unlabeled()
+			if len(unl) != len(pu) {
+				t.Fatalf("%s: %d unlabeled, want %d", tc.name, len(unl), len(pu))
+			}
+			for i := range pu {
+				if unl[i] != pu[i] {
+					t.Fatalf("%s: unlabeled order differs at %d", tc.name, i)
+				}
+				if got[i] != ref[i] {
+					t.Fatalf("%s workers=%d: estimate %d = %v, want %v (must be bitwise-identical)",
+						tc.name, w, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestNadarayaWatsonPointsIsolated: a far-away unlabeled point under a
+// compact kernel has no support and must surface ErrIsolated.
+func TestNadarayaWatsonPointsIsolated(t *testing.T) {
+	x := [][]float64{{0, 0}, {0.5, 0}, {100, 100}}
+	k := kernel.MustNew(kernel.Epanechnikov, 1.0)
+	if _, _, err := NadarayaWatsonPoints(x, []int{0, 1}, []float64{1, 0}, k, 1); !errors.Is(err, ErrIsolated) {
+		t.Fatalf("want ErrIsolated, got %v", err)
+	}
+}
+
+func TestNadarayaWatsonPointsValidation(t *testing.T) {
+	k := kernel.MustNew(kernel.Gaussian, 1.0)
+	x := [][]float64{{0}, {1}, {2}}
+	cases := []struct {
+		name    string
+		x       [][]float64
+		labeled []int
+		y       []float64
+	}{
+		{"no-points", nil, []int{0}, []float64{1}},
+		{"ragged", [][]float64{{0, 1}, {2}}, []int{0}, []float64{1}},
+		{"no-labeled", x, nil, nil},
+		{"len-mismatch", x, []int{0, 1}, []float64{1}},
+		{"out-of-range", x, []int{3}, []float64{1}},
+		{"duplicate", x, []int{1, 1}, []float64{1, 2}},
+	}
+	for _, tc := range cases {
+		if _, _, err := NadarayaWatsonPoints(tc.x, tc.labeled, tc.y, k, 1); !errors.Is(err, ErrParam) {
+			t.Fatalf("%s: want ErrParam, got %v", tc.name, err)
+		}
+	}
+	if _, _, err := NadarayaWatsonPoints(x, []int{0}, []float64{1}, nil, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("nil kernel: want ErrParam")
+	}
+}

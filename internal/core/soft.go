@@ -141,9 +141,131 @@ type LambdaPathPoint struct {
 	Solution *Solution
 }
 
+// SoftSweep solves the soft criterion for every λ in lambdas, sharing the
+// work that SolveSoft repeats per call: the unnormalized Laplacian and the
+// merged sparsity pattern of A(λ) = V + λL are assembled once, and each
+// λ > 0 solve only refills the numeric values. Solves use Jacobi-
+// preconditioned CG, warm-started from the previous λ's solution — the
+// systems along a λ path differ by a smooth rescaling, so the previous
+// solution is already close and CG converges in a few iterations. λ = 0
+// entries dispatch to SolveHard, exactly as SolveSoft does.
+//
+// MethodAuto and MethodCG resolve to the warm-started CG path (tolerance
+// from WithTolerance, default 1e-10); other explicit methods fall back to
+// per-λ SolveSoft. Results are bitwise-identical across worker counts, and
+// independent of how lambdas interleave zeros (λ = 0 solutions never enter
+// the warm-start chain).
+func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPathPoint, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("core: empty lambda sweep: %w", ErrParam)
+	}
+	for _, l := range lambdas {
+		if l < 0 || math.IsNaN(l) || math.IsInf(l, 0) {
+			return nil, fmt.Errorf("core: lambda=%v: %w", l, ErrParam)
+		}
+	}
+	cfg := newSolveConfig(opts)
+	if cfg.method != MethodAuto && cfg.method != MethodCG {
+		return LambdaPath(p, lambdas, opts...)
+	}
+
+	lap, err := p.g.Laplacian(graph.Unnormalized)
+	if err != nil {
+		return nil, fmt.Errorf("core: laplacian: %w", err)
+	}
+	nTotal := p.g.N()
+
+	// Merged pattern of V + λL: the Laplacian rows plus the labeled
+	// diagonal entries L may lack (a labeled node isolated in the graph has
+	// an empty Laplacian row). Per entry we keep the Laplacian value and
+	// the V addend, so each λ is a pure numeric refill.
+	indptr := make([]int, nTotal+1)
+	var indices []int
+	var lapVal, vAdd []float64
+	rhs := make([]float64, nTotal)
+	for k, l := range p.labeled {
+		rhs[l] = p.y[k]
+	}
+	for i := 0; i < nTotal; i++ {
+		cols, vals := lap.RowNNZ(i)
+		diagDone := !p.isLabeled[i]
+		for k, j := range cols {
+			if !diagDone && j >= i {
+				if j != i {
+					indices = append(indices, i)
+					lapVal = append(lapVal, 0)
+					vAdd = append(vAdd, 1)
+				}
+				diagDone = true
+			}
+			indices = append(indices, j)
+			lapVal = append(lapVal, vals[k])
+			if j == i && p.isLabeled[i] {
+				vAdd = append(vAdd, 1)
+			} else {
+				vAdd = append(vAdd, 0)
+			}
+		}
+		if !diagDone {
+			indices = append(indices, i)
+			lapVal = append(lapVal, 0)
+			vAdd = append(vAdd, 1)
+		}
+		indptr[i+1] = len(indices)
+	}
+	data := make([]float64, len(indices))
+
+	out := make([]LambdaPathPoint, 0, len(lambdas))
+	var warm []float64
+	for _, l := range lambdas {
+		if l == 0 {
+			sol, err := SolveHard(p, opts...)
+			if err != nil {
+				return nil, fmt.Errorf("core: lambda sweep at λ=0: %w", err)
+			}
+			out = append(out, LambdaPathPoint{Lambda: 0, Solution: sol})
+			continue
+		}
+		for k := range data {
+			data[k] = l*lapVal[k] + vAdd[k]
+		}
+		a, err := sparse.NewCSR(nTotal, nTotal, indptr, indices, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: lambda sweep assembly: %w", err)
+		}
+		f, res, err := sparse.CG(a, rhs, sparse.CGOptions{
+			Tol:          cfg.tol,
+			MaxIter:      cfg.maxIter,
+			Precondition: true,
+			X0:           warm,
+			Workers:      cfg.workers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w: %v", l, ErrSolver, err)
+		}
+		warm = f
+		fu := make([]float64, p.M())
+		for k, u := range p.unlabeled {
+			fu[k] = f[u]
+		}
+		full := make([]float64, len(f))
+		copy(full, f)
+		out = append(out, LambdaPathPoint{Lambda: l, Solution: &Solution{
+			F:          full,
+			FUnlabeled: fu,
+			Lambda:     l,
+			Method:     MethodCG,
+			Iterations: res.Iterations,
+			Residual:   res.Residual,
+		}})
+	}
+	return out, nil
+}
+
 // LambdaPath solves the soft criterion for each λ in lambdas (0 allowed; it
-// yields the hard solution) and returns the solutions in order. The graph
-// and its Laplacian are reused across the path.
+// yields the hard solution) and returns the solutions in order, calling
+// SolveSoft independently per λ. SoftSweep is the performance-oriented
+// variant: shared assembly and warm-started CG across the path.
 func LambdaPath(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPathPoint, error) {
 	if len(lambdas) == 0 {
 		return nil, fmt.Errorf("core: empty lambda path: %w", ErrParam)

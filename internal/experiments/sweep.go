@@ -247,12 +247,14 @@ func syntheticReplicate(rng *randx.RNG, cfg SyntheticConfig, n, m, nwIdx int) ([
 		total++
 	}
 	out := make([]float64, total)
-	for i, l := range cfg.Lambdas {
-		sol, err := core.SolveSoft(p, l)
-		if err != nil {
-			return nil, err
-		}
-		r, err := stats.RMSE(sol.FUnlabeled, truth)
+	// One warm-started sweep shares the Laplacian and system assembly
+	// across the λ curves instead of refactorizing per λ.
+	path, err := core.SoftSweep(p, cfg.Lambdas)
+	if err != nil {
+		return nil, err
+	}
+	for i, pt := range path {
+		r, err := stats.RMSE(pt.Solution.FUnlabeled, truth)
 		if err != nil {
 			return nil, err
 		}

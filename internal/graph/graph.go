@@ -84,6 +84,7 @@ type Builder struct {
 	eps     float64 // 0 = no ε-ball truncation
 	loops   bool    // keep self-loops (w_ii = Profile(0))
 	workers int     // 0 = GOMAXPROCS, 1 = serial
+	index   IndexKind
 }
 
 // Option customizes a Builder.
@@ -136,13 +137,42 @@ func NewBuilder(k *kernel.K, opts ...Option) (*Builder, error) {
 	if b.eps < 0 {
 		return nil, fmt.Errorf("graph: eps=%v: %w", b.eps, ErrParam)
 	}
+	if b.index < IndexAuto || b.index > IndexKDTree {
+		return nil, fmt.Errorf("graph: index kind %d: %w", int(b.index), ErrParam)
+	}
 	return b, nil
 }
 
 // Build constructs the similarity graph over the points x.
+//
+// The construction path is chosen by the builder's index setting (see
+// WithIndex): by default a spatial index replaces the O(n²) distance matrix
+// whenever the build has a finite interaction radius (an ε-ball, a
+// compactly supported kernel, or a k-NN selection) and the d/n heuristic
+// predicts a win; otherwise the dense-matrix path runs. Every path produces
+// byte-identical CSR output for the same input.
 func (b *Builder) Build(x [][]float64) (*Graph, error) {
 	if len(x) == 0 {
 		return nil, ErrEmpty
+	}
+	dim := len(x[0])
+	for _, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("graph: point dimensions differ (%d vs %d): %w", len(xi), dim, ErrParam)
+		}
+	}
+	kind, err := b.resolveIndex(len(x), dim)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case IndexGrid:
+		return b.buildRadiusGrid(x)
+	case IndexKDTree:
+		if b.knn > 0 {
+			return b.buildKNNKDTree(x)
+		}
+		return b.buildRadiusKDTree(x)
 	}
 	d2, err := kernel.PairwiseDist2Workers(x, b.workers)
 	if err != nil {
@@ -258,7 +288,15 @@ func (b *Builder) knnRows(n int, d2 []float64) (cols [][]int, vals [][]float64) 
 			sel[i] = top
 		}
 	})
+	return b.symmetrizeKNN(n, sel, func(i, j int) float64 { return at(d2, n, i, j) })
+}
 
+// symmetrizeKNN turns per-row sorted neighbour selections into the final
+// symmetrized rows (an edge survives if either endpoint selected it),
+// attaching weights through the squared-distance accessor d2of. Both the
+// dense-matrix and the spatial-index k-NN paths funnel through here, so the
+// two construction paths share the exact edge merge and weight evaluation.
+func (b *Builder) symmetrizeKNN(n int, sel [][]int, d2of func(i, j int) float64) (cols [][]int, vals [][]float64) {
 	// Pass 2 (serial, O(nk)): reverse lists. Appending in ascending row
 	// order leaves every rev list sorted ascending.
 	cnt := make([]int, n)
@@ -299,7 +337,7 @@ func (b *Builder) knnRows(n int, d2 []float64) (cols [][]int, vals [][]float64) 
 					}
 					diagDone = true
 				}
-				if w := b.kernel.WeightDist2(at(d2, n, i, j)); w > 0 {
+				if w := b.kernel.WeightDist2(d2of(i, j)); w > 0 {
 					ci = append(ci, j)
 					vi = append(vi, w)
 				}

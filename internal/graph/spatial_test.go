@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// tiePoints draws a point cloud engineered to stress exact-arithmetic edge
+// cases: with probability ~1/3 a point duplicates an earlier one, and
+// coordinates snap to a coarse lattice with probability ~1/2 so colinear
+// layouts and exact distance ties occur routinely.
+func tiePoints(seed int64, n, d int) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	for i := range x {
+		if i > 0 && rng.Float64() < 1.0/3 {
+			dup := make([]float64, d)
+			copy(dup, x[rng.Intn(i)])
+			x[i] = dup
+			continue
+		}
+		xi := make([]float64, d)
+		for j := range xi {
+			v := rng.NormFloat64() * 2
+			if rng.Float64() < 0.5 {
+				v = math.Round(v)
+			}
+			xi[j] = v
+		}
+		x[i] = xi
+	}
+	return x
+}
+
+// buildBytes builds a graph with the given options and serializes it.
+func buildBytes(t *testing.T, k *kernel.K, x [][]float64, opts ...Option) []byte {
+	t.Helper()
+	b, err := NewBuilder(k, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return edgeListBytes(t, g)
+}
+
+// TestSpatialMatchesBruteExactly is the property test of the spatial
+// subsystem's central contract: for every construction configuration, every
+// explicit index backend that supports it, and every worker count, Build
+// produces a CSR byte-identical to the brute-force distance-matrix path —
+// including on point sets full of duplicates and exact lattice ties.
+func TestSpatialMatchesBruteExactly(t *testing.T) {
+	gauss := kernel.MustNew(kernel.Gaussian, 1.0)
+	epan := kernel.MustNew(kernel.Epanechnikov, 1.5)
+	tri := kernel.MustNew(kernel.Triangular, 2.0)
+	uni := kernel.MustNew(kernel.Uniform, 1.0)
+
+	type tc struct {
+		name  string
+		k     *kernel.K
+		opts  []Option
+		kinds []IndexKind // backends that can answer this configuration
+	}
+	radius := []IndexKind{IndexGrid, IndexKDTree}
+	knn := []IndexKind{IndexKDTree}
+	cases := []tc{
+		{"epan-radius", epan, nil, radius},
+		{"epan-radius-loops", epan, []Option{WithSelfLoops()}, radius},
+		{"uniform-radius", uni, nil, radius},
+		{"tri-eps", tri, []Option{WithEpsilon(1.2)}, radius},
+		{"gauss-eps", gauss, []Option{WithEpsilon(1.8)}, radius},
+		{"gauss-eps-loops", gauss, []Option{WithEpsilon(1.8), WithSelfLoops()}, radius},
+		{"gauss-knn", gauss, []Option{WithKNN(7)}, knn},
+		{"gauss-knn-loops", gauss, []Option{WithKNN(7), WithSelfLoops()}, knn},
+		{"gauss-knn-eps", gauss, []Option{WithKNN(5), WithEpsilon(1.5)}, knn},
+		{"epan-knn", epan, []Option{WithKNN(4)}, knn},
+		{"gauss-knn-big", gauss, []Option{WithKNN(1000)}, knn},
+	}
+	sizes := []struct{ n, d int }{
+		{1, 2}, {2, 3}, {33, 1}, {150, 2}, {150, 3}, {90, 5}, {60, 8},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, tc := range cases {
+		for _, sz := range sizes {
+			x := tiePoints(int64(1000+sz.n*10+sz.d), sz.n, sz.d)
+			ref := buildBytes(t, tc.k, x, append([]Option{WithIndex(IndexBrute), WithWorkers(1)}, tc.opts...)...)
+			for _, kind := range tc.kinds {
+				for _, w := range workerCounts {
+					opts := append([]Option{WithIndex(kind), WithWorkers(w)}, tc.opts...)
+					got := buildBytes(t, tc.k, x, opts...)
+					if !bytes.Equal(got, ref) {
+						t.Fatalf("%s n=%d d=%d index=%v workers=%d: CSR differs from brute force",
+							tc.name, sz.n, sz.d, kind, w)
+					}
+				}
+			}
+			// The auto heuristic must agree with brute regardless of which
+			// backend it picks.
+			got := buildBytes(t, tc.k, x, append([]Option{WithWorkers(2)}, tc.opts...)...)
+			if !bytes.Equal(got, ref) {
+				t.Fatalf("%s n=%d d=%d auto: CSR differs from brute force", tc.name, sz.n, sz.d)
+			}
+		}
+	}
+}
+
+// TestResolveIndexHeuristic pins the auto d/n routing and the explicit
+// override validation.
+func TestResolveIndexHeuristic(t *testing.T) {
+	gauss := kernel.MustNew(kernel.Gaussian, 1.0)
+	epan := kernel.MustNew(kernel.Epanechnikov, 1.0)
+	cases := []struct {
+		name string
+		k    *kernel.K
+		opts []Option
+		n, d int
+		want IndexKind
+	}{
+		{"small-n-brute", epan, nil, 100, 2, IndexBrute},
+		{"radius-low-d-grid", epan, nil, 2000, 2, IndexGrid},
+		{"radius-mid-d-kdtree", epan, nil, 2000, 10, IndexKDTree},
+		{"radius-high-d-brute", epan, nil, 2000, 20, IndexBrute},
+		{"gauss-full-brute", gauss, nil, 2000, 2, IndexBrute},
+		{"gauss-eps-grid", gauss, []Option{WithEpsilon(1)}, 2000, 2, IndexGrid},
+		{"knn-kdtree", gauss, []Option{WithKNN(5)}, 2000, 3, IndexKDTree},
+		{"knn-high-d-brute", gauss, []Option{WithKNN(5)}, 2000, 32, IndexBrute},
+		{"forced-brute", epan, []Option{WithIndex(IndexBrute)}, 2000, 2, IndexBrute},
+		{"forced-kdtree-small-n", epan, []Option{WithIndex(IndexKDTree)}, 10, 2, IndexKDTree},
+	}
+	for _, tc := range cases {
+		b, err := NewBuilder(tc.k, tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		got, err := b.resolveIndex(tc.n, tc.d)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: resolved %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Invalid forced combinations.
+	if _, err := NewBuilder(gauss, WithIndex(IndexKind(99))); !errors.Is(err, ErrParam) {
+		t.Fatalf("out-of-range kind: %v", err)
+	}
+	b, err := NewBuilder(gauss, WithIndex(IndexGrid), WithKNN(5), WithEpsilon(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(tiePoints(1, 20, 2)); !errors.Is(err, ErrParam) {
+		t.Fatalf("grid+knn: %v", err)
+	}
+	b, err = NewBuilder(gauss, WithIndex(IndexGrid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(tiePoints(1, 20, 2)); !errors.Is(err, ErrParam) {
+		t.Fatalf("grid without radius: %v", err)
+	}
+	b, err = NewBuilder(gauss, WithIndex(IndexKDTree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(tiePoints(1, 20, 2)); !errors.Is(err, ErrParam) {
+		t.Fatalf("kdtree without radius or knn: %v", err)
+	}
+}
+
+// TestBuildValidatesRaggedPoints ensures dimension validation happens before
+// any index is consulted.
+func TestBuildValidatesRaggedPoints(t *testing.T) {
+	b, err := NewBuilder(kernel.MustNew(kernel.Gaussian, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrParam) {
+		t.Fatalf("ragged points: %v", err)
+	}
+}
+
+// TestIndexKindString pins the flag-facing names.
+func TestIndexKindString(t *testing.T) {
+	want := map[IndexKind]string{
+		IndexAuto: "auto", IndexBrute: "brute", IndexGrid: "grid", IndexKDTree: "kdtree",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("IndexKind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -178,6 +178,13 @@ func dist2Lanes(x, y []float64, nq int) (s0, s1, s2, s3 float64) {
 	return s0, s1, s2, s3
 }
 
+// Dist2 returns the squared Euclidean distance ‖x−y‖². It uses the same
+// four-lane accumulation as the pairwise matrix pass, so the value is
+// bitwise-identical to the corresponding PairwiseDist2 entry (in either
+// argument order: (a−b)² and (b−a)² are the same float). The spatial
+// indexes rely on that identity to reproduce brute-force graphs exactly.
+func Dist2(x, y []float64) float64 { return dist2(x, y) }
+
 func dist2(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(errors.New("kernel: dimension mismatch"))

@@ -48,6 +48,47 @@ func TestMulVecToWorkersMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestMulVecThresholdBitwiseIdentical covers both sides of the serial
+// fallback threshold: the 400-row matrix above runs inline for every worker
+// count, so this one is sized past mulVecMinParRows to keep the parallel
+// row-split on the tested path.
+func TestMulVecThresholdBitwiseIdentical(t *testing.T) {
+	const n = mulVecMinParRows + 512
+	rng := rand.New(rand.NewSource(11))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		_ = coo.Add(i, i, 1+rng.Float64())
+		for _, j := range []int{(i + 7) % n, (i + n/2) % n} {
+			if j != i {
+				_ = coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	m := coo.ToCSR()
+	if m.Rows() < mulVecMinParRows {
+		t.Fatalf("matrix below parallel threshold: %d rows", m.Rows())
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ref := make([]float64, n)
+	if err := m.MulVecTo(ref, x); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4, runtime.GOMAXPROCS(0)} {
+		dst := make([]float64, n)
+		if err := m.MulVecToWorkers(dst, x, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range ref {
+			if dst[i] != ref[i] {
+				t.Fatalf("workers=%d: row %d = %v, want %v (must be bitwise-identical)", workers, i, dst[i], ref[i])
+			}
+		}
+	}
+}
+
 func TestNewCSRValidation(t *testing.T) {
 	// A valid 2x3 matrix: rows {0:1.0 at col 1}, {1: entries at 0 and 2}.
 	indptr := []int{0, 1, 3}

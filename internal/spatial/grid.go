@@ -1,0 +1,211 @@
+package spatial
+
+import (
+	"math"
+)
+
+// cellCoordCap bounds cell coordinates so degenerate inputs (huge extents,
+// tiny cells, non-finite coordinates) cannot overflow the int32 coordinate
+// arithmetic; clamping only merges far-apart cells, which keeps candidate
+// sets supersets of the true radius neighbourhoods.
+const cellCoordCap = 1 << 30
+
+// MinCell is the smallest accepted cell edge length. Below roughly
+// √(minimum normal float64) squared lengths underflow to zero, so a caller's
+// d² <= r² filter would accept pairs that are geometrically many cells apart
+// and the superset contract of Candidates could not hold. Radius queries at
+// such scales belong on the KD-tree, whose leaf filter and pruning stay
+// exact under underflow.
+const MinCell = 0x1p-500
+
+// MaxCell is the largest accepted cell edge length, the overflow dual of
+// MinCell: above roughly √(maximum float64) a squared radius overflows to
+// +Inf, so a caller's d² <= r² filter keeps every pair regardless of cell
+// geometry. The KD-tree handles that regime exactly (its pruning bound
+// becomes +Inf and it degenerates to the same full scan as brute force).
+const MaxCell = 0x1p+500
+
+// gridCell is one occupied cell: its integer coordinates and the indices of
+// the points it contains, ascending (points are inserted in index order).
+type gridCell struct {
+	coords []int32
+	pts    []int32
+}
+
+// Grid is a uniform cell-list over a point set, sized for fixed-radius
+// queries: with cell edge length >= the query radius, every point within
+// the radius of a query lies in the query's cell or one of its 3^d − 1
+// neighbours. Occupied cells are kept in a hash map keyed by the cell
+// coordinates (the point sets here are sparse in space, so a dense d-
+// dimensional array would waste memory); hash collisions are resolved by
+// comparing coordinates.
+type Grid struct {
+	dim   int
+	cell  float64
+	min   []float64
+	cells map[uint64][]gridCell
+	n     int
+}
+
+// NewGrid indexes the points with the given cell edge length (in
+// [MinCell, MaxCell]). The grid keeps a reference to x; callers must not
+// mutate the points while querying.
+func NewGrid(x [][]float64, cell float64) (*Grid, error) {
+	dim, err := checkPoints(x)
+	if err != nil {
+		return nil, err
+	}
+	if !(cell >= MinCell && cell <= MaxCell) {
+		return nil, ErrParam
+	}
+	min := make([]float64, dim)
+	copy(min, x[0])
+	for _, xi := range x[1:] {
+		for j, v := range xi {
+			// NaN coordinates never update min; cellCoord clamps them.
+			if v < min[j] {
+				min[j] = v
+			}
+		}
+	}
+	g := &Grid{
+		dim:   dim,
+		cell:  cell,
+		min:   min,
+		cells: make(map[uint64][]gridCell, len(x)),
+		n:     len(x),
+	}
+	coords := make([]int32, dim)
+	for i, xi := range x {
+		for j, v := range xi {
+			coords[j] = cellCoord(v, min[j], cell)
+		}
+		g.insert(coords, int32(i))
+	}
+	return g, nil
+}
+
+// N returns the number of indexed points.
+func (g *Grid) N() int { return g.n }
+
+// Dim returns the point dimension.
+func (g *Grid) Dim() int { return g.dim }
+
+// CellCount returns the number of occupied cells.
+func (g *Grid) CellCount() int {
+	c := 0
+	for _, chain := range g.cells {
+		c += len(chain)
+	}
+	return c
+}
+
+// cellCoord maps a coordinate to its integer cell index along one axis.
+// Non-finite quotients collapse to the clamp bounds (NaN to 0), so any
+// input yields a well-defined cell.
+func cellCoord(v, min, cell float64) int32 {
+	q := math.Floor((v - min) / cell)
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q > cellCoordCap {
+		return cellCoordCap
+	}
+	if q < -cellCoordCap {
+		return -cellCoordCap
+	}
+	return int32(q)
+}
+
+// hashCoords is FNV-1a over the little-endian bytes of the coordinates.
+func hashCoords(coords []int32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range coords {
+		u := uint32(c)
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(byte(u >> s))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+func (g *Grid) insert(coords []int32, pt int32) {
+	key := hashCoords(coords)
+	chain := g.cells[key]
+	for ci := range chain {
+		if coordsEqual(chain[ci].coords, coords) {
+			chain[ci].pts = append(chain[ci].pts, pt)
+			return
+		}
+	}
+	cc := make([]int32, len(coords))
+	copy(cc, coords)
+	g.cells[key] = append(chain, gridCell{coords: cc, pts: []int32{pt}})
+}
+
+func coordsEqual(a, b []int32) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the point list of the cell at coords, or nil.
+func (g *Grid) lookup(coords []int32) []int32 {
+	for _, c := range g.cells[hashCoords(coords)] {
+		if coordsEqual(c.coords, coords) {
+			return c.pts
+		}
+	}
+	return nil
+}
+
+// Candidates appends to buf the indices of every point in the 3^d cells at
+// and around q's cell and returns the extended slice. In exact arithmetic
+// the result is a superset of every indexed point within distance g.cell of
+// q; because cell assignment divides by the cell length, callers should
+// size the cell a hair above the query radius (the graph builder pads by
+// 1e-6 relative) so rounding at the exact boundary cannot exclude a true
+// neighbour. The caller applies its own exact distance filter afterwards.
+// Candidates are unsorted across cells (ascending within each cell);
+// callers needing a canonical order sort the result. Safe for concurrent
+// use.
+func (g *Grid) Candidates(q []float64, buf []int32) []int32 {
+	if len(q) != g.dim {
+		panic(ErrParam)
+	}
+	center := make([]int32, g.dim)
+	for j, v := range q {
+		center[j] = cellCoord(v, g.min[j], g.cell)
+	}
+	// Odometer over the 3^d neighbour offsets, each in {-1, 0, +1}.
+	offs := make([]int32, g.dim)
+	for j := range offs {
+		offs[j] = -1
+	}
+	coords := make([]int32, g.dim)
+	for {
+		for j := range coords {
+			coords[j] = center[j] + offs[j]
+		}
+		buf = append(buf, g.lookup(coords)...)
+		j := 0
+		for ; j < g.dim; j++ {
+			if offs[j] < 1 {
+				offs[j]++
+				break
+			}
+			offs[j] = -1
+		}
+		if j == g.dim {
+			return buf
+		}
+	}
+}

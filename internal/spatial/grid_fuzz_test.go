@@ -1,0 +1,96 @@
+package spatial
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// FuzzGridCandidates drives the cell hash and neighbour-cell enumeration
+// with arbitrary point sets: coordinates decoded straight from fuzz bytes
+// (including degenerate bounding boxes, single points, all-identical points,
+// huge magnitudes, and non-finite values). Invariants checked:
+//
+//   - construction either fails with a typed error or yields a queryable grid
+//   - Candidates never returns a duplicate or out-of-range index
+//   - for finite inputs, every point within the padded query radius
+//     (cell / (1+1e-6), mirroring how the graph builder sizes cells above
+//     its interaction radius) appears among the candidates
+func FuzzGridCandidates(f *testing.F) {
+	mk := func(dim byte, cell float64, coords ...float64) []byte {
+		b := []byte{dim}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(cell))
+		for _, c := range coords {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(c))
+		}
+		return b
+	}
+	f.Add(mk(1, 1, 0.5))                           // single point
+	f.Add(mk(2, 0.25, 1, 1, 1, 1, 1, 1))           // all identical
+	f.Add(mk(1, 1, 0, 0.5, 1, 1.5, 2, 2.5))        // colinear, tie-heavy
+	f.Add(mk(3, 1e-9, 0, 0, 0, 1e12, -1e12, 3))    // degenerate box: tiny cell, huge extent
+	f.Add(mk(2, 1, math.Inf(1), 0, math.NaN(), 1)) // non-finite coordinates
+	f.Add(mk(4, 2, 1, 2, 3, 4, 1, 2, 3, 4))        // duplicates in d=4
+	f.Add(mk(1, 0x1p-520, 0, 1e-231))              // cell below MinCell: must be rejected
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 9 {
+			return
+		}
+		dim := int(data[0]%6) + 1
+		cell := math.Float64frombits(binary.LittleEndian.Uint64(data[1:9]))
+		data = data[9:]
+		var flat []float64
+		for len(data) >= 8 && len(flat) < 64*dim {
+			flat = append(flat, math.Float64frombits(binary.LittleEndian.Uint64(data[:8])))
+			data = data[8:]
+		}
+		n := len(flat) / dim
+		if n == 0 {
+			return
+		}
+		x := make([][]float64, n)
+		finite := !math.IsInf(cell, 0) && !math.IsNaN(cell)
+		for i := range x {
+			x[i] = flat[i*dim : (i+1)*dim]
+			for _, v := range x[i] {
+				if math.IsInf(v, 0) || math.IsNaN(v) {
+					finite = false
+				}
+			}
+		}
+		g, err := NewGrid(x, cell)
+		if err != nil {
+			if err != ErrParam && err != ErrEmpty {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		r := cell / (1 + 1e-6)
+		r2 := r * r
+		var buf []int32
+		for i := range x {
+			buf = g.Candidates(x[i], buf[:0])
+			seen := make(map[int32]bool, len(buf))
+			for _, j := range buf {
+				if j < 0 || int(j) >= n {
+					t.Fatalf("query %d: candidate %d out of range [0,%d)", i, j, n)
+				}
+				if seen[j] {
+					t.Fatalf("query %d: duplicate candidate %d", i, j)
+				}
+				seen[j] = true
+			}
+			if !finite {
+				continue // superset contract only claimed for finite inputs
+			}
+			for j, xj := range x {
+				if kernel.Dist2(x[i], xj) <= r2 && !seen[int32(j)] {
+					t.Fatalf("query %d: point %d within cell radius but not a candidate", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,373 @@
+package spatial
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+)
+
+// kdLeafSize is the segment length below which nodes stop splitting; leaf
+// scans of this size beat further pointer chasing.
+const kdLeafSize = 16
+
+// kdParallelMin is the smallest subtree that is worth handing to another
+// goroutine during construction.
+const kdParallelMin = 4096
+
+// prunePad relaxes the subtree pruning bound by a relative margin so that
+// floating-point rounding in the box-distance accumulation can never prune
+// a subtree holding a point that ties the current worst candidate. The
+// selected set is decided purely by exact (d², index) comparisons on point
+// distances, so the pad affects visit counts, never results.
+const prunePad = 1e-12
+
+// kdNode is one tree node covering idx[lo:hi]. Internal nodes split that
+// range in half; every node carries the exact bounding box of its points
+// for query pruning.
+type kdNode struct {
+	lo, hi      int32
+	left, right *kdNode // nil for leaves
+	boxMin      []float64
+	boxMax      []float64
+}
+
+// KDTree is a balanced KD-tree over a point set. Construction splits each
+// node's points at the median of the widest box dimension, ordering by
+// (coordinate, point index) so the layout is a pure function of the input —
+// duplicate and colinear points split deterministically. The tree keeps a
+// reference to x; callers must not mutate the points while querying.
+// Queries are read-only and safe for concurrent use.
+type KDTree struct {
+	pts  [][]float64
+	dim  int
+	idx  []int32
+	root *kdNode
+}
+
+// NewKDTree builds the tree in O(n log n). workers bounds the goroutines
+// used for subtree construction, following the repo convention (<= 0
+// selects GOMAXPROCS, 1 builds serially); the layout is identical for every
+// worker count.
+func NewKDTree(x [][]float64, workers int) (*KDTree, error) {
+	dim, err := checkPoints(x)
+	if err != nil {
+		return nil, err
+	}
+	t := &KDTree{pts: x, dim: dim, idx: make([]int32, len(x))}
+	for i := range t.idx {
+		t.idx[i] = int32(i)
+	}
+	budget := int64(parallel.Workers(workers)) - 1
+	var wg sync.WaitGroup
+	t.root = t.build(0, int32(len(x)), &budget, &wg)
+	wg.Wait()
+	return t, nil
+}
+
+// N returns the number of indexed points.
+func (t *KDTree) N() int { return len(t.pts) }
+
+// build constructs the subtree over idx[lo:hi]. budget is a shared count of
+// extra goroutines still allowed; the split layout never depends on it.
+func (t *KDTree) build(lo, hi int32, budget *int64, wg *sync.WaitGroup) *kdNode {
+	node := &kdNode{lo: lo, hi: hi}
+	node.boxMin = make([]float64, t.dim)
+	node.boxMax = make([]float64, t.dim)
+	copy(node.boxMin, t.pts[t.idx[lo]])
+	copy(node.boxMax, t.pts[t.idx[lo]])
+	for _, p := range t.idx[lo+1 : hi] {
+		for j, v := range t.pts[p] {
+			if v < node.boxMin[j] {
+				node.boxMin[j] = v
+			}
+			if v > node.boxMax[j] {
+				node.boxMax[j] = v
+			}
+		}
+	}
+	if hi-lo <= kdLeafSize {
+		return node
+	}
+	// Split on the widest box dimension (ties to the lowest dimension).
+	sd := 0
+	widest := node.boxMax[0] - node.boxMin[0]
+	for j := 1; j < t.dim; j++ {
+		if w := node.boxMax[j] - node.boxMin[j]; w > widest {
+			sd, widest = j, w
+		}
+	}
+	mid := lo + (hi-lo)/2
+	t.selectNth(lo, hi, mid, sd)
+	spawn := false
+	if hi-lo >= kdParallelMin {
+		// Claim a goroutine slot without a lock: budget only decreases.
+		for {
+			b := atomic.LoadInt64(budget)
+			if b <= 0 {
+				break
+			}
+			if atomic.CompareAndSwapInt64(budget, b, b-1) {
+				spawn = true
+				break
+			}
+		}
+	}
+	if spawn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node.left = t.build(lo, mid, budget, wg)
+		}()
+	} else {
+		node.left = t.build(lo, mid, budget, wg)
+	}
+	node.right = t.build(mid, hi, budget, wg)
+	return node
+}
+
+// coordLess orders points by (coordinate in dimension sd, index): the
+// strict total order that makes median splits deterministic for duplicate
+// coordinates.
+func (t *KDTree) coordLess(a, b int32, sd int) bool {
+	va, vb := t.pts[a][sd], t.pts[b][sd]
+	if va != vb {
+		return va < vb
+	}
+	return a < b
+}
+
+// selectNth partially sorts idx[lo:hi] so that idx[nth] holds the element
+// of rank nth under coordLess, everything before is <= and everything after
+// is >=. Deterministic median-of-three quickselect, mirroring the graph
+// package's selectK.
+func (t *KDTree) selectNth(lo, hi, nth int32, sd int) {
+	hi-- // inclusive
+	for lo < hi {
+		p := t.partition(lo, hi, sd)
+		switch {
+		case p == nth:
+			return
+		case p > nth:
+			hi = p - 1
+		default:
+			lo = p + 1
+		}
+	}
+}
+
+func (t *KDTree) partition(lo, hi int32, sd int) int32 {
+	idx := t.idx
+	mid := lo + (hi-lo)/2
+	if t.coordLess(idx[mid], idx[lo], sd) {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if t.coordLess(idx[hi], idx[mid], sd) {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+		if t.coordLess(idx[mid], idx[lo], sd) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+	}
+	idx[mid], idx[hi] = idx[hi], idx[mid]
+	pv := idx[hi]
+	store := lo
+	for i := lo; i < hi; i++ {
+		if t.coordLess(idx[i], pv, sd) {
+			idx[store], idx[i] = idx[i], idx[store]
+			store++
+		}
+	}
+	idx[store], idx[hi] = idx[hi], idx[store]
+	return store
+}
+
+// boxDist2 is the squared distance from q to the node's bounding box (zero
+// inside the box).
+func boxDist2(q []float64, node *kdNode) float64 {
+	var s float64
+	for j, v := range q {
+		if d := node.boxMin[j] - v; d > 0 {
+			s += d * d
+		} else if d := v - node.boxMax[j]; d > 0 {
+			s += d * d
+		}
+	}
+	return s
+}
+
+// kdCand is one candidate in the bounded priority queue.
+type kdCand struct {
+	d2  float64
+	idx int32
+}
+
+// worseThan orders candidates by (d², index) descending-priority: a is
+// worse than b when it is farther, or equally far with a larger index.
+func (a kdCand) worseThan(b kdCand) bool {
+	if a.d2 != b.d2 {
+		return a.d2 > b.d2
+	}
+	return a.idx > b.idx
+}
+
+// kdHeap is a fixed-capacity max-heap under worseThan; the root is the
+// worst retained candidate.
+type kdHeap struct {
+	cand []kdCand
+	cap  int
+}
+
+func (h *kdHeap) full() bool { return len(h.cand) == h.cap }
+
+func (h *kdHeap) worst() kdCand { return h.cand[0] }
+
+func (h *kdHeap) push(c kdCand) {
+	if len(h.cand) < h.cap {
+		h.cand = append(h.cand, c)
+		i := len(h.cand) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.cand[i].worseThan(h.cand[parent]) {
+				break
+			}
+			h.cand[i], h.cand[parent] = h.cand[parent], h.cand[i]
+			i = parent
+		}
+		return
+	}
+	if !h.worst().worseThan(c) {
+		return // c does not beat the current worst
+	}
+	h.cand[0] = c
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < len(h.cand) && h.cand[l].worseThan(h.cand[w]) {
+			w = l
+		}
+		if r < len(h.cand) && h.cand[r].worseThan(h.cand[w]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		h.cand[i], h.cand[w] = h.cand[w], h.cand[i]
+		i = w
+	}
+}
+
+// KNN returns the k nearest indexed points to q under the strict total
+// order (squared distance, index), excluding the point with index self
+// (pass self < 0 to exclude nothing). With maxD2 >= 0 only points at
+// squared distance <= maxD2 qualify, matching an ε-ball pre-filter. Fewer
+// than k results are returned when the qualifying set is smaller. The
+// result is sorted ascending by index and appended to buf.
+//
+// The selected set is uniquely determined by the order, so it is identical
+// to brute-force selection over all points regardless of traversal order.
+func (t *KDTree) KNN(q []float64, self int32, k int, maxD2 float64, buf []int32) []int32 {
+	if len(q) != t.dim {
+		panic(ErrParam)
+	}
+	if k <= 0 {
+		return buf
+	}
+	h := &kdHeap{cand: make([]kdCand, 0, k), cap: k}
+	t.knnVisit(t.root, q, self, maxD2, h)
+	start := len(buf)
+	for _, c := range h.cand {
+		buf = append(buf, c.idx)
+	}
+	sortInt32(buf[start:])
+	return buf
+}
+
+func (t *KDTree) knnVisit(node *kdNode, q []float64, self int32, maxD2 float64, h *kdHeap) {
+	if node.left == nil {
+		for _, p := range t.idx[node.lo:node.hi] {
+			if p == self {
+				continue
+			}
+			d2 := kernel.Dist2(q, t.pts[p])
+			if maxD2 >= 0 && d2 > maxD2 {
+				continue
+			}
+			h.push(kdCand{d2: d2, idx: p})
+		}
+		return
+	}
+	dl := boxDist2(q, node.left)
+	dr := boxDist2(q, node.right)
+	first, second := node.left, node.right
+	df, ds := dl, dr
+	if dr < dl {
+		first, second = node.right, node.left
+		df, ds = dr, dl
+	}
+	if t.visitable(df, maxD2, h) {
+		t.knnVisit(first, q, self, maxD2, h)
+	}
+	if t.visitable(ds, maxD2, h) {
+		t.knnVisit(second, q, self, maxD2, h)
+	}
+}
+
+// visitable reports whether a subtree at box distance boxD2 can still
+// contribute a candidate. Equality with the current worst must descend (a
+// tied point with a smaller index wins the tie-break), hence the strict
+// comparison, padded against rounding in the box-distance sum.
+func (t *KDTree) visitable(boxD2, maxD2 float64, h *kdHeap) bool {
+	if maxD2 >= 0 && boxD2 > maxD2*(1+prunePad) {
+		return false
+	}
+	return !h.full() || !(boxD2 > h.worst().d2*(1+prunePad))
+}
+
+// Radius appends to buf every indexed point with squared distance <= r2
+// from q (excluding self; pass self < 0 to exclude nothing) and returns the
+// extended slice, unsorted. The comparison d² <= r2 is exact, so the result
+// equals the brute-force scan.
+func (t *KDTree) Radius(q []float64, self int32, r2 float64, buf []int32) []int32 {
+	if len(q) != t.dim {
+		panic(ErrParam)
+	}
+	if !(r2 >= 0) {
+		return buf
+	}
+	return t.radiusVisit(t.root, q, self, r2, buf)
+}
+
+func (t *KDTree) radiusVisit(node *kdNode, q []float64, self int32, r2 float64, buf []int32) []int32 {
+	if boxDist2(q, node) > r2*(1+prunePad) {
+		return buf
+	}
+	if node.left == nil {
+		for _, p := range t.idx[node.lo:node.hi] {
+			if p == self {
+				continue
+			}
+			if kernel.Dist2(q, t.pts[p]) <= r2 {
+				buf = append(buf, p)
+			}
+		}
+		return buf
+	}
+	buf = t.radiusVisit(node.left, q, self, r2, buf)
+	return t.radiusVisit(node.right, q, self, r2, buf)
+}
+
+// sortInt32 is insertion sort: KNN results are k elements (k small in every
+// caller), where it beats sort.Slice's interface overhead.
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
