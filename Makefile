@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench
+.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover
+
+# Coverage ratchet: global statement coverage must not fall below this floor
+# (current coverage minus a 1% buffer). Raise it as coverage grows.
+COVER_FLOOR ?= 83.5
 
 all: build
 
@@ -21,8 +25,30 @@ race:
 race-concurrency:
 	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/...
 
-# The gate run by CI and expected to pass before every commit.
+# The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
+# targets separately.
 ci: vet build race
+
+# Full fuzz campaign for the public Fit pipeline (interrupt any time; new
+# crashers land in testdata/fuzz/FuzzFit/).
+FUZZTIME ?= 5m
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzFit -fuzztime $(FUZZTIME) .
+
+# Short deterministic-budget fuzz pass for CI: replays the checked-in corpus
+# and fuzzes briefly.
+fuzz-smoke:
+	$(GO) test -run FuzzFit .
+	$(GO) test -run xxx -fuzz FuzzFit -fuzztime 15s .
+
+# Global statement coverage with the ratcheted floor check.
+cover:
+	$(GO) test -count=1 -coverprofile=coverage.out -coverpkg=./... ./...
+	@$(GO) tool cover -func=coverage.out | tail -1
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | grep -o '[0-9.]*%' | tr -d '%'); \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { \
+		if (t+0 < f+0) { printf "coverage %.1f%% fell below floor %.1f%%\n", t, f; exit 1 } \
+		printf "coverage %.1f%% >= floor %.1f%%\n", t, f }'
 
 # Worker-parameterized microbenchmarks of the parallel compute layer.
 bench:
@@ -33,3 +59,4 @@ bench:
 perfbench:
 	$(GO) run ./cmd/perfbench -out results/BENCH_parallel.json
 	$(GO) run ./cmd/perfbench -suite spatial -out results/BENCH_spatial.json
+	$(GO) run ./cmd/perfbench -suite robust -out results/BENCH_robust.json

@@ -143,8 +143,8 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling) or spatial (index vs brute construction)")
-		out     = flag.String("out", "", "output JSON path (default results/BENCH_parallel.json or results/BENCH_spatial.json per suite)")
+		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), or robust (pathological-input pipeline)")
+		out     = flag.String("out", "", "output JSON path (default results/BENCH_<suite>.json)")
 		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
 		d       = flag.Int("d", 50, "point dimension (parallel suite)")
 		knn     = flag.Int("k", 10, "neighbour count for the k-NN benches (both suites)")
@@ -182,8 +182,15 @@ func main() {
 		writeReport(*out, report)
 		return
 	}
+	if *suite == "robust" {
+		if *out == "" {
+			*out = "results/BENCH_robust.json"
+		}
+		runRobustSuite(*out)
+		return
+	}
 	if *suite != "parallel" {
-		log.Fatalf("unknown -suite %q (want parallel or spatial)", *suite)
+		log.Fatalf("unknown -suite %q (want parallel, spatial, or robust)", *suite)
 	}
 	if *out == "" {
 		*out = "results/BENCH_parallel.json"
@@ -322,6 +329,11 @@ func main() {
 
 // writeReport marshals the report as indented JSON to path.
 func writeReport(path string, report Report) {
+	writeReportAny(path, report)
+}
+
+// writeReportAny marshals any report document as indented JSON to path.
+func writeReportAny(path string, report any) {
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+	"time"
+
+	graphssl "repro"
+)
+
+// RobustCase is one pathological-input scenario and how the pipeline
+// handled it: clean result, typed error, or fallback-chain completion.
+type RobustCase struct {
+	Name string `json:"name"`
+	// Input describes the injected pathology.
+	Input string `json:"input"`
+	// Expect is the contract under test ("ok", "ErrParam", "ErrIsolated",
+	// "fallback_to_cholesky", ...).
+	Expect string `json:"expect"`
+	// Outcome is "ok" on success, otherwise the error text.
+	Outcome string `json:"outcome"`
+	// Pass records whether Outcome met Expect.
+	Pass bool `json:"pass"`
+	// Solver/Plan/Fallbacks/Warnings come from the fit's diagnostics Report.
+	Solver    string   `json:"solver,omitempty"`
+	Plan      []string `json:"plan,omitempty"`
+	Fallbacks []string `json:"fallbacks,omitempty"`
+	Warnings  []string `json:"warnings,omitempty"`
+	// Deterministic records whether a second identical run reproduced the
+	// same outcome, solver, and scores bit for bit.
+	Deterministic bool  `json:"deterministic"`
+	DurationNs    int64 `json:"duration_ns"`
+}
+
+// RobustReport is the JSON document for -suite robust.
+type RobustReport struct {
+	Benchmark  string       `json:"benchmark"`
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Repeats    int          `json:"repeats"`
+	Results    []RobustCase `json:"results"`
+	Notes      string       `json:"notes"`
+}
+
+func robustBlob(rng *rand.Rand, n int, center, spread float64) [][]float64 {
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{center + spread*rng.NormFloat64(), center + spread*rng.NormFloat64()}
+	}
+	return x
+}
+
+// runRobustCase executes one fit twice, checks the outcome against the
+// expectation predicate, and verifies the rerun is bitwise identical.
+func runRobustCase(name, input, expect string,
+	check func(res *graphssl.Result, rep *graphssl.Report, err error) bool,
+	run func(rep *graphssl.Report) (*graphssl.Result, error)) RobustCase {
+
+	var rep graphssl.Report
+	start := time.Now()
+	res, err := run(&rep)
+	dur := time.Since(start)
+
+	c := RobustCase{
+		Name:       name,
+		Input:      input,
+		Expect:     expect,
+		Outcome:    "ok",
+		Pass:       check(res, &rep, err),
+		DurationNs: dur.Nanoseconds(),
+	}
+	if err != nil {
+		c.Outcome = err.Error()
+	}
+	if err == nil {
+		c.Solver = rep.Solver.String()
+	}
+	for _, s := range rep.Plan {
+		c.Plan = append(c.Plan, s.String())
+	}
+	for _, fb := range rep.Fallbacks {
+		c.Fallbacks = append(c.Fallbacks, fmt.Sprintf("%s->%s: %s", fb.From, fb.To, fb.Reason))
+	}
+	c.Warnings = append(c.Warnings, rep.Warnings...)
+
+	// Rerun: every decision must be a pure function of the input.
+	var rep2 graphssl.Report
+	res2, err2 := run(&rep2)
+	c.Deterministic = (err == nil) == (err2 == nil) &&
+		rep.Solver == rep2.Solver && len(rep.Fallbacks) == len(rep2.Fallbacks)
+	if c.Deterministic && res != nil && res2 != nil {
+		for i := range res.Scores {
+			if res.Scores[i] != res2.Scores[i] {
+				c.Deterministic = false
+				break
+			}
+		}
+	}
+	return c
+}
+
+// runRobustSuite drives the fit pipeline through the pathological inputs the
+// robust solve work is meant to absorb and records outcome + diagnostics.
+func runRobustSuite(out string) {
+	report := RobustReport{
+		Benchmark:  "robust-pipeline",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeats:    2,
+		Notes: "Each case runs Fit twice on a pathological input: pass means the " +
+			"documented contract held (clean result, typed error, or recorded " +
+			"fallback); deterministic means the rerun reproduced solver choice, " +
+			"fallback decisions, and scores bit for bit.",
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	base := robustBlob(rng, 120, 0, 1)
+	y := make([]float64, 30)
+	labeled := make([]int, 30)
+	for i := range y {
+		y[i] = float64(i % 2)
+		labeled[i] = i
+	}
+
+	// Duplicate points: repeated rows give zero pairwise distances, which
+	// break the median-bandwidth heuristic's positivity and stress the
+	// solve's conditioning; a fixed bandwidth must still fit cleanly.
+	dup := make([][]float64, len(base))
+	copy(dup, base)
+	for i := 40; i < 80; i++ {
+		dup[i] = dup[i%20]
+	}
+	report.Results = append(report.Results, runRobustCase(
+		"duplicate_points", "40 of 120 rows duplicated", "ok",
+		func(res *graphssl.Result, _ *graphssl.Report, err error) bool {
+			return err == nil && res != nil
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			return graphssl.Fit(dup, y, labeled, graphssl.WithBandwidth(1), graphssl.WithDiagnostics(rep))
+		}))
+
+	report.Results = append(report.Results, runRobustCase(
+		"zero_bandwidth", "WithBandwidth(0)", "ErrParam",
+		func(_ *graphssl.Result, _ *graphssl.Report, err error) bool {
+			return errors.Is(err, graphssl.ErrParam)
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			return graphssl.Fit(base, y, labeled, graphssl.WithBandwidth(0), graphssl.WithDiagnostics(rep))
+		}))
+
+	// Disconnected blobs: the labeled cluster and a far blob whose Gaussian
+	// weights underflow to zero, leaving unlabeled nodes unreachable.
+	blobs := append(robustBlob(rng, 40, 0, 1), robustBlob(rng, 40, 1e6, 1)...)
+	yb := make([]float64, 10)
+	lb := make([]int, 10)
+	for i := range yb {
+		yb[i] = float64(i % 2)
+		lb[i] = i
+	}
+	report.Results = append(report.Results, runRobustCase(
+		"disconnected_blobs", "two clusters 1e6 apart, labels in one", "ErrIsolated",
+		func(_ *graphssl.Result, _ *graphssl.Report, err error) bool {
+			return errors.Is(err, graphssl.ErrIsolated)
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			return graphssl.Fit(blobs, yb, lb, graphssl.WithBandwidth(1), graphssl.WithDiagnostics(rep))
+		}))
+
+	// Near-singular λ: λ→∞ drives (V+λL) toward the singular Laplacian; the
+	// solve must still complete and collapse toward the label mean.
+	report.Results = append(report.Results, runRobustCase(
+		"near_singular_lambda", "soft criterion at λ=1e9", "ok",
+		func(res *graphssl.Result, _ *graphssl.Report, err error) bool {
+			if err != nil || res == nil {
+				return false
+			}
+			var mean float64
+			for _, v := range y {
+				mean += v
+			}
+			mean /= float64(len(y))
+			for _, s := range res.Scores {
+				if s < mean-0.5 || s > mean+0.5 {
+					return false
+				}
+			}
+			return true
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			return graphssl.Fit(base, y, labeled,
+				graphssl.WithBandwidth(1), graphssl.WithLambda(1e9), graphssl.WithDiagnostics(rep))
+		}))
+
+	// Stagnating CG: force the auto chain onto CG with a starved iteration
+	// budget; the fit must complete through the dense fallback and record it.
+	report.Results = append(report.Results, runRobustCase(
+		"stagnating_cg", "auto chain, CG capped at 1 iteration", "fallback_to_cholesky",
+		func(res *graphssl.Result, rep *graphssl.Report, err error) bool {
+			return err == nil && res != nil &&
+				res.Solver == graphssl.SolverCholesky && len(rep.Fallbacks) == 1
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			return graphssl.Fit(base, y, labeled,
+				graphssl.WithBandwidth(1), graphssl.WithAutoCutoff(1),
+				graphssl.WithMaxIter(1), graphssl.WithTolerance(1e-14),
+				graphssl.WithDiagnostics(rep))
+		}))
+
+	// Cancellation: a pre-canceled context must surface context.Canceled, not
+	// a solver error, and must not fall back.
+	report.Results = append(report.Results, runRobustCase(
+		"canceled_context", "pre-canceled context", "context.Canceled",
+		func(_ *graphssl.Result, rep *graphssl.Report, err error) bool {
+			return errors.Is(err, context.Canceled) && len(rep.Fallbacks) == 0
+		},
+		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			return graphssl.Fit(base, y, labeled,
+				graphssl.WithBandwidth(1), graphssl.WithContext(ctx), graphssl.WithDiagnostics(rep))
+		}))
+
+	pass := 0
+	for _, c := range report.Results {
+		status := "FAIL"
+		if c.Pass {
+			status = "pass"
+			pass++
+		}
+		det := "deterministic"
+		if !c.Deterministic {
+			det = "NON-DETERMINISTIC"
+		}
+		fmt.Printf("%-22s %-6s %-18s solver=%-12s fallbacks=%d  %s\n",
+			c.Name, status, c.Expect, c.Solver, len(c.Fallbacks), det)
+	}
+	if pass != len(report.Results) {
+		log.Printf("WARNING: %d/%d robust cases failed their contract", len(report.Results)-pass, len(report.Results))
+	}
+	writeReportAny(out, report)
+}

@@ -1,14 +1,17 @@
 package graphssl
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/kernel"
+	"repro/internal/mat"
 )
 
 var (
@@ -61,8 +64,11 @@ type config struct {
 	solver      Solver
 	tol         float64
 	maxIter     int
-	workers     int // parallel compute layer: 0 = GOMAXPROCS, 1 = serial
-	distributed int // >0: distributed propagation with this many workers
+	workers     int             // parallel compute layer: 0 = GOMAXPROCS, 1 = serial
+	distributed int             // >0: distributed propagation with this many workers
+	ctx         context.Context // nil = never canceled
+	report      *Report         // non-nil: fill diagnostics
+	autoCutoff  int             // 0 = core default dense/iterative cutover
 }
 
 func defaultConfig() config {
@@ -153,6 +159,35 @@ func WithDistributed(workers int) Option {
 	return optionFunc(func(c *config) { c.distributed = workers })
 }
 
+// WithContext attaches a context to the fit. Iterative solvers check it
+// once per iteration sweep and the pipeline checks it between stages, so
+// canceling the context (or exceeding its deadline) aborts the fit with
+// ctx.Err() — errors.Is(err, context.Canceled) or context.DeadlineExceeded
+// — within roughly one sweep of work. Cancellation is terminal: it never
+// triggers a solver fallback.
+func WithContext(ctx context.Context) Option {
+	return optionFunc(func(c *config) { c.ctx = ctx })
+}
+
+// WithDiagnostics requests a diagnostics Report for the fit: per-stage wall
+// clock, the solver chain and fallbacks taken, iterative work, and the
+// numerical-health warnings of the pre-solve probe. The pointed-to Report
+// is reset and filled by the fit (also on failure, as far as the pipeline
+// got). Requesting diagnostics forces the health probe to run but never
+// changes the fitted scores.
+func WithDiagnostics(r *Report) Option {
+	return optionFunc(func(c *config) { c.report = r })
+}
+
+// WithAutoCutoff tunes the system size at and below which SolverAuto uses a
+// direct dense factorization instead of starting its chain at
+// preconditioned conjugate gradient (default 2048). Large sparse
+// deployments may lower it to lean on the iterative path sooner; n <= 0
+// keeps the default.
+func WithAutoCutoff(n int) Option {
+	return optionFunc(func(c *config) { c.autoCutoff = n })
+}
+
 // Result is a fitted transductive model.
 type Result struct {
 	// Scores holds one score per input point. For the hard criterion,
@@ -183,19 +218,34 @@ type Result struct {
 // index-for-index). Pass labeled = nil for the paper's layout, where the
 // first len(y) points are labeled.
 func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, error) {
+	res, rep, err := fit(x, y, labeled, opts)
+	countFit(rep, err)
+	if rep != nil && err != nil {
+		rep.Err = err.Error()
+	}
+	return res, err
+}
+
+// fit is the Fit pipeline body; Fit wraps it to update the expvar counters
+// and the diagnostics report exactly once per call.
+func fit(x [][]float64, y []float64, labeled []int, opts []Option) (*Result, *Report, error) {
 	p, cfg, bw, g, err := prepare(x, y, labeled, opts)
 	if err != nil {
-		return nil, err
+		return nil, cfg.report, err
 	}
 
 	var sol *core.Solution
+	solveStart := time.Now()
 	if cfg.distributed > 0 {
 		if cfg.lambda != 0 {
-			return nil, fmt.Errorf("graphssl: distributed propagation requires λ=0: %w", ErrParam)
+			return nil, cfg.report, fmt.Errorf("graphssl: distributed propagation requires λ=0: %w", ErrParam)
+		}
+		if err := ctxErr(cfg.ctx); err != nil {
+			return nil, cfg.report, err
 		}
 		sys, err := core.BuildPropagationSystem(p)
 		if err != nil {
-			return nil, translateCoreErr(err)
+			return nil, cfg.report, translateCoreErr(err)
 		}
 		fu, res, err := cluster.SolveLocal(sys, cluster.LocalOptions{
 			Workers:       cfg.distributed,
@@ -203,7 +253,7 @@ func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, er
 			MaxSupersteps: cfg.maxIter,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("graphssl: distributed solve: %w", err)
+			return nil, cfg.report, fmt.Errorf("graphssl: distributed solve: %w", err)
 		}
 		sol = &core.Solution{
 			FUnlabeled: fu,
@@ -227,10 +277,27 @@ func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, er
 			core.WithMaxIter(cfg.maxIter),
 			core.WithWorkers(cfg.workers),
 		}
+		if cfg.ctx != nil {
+			solveOpts = append(solveOpts, core.WithContext(cfg.ctx))
+		}
+		if cfg.report != nil {
+			solveOpts = append(solveOpts, core.WithHealthProbe())
+		}
+		if cfg.autoCutoff > 0 {
+			solveOpts = append(solveOpts, core.WithAutoCutoff(cfg.autoCutoff))
+		}
 		sol, err = core.SolveSoft(p, cfg.lambda, solveOpts...)
 		if err != nil {
-			return nil, translateCoreErr(err)
+			return nil, cfg.report, translateCoreErr(err)
 		}
+	}
+	cfg.report.addStage("solve", time.Since(solveStart))
+	if r := cfg.report; r != nil {
+		r.Bandwidth = bw
+		r.Solver = sol.Method
+		r.Iterations = sol.Iterations
+		r.Residual = sol.Residual
+		r.fromTrace(sol.Trace)
 	}
 
 	return &Result{
@@ -244,7 +311,16 @@ func Fit(x [][]float64, y []float64, labeled []int, opts ...Option) (*Result, er
 		Iterations:      sol.Iterations,
 		Residual:        sol.Residual,
 		GraphStats:      g.Summary(),
-	}, nil
+	}, cfg.report, nil
+}
+
+// ctxErr reports the context's error, tolerating the nil (never canceled)
+// default.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // NadarayaWatson computes the paper's Eq. 6 kernel-regression baseline on
@@ -270,6 +346,12 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 	for _, o := range opts {
 		o.apply(&cfg)
 	}
+	if cfg.report != nil {
+		*cfg.report = Report{}
+	}
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, cfg, 0, nil, err
+	}
 	if len(x) == 0 {
 		return nil, cfg, 0, nil, fmt.Errorf("graphssl: no input points: %w", ErrParam)
 	}
@@ -280,6 +362,16 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 	for i, xi := range x {
 		if len(xi) != dim {
 			return nil, cfg, 0, nil, fmt.Errorf("graphssl: point %d has dim %d, want %d: %w", i, len(xi), dim, ErrParam)
+		}
+		for j, v := range xi {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, cfg, 0, nil, fmt.Errorf("graphssl: point %d coordinate %d is %v: %w", i, j, v, ErrParam)
+			}
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: response %d is %v: %w", i, v, ErrParam)
 		}
 	}
 	if labeled == nil {
@@ -295,6 +387,7 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 		return nil, cfg, 0, nil, fmt.Errorf("graphssl: λ=%v: %w", cfg.lambda, ErrParam)
 	}
 
+	bwStart := time.Now()
 	var (
 		bw  float64
 		err error
@@ -305,35 +398,50 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 	case bwPaper:
 		bw, err = kernel.PaperBandwidth(len(labeled), dim)
 		if err != nil {
-			return nil, cfg, 0, nil, fmt.Errorf("graphssl: paper bandwidth: %w", err)
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: paper bandwidth: %w: %v", ErrParam, err)
 		}
 	default:
 		bw, err = kernel.MedianHeuristic(x, 200000)
 		if err != nil {
-			return nil, cfg, 0, nil, fmt.Errorf("graphssl: median bandwidth: %w", err)
+			return nil, cfg, 0, nil, fmt.Errorf("graphssl: median bandwidth: %w: %v", ErrParam, err)
 		}
+	}
+	if math.IsNaN(bw) || math.IsInf(bw, 0) {
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: bandwidth %v: %w", bw, ErrParam)
 	}
 	k, err := kernel.New(cfg.kernel, bw)
 	if err != nil {
 		return nil, cfg, 0, nil, fmt.Errorf("graphssl: kernel: %w: %v", ErrParam, err)
 	}
+	cfg.report.addStage("bandwidth", time.Since(bwStart))
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, cfg, 0, nil, err
+	}
 
+	graphStart := time.Now()
 	builderOpts := []graph.Option{graph.WithWorkers(cfg.workers)}
 	if cfg.knn > 0 {
 		builderOpts = append(builderOpts, graph.WithKNN(cfg.knn))
 	}
 	builder, err := graph.NewBuilder(k, builderOpts...)
 	if err != nil {
-		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph builder: %w", err)
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph builder: %w: %v", ErrParam, err)
 	}
 	g, err := builder.Build(x)
 	if err != nil {
-		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph: %w", err)
+		return nil, cfg, 0, nil, fmt.Errorf("graphssl: graph: %w: %v", ErrParam, err)
 	}
+	cfg.report.addStage("graph", time.Since(graphStart))
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, cfg, 0, nil, err
+	}
+
+	problemStart := time.Now()
 	p, err := core.NewProblem(g, labeled, y)
 	if err != nil {
 		return nil, cfg, 0, nil, fmt.Errorf("graphssl: %w: %v", ErrParam, err)
 	}
+	cfg.report.addStage("problem", time.Since(problemStart))
 	return p, cfg, bw, g, nil
 }
 
@@ -342,6 +450,12 @@ func translateCoreErr(err error) error {
 	switch {
 	case errors.Is(err, core.ErrIsolated):
 		return fmt.Errorf("graphssl: %w: %v", ErrIsolated, err)
+	case errors.Is(err, mat.ErrSingular):
+		// The hard system D22−W22 is a nonsingular M-matrix exactly when
+		// every unlabeled component carries labeled mass, so a singular
+		// factorization means some unlabeled point is numerically cut off
+		// from the labels (weights underflowed to ~0).
+		return fmt.Errorf("graphssl: %w: system numerically singular: %v", ErrIsolated, err)
 	case errors.Is(err, core.ErrParam):
 		return fmt.Errorf("graphssl: %w: %v", ErrParam, err)
 	default:

@@ -87,7 +87,7 @@ func TestContractionRatePredictsPropagationCost(t *testing.T) {
 // propagateForTest runs the package propagation on a system.
 func propagateForTest(sys *PropagationSystem, tol float64) ([]float64, int, error) {
 	hs := &hardSystem{b: sys.B, w22: sys.W, d22: sys.D}
-	f, res, err := propagate(hs, tol, 0, 1)
+	f, res, err := propagate(nil, hs, tol, 0, 1)
 	return f, res.Iterations, err
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/mat"
@@ -13,7 +14,9 @@ type Method int
 
 // Available solve methods.
 const (
-	// MethodAuto picks Cholesky with an LU fallback (dense).
+	// MethodAuto plans a deterministic backend chain from system size and a
+	// pre-solve health probe: dense Cholesky→LU at or below the auto cutoff,
+	// CG-first with dense fallback above it (see planAuto).
 	MethodAuto Method = iota + 1
 	// MethodCholesky forces the dense Cholesky factorization.
 	MethodCholesky
@@ -50,10 +53,13 @@ type SolveOption interface {
 }
 
 type solveConfig struct {
-	method  Method
-	tol     float64
-	maxIter int
-	workers int
+	method     Method
+	tol        float64
+	maxIter    int
+	workers    int
+	ctx        context.Context
+	autoCutoff int
+	probe      bool
 }
 
 type solveOptionFunc func(*solveConfig)
@@ -84,6 +90,32 @@ func WithWorkers(n int) SolveOption {
 	return solveOptionFunc(func(c *solveConfig) { c.workers = n })
 }
 
+// WithContext attaches a context to the solve. Iterative backends (CG,
+// propagation, Jacobi sweeps) check it once per iteration and abort with
+// ctx.Err() within one sweep of cancellation; direct backends check it
+// between pipeline stages. Cancellation is terminal — it never triggers a
+// fallback.
+func WithContext(ctx context.Context) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.ctx = ctx })
+}
+
+// WithAutoCutoff tunes the system size at and below which MethodAuto solves
+// with a direct dense factorization instead of starting the chain at
+// preconditioned CG (default 2048). Production deployments with very sparse
+// graphs may lower it; tests use small values to exercise the iterative
+// chain. n <= 0 restores the default.
+func WithAutoCutoff(n int) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.autoCutoff = n })
+}
+
+// WithHealthProbe forces the pre-solve health probe to run even for small
+// MethodAuto systems (where the plan would not need it), so the resulting
+// trace carries conditioning diagnostics. Probing never changes the
+// solution; it only informs the plan and the report.
+func WithHealthProbe() SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.probe = true })
+}
+
 func newSolveConfig(opts []SolveOption) solveConfig {
 	c := solveConfig{method: MethodAuto, tol: 1e-10, maxIter: 0, workers: 0}
 	for _, o := range opts {
@@ -109,6 +141,10 @@ type Solution struct {
 	Iterations int
 	// Residual is the final relative residual of iterative backends.
 	Residual float64
+	// Trace documents the backend pipeline for MethodAuto solves (health
+	// probe, plan, attempts, fallbacks); nil for explicitly chosen
+	// backends.
+	Trace *SolveTrace
 }
 
 // hardSystem carries the blocks of the hard-criterion linear system
@@ -177,17 +213,22 @@ func buildHardSystem(p *Problem) (*hardSystem, error) {
 // f_U = (D22 − W22)⁻¹ W21 Y, with f fixed to Y on labeled nodes.
 func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 	cfg := newSolveConfig(opts)
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, err
+	}
 	sys, err := buildHardSystem(p)
 	if err != nil {
 		return nil, err
 	}
 	var (
-		fu  []float64
-		res sparse.SolveResult
+		fu     []float64
+		res    sparse.SolveResult
+		trace  *SolveTrace
+		method = cfg.method
 	)
 	switch cfg.method {
 	case MethodAuto:
-		fu, err = mat.SolveSPD(sys.a.ToDense(), sys.b)
+		fu, res, method, trace, err = runChain(cfg.ctx, sys.a, sys.b, cfg)
 	case MethodCholesky:
 		var ch *mat.Cholesky
 		ch, err = mat.NewCholesky(sys.a.ToDense())
@@ -197,16 +238,24 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 	case MethodLU:
 		fu, err = mat.SolveLU(sys.a.ToDense(), sys.b)
 	case MethodCG:
-		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers})
+		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers, Ctx: cfg.ctx})
 	case MethodPropagation:
-		fu, res, err = propagate(sys, cfg.tol, cfg.maxIter, cfg.workers)
+		fu, res, err = propagate(cfg.ctx, sys, cfg.tol, cfg.maxIter, cfg.workers)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
 	}
-	if err != nil {
-		return nil, fmt.Errorf("core: hard solve (%v): %w: %v", cfg.method, ErrSolver, err)
+	if err == nil && !finiteVec(fu) {
+		err = fmt.Errorf("core: %v produced non-finite values: %w", method, mat.ErrSingular)
 	}
-	return assembleSolution(p, fu, 0, cfg.method, res), nil
+	if err != nil {
+		if cfg.ctx != nil && cfg.ctx.Err() != nil {
+			return nil, cfg.ctx.Err()
+		}
+		return nil, fmt.Errorf("core: hard solve (%v): %w: %w", cfg.method, ErrSolver, err)
+	}
+	sol := assembleSolution(p, fu, 0, method, res)
+	sol.Trace = trace
+	return sol, nil
 }
 
 // propagate runs the harmonic iteration f ← D22⁻¹ (b + W22 f). Because
@@ -218,7 +267,7 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 // and write disjoint entries of the next one, so the sweep parallelizes over
 // row blocks. The convergence reduction is a max (exact under reordering),
 // making the iterates bitwise-identical for every worker count.
-func propagate(sys *hardSystem, tol float64, maxIter, workers int) ([]float64, sparse.SolveResult, error) {
+func propagate(ctx context.Context, sys *hardSystem, tol float64, maxIter, workers int) ([]float64, sparse.SolveResult, error) {
 	m := len(sys.b)
 	if tol <= 0 {
 		tol = 1e-10
@@ -239,6 +288,9 @@ func propagate(sys *hardSystem, tol float64, maxIter, workers int) ([]float64, s
 	deltas := make([]float64, len(blocks))
 	scales := make([]float64, len(blocks))
 	for it := 0; it < maxIter; it++ {
+		if err := ctxErr(ctx); err != nil {
+			return f, sparse.SolveResult{Iterations: it}, err
+		}
 		parallel.ForBlocks(workers, blocks, func(bi int, blk parallel.Block) {
 			var delta, scale float64
 			for k := blk.Lo; k < blk.Hi; k++ {

@@ -34,7 +34,7 @@ func NewHardFactorization(p *Problem) (*HardFactorization, error) {
 	}
 	lu, err := mat.NewLU(dense)
 	if err != nil {
-		return nil, fmt.Errorf("core: hard factorization: %w: %v", ErrSolver, err)
+		return nil, fmt.Errorf("core: hard factorization: %w: %w", ErrSolver, err)
 	}
 	f.lu = lu
 	return f, nil
@@ -61,7 +61,7 @@ func (f *HardFactorization) SolveY(y []float64) (*Solution, error) {
 		fu, err = f.lu.Solve(b)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: SolveY: %w: %v", ErrSolver, err)
+		return nil, fmt.Errorf("core: SolveY: %w: %w", ErrSolver, err)
 	}
 	// Assemble with the supplied y (not the problem's placeholder).
 	full := make([]float64, f.p.g.N())

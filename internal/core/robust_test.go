@@ -1,0 +1,279 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+)
+
+// gaussProblem builds a fully connected Gaussian-graph problem over random
+// points: nLab labeled, nUnl unlabeled.
+func gaussProblem(t *testing.T, seed int64, nLab, nUnl int) *Problem {
+	t.Helper()
+	rng := randx.New(seed)
+	x := make([][]float64, nLab+nUnl)
+	for i := range x {
+		x[i] = []float64{rng.Norm(), rng.Norm()}
+	}
+	b, err := graph.NewBuilder(kernel.MustNew(kernel.Gaussian, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := make([]float64, nLab)
+	for i := range y {
+		y[i] = rng.Bernoulli(0.5)
+	}
+	p, err := NewProblemLabeledFirst(g, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProbeHealthWellConditioned(t *testing.T) {
+	p := gaussProblem(t, 3, 10, 20)
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ProbeHealth(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Unknowns != 20 {
+		t.Fatalf("unknowns = %d", h.Unknowns)
+	}
+	if h.ZeroDiagonal {
+		t.Fatal("well-conditioned system flagged zero diagonal")
+	}
+	if h.JacobiSpectralRadius >= 1 {
+		t.Fatalf("spectral radius %v >= 1 on an SPD hard system", h.JacobiSpectralRadius)
+	}
+	if math.IsInf(h.ConditionProxy, 1) || h.ConditionProxy < 1 {
+		t.Fatalf("condition proxy %v implausible", h.ConditionProxy)
+	}
+	// D22 − W22 keeps the labeled mass on the diagonal, so it is strictly
+	// diagonally dominant on this fully connected graph.
+	if h.MinDiagDominance <= 1 {
+		t.Fatalf("min dominance %v, want > 1", h.MinDiagDominance)
+	}
+}
+
+func TestProbeHealthDeterministic(t *testing.T) {
+	p := gaussProblem(t, 5, 8, 25)
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := ProbeHealth(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ProbeHealth(sys.a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.JacobiSpectralRadius != h2.JacobiSpectralRadius ||
+		h1.ConditionProxy != h2.ConditionProxy ||
+		h1.MinDiagDominance != h2.MinDiagDominance {
+		t.Fatalf("probe not deterministic: %+v vs %+v", h1, h2)
+	}
+}
+
+func TestProbeHealthZeroDiagonal(t *testing.T) {
+	coo := sparse.NewCOO(3, 3)
+	_ = coo.Add(0, 0, 1)
+	_ = coo.Add(1, 1, 2)
+	// Row 2 is entirely empty: an isolated node's system row.
+	h, err := ProbeHealth(coo.ToCSR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.ZeroDiagonal {
+		t.Fatal("zero diagonal not flagged")
+	}
+	if len(h.Warnings) == 0 {
+		t.Fatal("no warning raised for singular diagonal")
+	}
+	if !math.IsInf(h.ConditionProxy, 1) {
+		t.Fatalf("condition proxy %v, want +Inf", h.ConditionProxy)
+	}
+}
+
+func TestPlanAutoIsPureAndSizeGated(t *testing.T) {
+	small, reason := planAuto(nil, 100, 2048)
+	if len(small) != 2 || small[0] != MethodCholesky || small[1] != MethodLU {
+		t.Fatalf("small plan = %v (%s)", small, reason)
+	}
+	healthy := &Health{JacobiSpectralRadius: 0.9, ConditionProxy: 19}
+	large, _ := planAuto(healthy, 5000, 2048)
+	if len(large) != 3 || large[0] != MethodCG {
+		t.Fatalf("large plan = %v", large)
+	}
+	sick := &Health{JacobiSpectralRadius: 1.0, ConditionProxy: math.Inf(1)}
+	demoted, _ := planAuto(sick, 5000, 2048)
+	if demoted[0] == MethodCG {
+		t.Fatalf("near-singular system still plans CG first: %v", demoted)
+	}
+	// Pure: same inputs, same plan.
+	again, _ := planAuto(healthy, 5000, 2048)
+	for i := range large {
+		if large[i] != again[i] {
+			t.Fatal("plan not reproducible")
+		}
+	}
+}
+
+// TestAutoFallbackChainCompletes forces the CG head of the chain to fail
+// (one-iteration budget at tight tolerance) and checks the solve still
+// completes via the dense fallback, with the escalation recorded.
+func TestAutoFallbackChainCompletes(t *testing.T) {
+	p := gaussProblem(t, 7, 10, 40)
+	sol, err := SolveHard(p, WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14))
+	if err != nil {
+		t.Fatalf("chain did not complete: %v", err)
+	}
+	if sol.Method != MethodCholesky {
+		t.Fatalf("chain settled on %v, want cholesky after CG failure", sol.Method)
+	}
+	tr := sol.Trace
+	if tr == nil {
+		t.Fatal("auto solve returned no trace")
+	}
+	if len(tr.Plan) != 3 || tr.Plan[0] != MethodCG {
+		t.Fatalf("plan = %v", tr.Plan)
+	}
+	if len(tr.Fallbacks) != 1 || tr.Fallbacks[0].From != MethodCG || tr.Fallbacks[0].To != MethodCholesky {
+		t.Fatalf("fallbacks = %+v", tr.Fallbacks)
+	}
+	if len(tr.Attempts) != 2 || tr.Attempts[0].Err == "" || tr.Attempts[1].Err != "" {
+		t.Fatalf("attempts = %+v", tr.Attempts)
+	}
+	if tr.Health == nil {
+		t.Fatal("large-plan auto solve carried no health probe")
+	}
+
+	// The fallback answer must match the directly chosen dense backend.
+	want, err := SolveHard(p, WithMethod(MethodCholesky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.FUnlabeled {
+		if sol.FUnlabeled[i] != want.FUnlabeled[i] {
+			t.Fatalf("fallback solution differs from cholesky at %d", i)
+		}
+	}
+}
+
+// TestAutoSmallSystemMatchesLegacyDense pins the compatibility contract:
+// below the cutoff, MethodAuto is still Cholesky-with-LU-fallback, bitwise.
+func TestAutoSmallSystemMatchesLegacyDense(t *testing.T) {
+	p := gaussProblem(t, 9, 12, 30)
+	auto, err := SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chol, err := SolveHard(p, WithMethod(MethodCholesky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Method != MethodCholesky {
+		t.Fatalf("small auto chose %v", auto.Method)
+	}
+	for i := range chol.FUnlabeled {
+		if auto.FUnlabeled[i] != chol.FUnlabeled[i] {
+			t.Fatalf("auto differs from cholesky at %d", i)
+		}
+	}
+}
+
+// TestFallbackDecisionDeterministicAcrossWorkers reruns an auto solve that
+// starts at CG under several worker counts: the plan, the chosen backend,
+// and the scores must be identical.
+func TestFallbackDecisionDeterministicAcrossWorkers(t *testing.T) {
+	p := gaussProblem(t, 21, 15, 60)
+	var ref *Solution
+	for _, w := range []int{1, 2, 4} {
+		sol, err := SolveHard(p, WithAutoCutoff(1), WithWorkers(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if sol.Trace == nil || len(sol.Trace.Plan) == 0 {
+			t.Fatalf("workers=%d: missing trace", w)
+		}
+		if ref == nil {
+			ref = sol
+			continue
+		}
+		if sol.Method != ref.Method {
+			t.Fatalf("workers=%d chose %v, workers=1 chose %v", w, sol.Method, ref.Method)
+		}
+		if len(sol.Trace.Fallbacks) != len(ref.Trace.Fallbacks) {
+			t.Fatalf("workers=%d fallback count differs", w)
+		}
+		for i := range ref.FUnlabeled {
+			if sol.FUnlabeled[i] != ref.FUnlabeled[i] {
+				t.Fatalf("workers=%d: scores differ at %d", w, i)
+			}
+		}
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	p := gaussProblem(t, 31, 10, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{MethodAuto, MethodCG, MethodPropagation} {
+		if _, err := SolveHard(p, WithMethod(m), WithContext(ctx)); !errors.Is(err, context.Canceled) {
+			t.Fatalf("hard %v: err = %v, want context.Canceled", m, err)
+		}
+	}
+	if _, err := SolveSoft(p, 0.5, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("soft: err = %v, want context.Canceled", err)
+	}
+	if _, err := SoftSweep(p, []float64{0.1, 1}, WithContext(ctx)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCancellationIsNotEscalated checks a canceled context aborts the auto
+// chain instead of falling back to the next backend.
+func TestCancellationIsNotEscalated(t *testing.T) {
+	p := gaussProblem(t, 33, 10, 50)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveHard(p, WithAutoCutoff(1), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWithHealthProbeOnSmallAuto(t *testing.T) {
+	p := gaussProblem(t, 35, 8, 20)
+	sol, err := SolveHard(p, WithHealthProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Trace == nil || sol.Trace.Health == nil {
+		t.Fatal("WithHealthProbe did not attach a probe to the trace")
+	}
+	bare, err := SolveHard(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bare.FUnlabeled {
+		if sol.FUnlabeled[i] != bare.FUnlabeled[i] {
+			t.Fatal("probing changed the solution")
+		}
+	}
+}

@@ -28,6 +28,9 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 		return SolveHard(p, opts...)
 	}
 	cfg := newSolveConfig(opts)
+	if err := ctxErr(cfg.ctx); err != nil {
+		return nil, err
+	}
 
 	lap, err := p.g.Laplacian(graph.Unnormalized)
 	if err != nil {
@@ -54,12 +57,14 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 	a := coo.ToCSR()
 
 	var (
-		f   []float64
-		res sparse.SolveResult
+		f      []float64
+		res    sparse.SolveResult
+		trace  *SolveTrace
+		method = cfg.method
 	)
 	switch cfg.method {
 	case MethodAuto:
-		f, err = mat.SolveSPD(a.ToDense(), rhs)
+		f, res, method, trace, err = runChain(cfg.ctx, a, rhs, cfg)
 	case MethodCholesky:
 		var ch *mat.Cholesky
 		ch, err = mat.NewCholesky(a.ToDense())
@@ -69,14 +74,20 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 	case MethodLU:
 		f, err = mat.SolveLU(a.ToDense(), rhs)
 	case MethodCG:
-		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers})
+		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers, Ctx: cfg.ctx})
 	case MethodPropagation:
 		return nil, fmt.Errorf("core: propagation applies to the hard criterion only: %w", ErrParam)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
 	}
+	if err == nil && !finiteVec(f) {
+		err = fmt.Errorf("core: %v produced non-finite values: %w", method, mat.ErrSingular)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("core: soft solve (λ=%v, %v): %w: %v", lambda, cfg.method, ErrSolver, err)
+		if cfg.ctx != nil && cfg.ctx.Err() != nil {
+			return nil, cfg.ctx.Err()
+		}
+		return nil, fmt.Errorf("core: soft solve (λ=%v, %v): %w: %w", lambda, cfg.method, ErrSolver, err)
 	}
 
 	fu := make([]float64, p.M())
@@ -89,9 +100,10 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 		F:          full,
 		FUnlabeled: fu,
 		Lambda:     lambda,
-		Method:     cfg.method,
+		Method:     method,
 		Iterations: res.Iterations,
 		Residual:   res.Residual,
+		Trace:      trace,
 	}, nil
 }
 
@@ -239,9 +251,16 @@ func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPath
 			Precondition: true,
 			X0:           warm,
 			Workers:      cfg.workers,
+			Ctx:          cfg.ctx,
 		})
+		if err == nil && !finiteVec(f) {
+			err = fmt.Errorf("core: CG produced non-finite values: %w", mat.ErrSingular)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w: %v", l, ErrSolver, err)
+			if cfg.ctx != nil && cfg.ctx.Err() != nil {
+				return nil, cfg.ctx.Err()
+			}
+			return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w: %w", l, ErrSolver, err)
 		}
 		warm = f
 		fu := make([]float64, p.M())

@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForBlocksCtxNilContextRunsAll(t *testing.T) {
+	var ran int64
+	blocks := Split(1000, 8)
+	if err := ForBlocksCtx(nil, 4, blocks, func(_ int, b Block) {
+		atomic.AddInt64(&ran, int64(b.Len()))
+	}); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran != 1000 {
+		t.Fatalf("ran %d of 1000 indices", ran)
+	}
+}
+
+func TestForBlocksCtxCanceledSkipsAll(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	err := ForBlocksCtx(ctx, 4, Split(1000, 8), func(_ int, b Block) {
+		atomic.AddInt64(&ran, 1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d blocks ran after cancellation", ran)
+	}
+}
+
+func TestForBlocksCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int64
+	blocks := Split(64, 64)
+	err := ForBlocksCtx(ctx, 1, blocks, func(i int, _ Block) {
+		if i == 5 {
+			cancel()
+		}
+		atomic.AddInt64(&ran, 1)
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt64(&ran); got != 6 {
+		t.Fatalf("ran %d blocks, want 6 (cancel observed before block 7)", got)
+	}
+}
+
+func TestForCtxMatchesFor(t *testing.T) {
+	const n = 4096
+	want := make([]int, n)
+	For(4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			want[i] = i * i
+		}
+	})
+	got := make([]int, n)
+	if err := ForCtx(context.Background(), 4, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			got[i] = i * i
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestForCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	if err := ForCtx(ctx, 4, 4096, func(lo, hi int) {
+		atomic.AddInt64(&ran, 1)
+	}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 0 {
+		t.Fatalf("%d chunks ran after cancellation", ran)
+	}
+}

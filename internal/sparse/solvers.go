@@ -1,10 +1,23 @@
 package sparse
 
 import (
+	"context"
+	"errors"
 	"math"
 
 	"repro/internal/mat"
 	"repro/internal/parallel"
+)
+
+var (
+	// ErrStagnated is returned when stagnation detection is enabled and the
+	// residual has not improved over the configured iteration window. It is
+	// the signal the auto fallback chain escalates on instead of spinning to
+	// MaxIter.
+	ErrStagnated = errors.New("sparse: iteration stagnated")
+	// ErrDiverged is returned when the residual grows far beyond its
+	// starting value or becomes non-finite.
+	ErrDiverged = errors.New("sparse: iteration diverged")
 )
 
 // SolveResult reports how an iterative solve ended.
@@ -31,6 +44,23 @@ type CGOptions struct {
 	// Dot products and vector updates stay serial, so the iterates are
 	// bitwise-identical across worker counts.
 	Workers int
+	// Ctx, when non-nil, is checked once per iteration; a done context
+	// aborts the solve with ctx.Err() (context.Canceled or
+	// context.DeadlineExceeded) within one iteration sweep.
+	Ctx context.Context
+	// StagnationWindow, when > 0, enables stagnation detection: if the
+	// relative residual fails to improve below StagnationImprove × its best
+	// value for StagnationWindow consecutive iterations, the solve aborts
+	// with ErrStagnated. Detection only observes the residual history, so
+	// the iterates of a converging run are unchanged.
+	StagnationWindow int
+	// StagnationImprove is the required relative improvement factor per
+	// window (default 0.99: the residual must drop at least 1% per window).
+	StagnationImprove float64
+	// DivergeFactor aborts with ErrDiverged when the residual exceeds
+	// DivergeFactor × max(1, initial residual) or turns NaN/Inf
+	// (default 1e8; only active when StagnationWindow > 0).
+	DivergeFactor float64
 }
 
 func (o *CGOptions) fill(n int) error {
@@ -46,7 +76,21 @@ func (o *CGOptions) fill(n int) error {
 	if o.X0 != nil && len(o.X0) != n {
 		return ErrShape
 	}
+	if o.StagnationImprove <= 0 || o.StagnationImprove >= 1 {
+		o.StagnationImprove = 0.99
+	}
+	if o.DivergeFactor <= 0 {
+		o.DivergeFactor = 1e8
+	}
 	return nil
+}
+
+// ctxErr reports the context's error, tolerating a nil context.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // CG solves A x = b for a symmetric positive definite CSR matrix using the
@@ -103,9 +147,24 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 	ap := make([]float64, n)
 
 	res := mat.Norm2(r) / bnorm
+	res0 := res
+	bestRes, bestIt := res, 0
 	for it := 0; it < opts.MaxIter; it++ {
 		if res <= opts.Tol {
 			return x, SolveResult{Iterations: it, Residual: res}, nil
+		}
+		if err := ctxErr(opts.Ctx); err != nil {
+			return x, SolveResult{Iterations: it, Residual: res}, err
+		}
+		if opts.StagnationWindow > 0 {
+			if math.IsNaN(res) || math.IsInf(res, 0) || res > opts.DivergeFactor*math.Max(1, res0) {
+				return x, SolveResult{Iterations: it, Residual: res}, ErrDiverged
+			}
+			if res < opts.StagnationImprove*bestRes {
+				bestRes, bestIt = res, it
+			} else if it-bestIt >= opts.StagnationWindow {
+				return x, SolveResult{Iterations: it, Residual: res}, ErrStagnated
+			}
 		}
 		if err := a.MulVecToWorkers(ap, p, opts.Workers); err != nil {
 			return nil, SolveResult{}, err
@@ -148,6 +207,12 @@ func Jacobi(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResu
 // embarrassingly parallel and the iterates are bitwise-identical across
 // worker counts.
 func JacobiWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
+	return JacobiCtx(nil, a, b, tol, maxIter, workers)
+}
+
+// JacobiCtx is JacobiWorkers with cooperative cancellation: a done context
+// aborts with ctx.Err() within one sweep. A nil context never cancels.
+func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
 		return nil, SolveResult{}, ErrShape
@@ -172,6 +237,9 @@ func JacobiWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]fl
 	next := make([]float64, n)
 	r := make([]float64, n)
 	for it := 0; it < maxIter; it++ {
+		if err := ctxErr(ctx); err != nil {
+			return x, SolveResult{Iterations: it}, err
+		}
 		parallel.For(workers, n, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				cols, vals := a.RowNNZ(i)
@@ -209,6 +277,13 @@ func JacobiWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]fl
 // converges for strictly diagonally dominant systems, typically in fewer
 // iterations.
 func GaussSeidel(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+	return GaussSeidelCtx(nil, a, b, tol, maxIter)
+}
+
+// GaussSeidelCtx is GaussSeidel with cooperative cancellation: a done
+// context aborts with ctx.Err() within one sweep. A nil context never
+// cancels.
+func GaussSeidelCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
 		return nil, SolveResult{}, ErrShape
@@ -232,6 +307,9 @@ func GaussSeidel(a *CSR, b []float64, tol float64, maxIter int) ([]float64, Solv
 	x := make([]float64, n)
 	r := make([]float64, n)
 	for it := 0; it < maxIter; it++ {
+		if err := ctxErr(ctx); err != nil {
+			return x, SolveResult{Iterations: it}, err
+		}
 		for i := 0; i < n; i++ {
 			cols, vals := a.RowNNZ(i)
 			s := b[i]

@@ -1,0 +1,113 @@
+package graphssl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func propTestData(seed int64, n, m int) ([][]float64, []float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n+m)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	y := make([]float64, n)
+	labeled := make([]int, n)
+	for i := range y {
+		y[i] = rng.Float64()
+		labeled[i] = i
+	}
+	return x, y, labeled
+}
+
+// TestPropII1SoftConvergesToHard checks the paper's Proposition II.1 at the
+// public API: as λ→0 the soft criterion's minimizer converges to the hard
+// (harmonic) solution. At λ=1e-11 the two must agree to 1e-10.
+func TestPropII1SoftConvergesToHard(t *testing.T) {
+	x, y, labeled := propTestData(101, 25, 40)
+	hard, err := Fit(x, y, labeled, WithBandwidth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	soft, err := Fit(x, y, labeled, WithBandwidth(1), WithLambda(1e-11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxGap float64
+	for i := range hard.UnlabeledScores {
+		if gap := math.Abs(hard.UnlabeledScores[i] - soft.UnlabeledScores[i]); gap > maxGap {
+			maxGap = gap
+		}
+	}
+	if maxGap > 1e-10 {
+		t.Fatalf("sup|soft(λ=1e-11) − hard| = %g, want ≤ 1e-10", maxGap)
+	}
+}
+
+// TestPropII2SoftCollapsesToLabelMean checks Proposition II.2: as λ→∞ the
+// soft criterion collapses to the constant ȳ_n. The deviation is O(1/λ), so
+// λ=1e8 must pin every score to the label mean within 1e-5.
+func TestPropII2SoftCollapsesToLabelMean(t *testing.T) {
+	x, y, labeled := propTestData(103, 20, 35)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+
+	res, err := Fit(x, y, labeled, WithBandwidth(1), WithLambda(1e8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range res.Scores {
+		if math.Abs(s-mean) > 1e-5 {
+			t.Fatalf("score[%d] = %v, want ȳ = %v within 1e-5 at λ=1e8", i, s, mean)
+		}
+	}
+}
+
+// TestToyIdenticalInputsGiveLabelMean pins the toy sanity case from the
+// paper's discussion: when every input is the same point, the graph carries
+// no geometric information and the hard criterion returns exactly the label
+// mean at every unlabeled node.
+func TestToyIdenticalInputsGiveLabelMean(t *testing.T) {
+	const n, m = 8, 12
+	x := make([][]float64, n+m)
+	for i := range x {
+		x[i] = []float64{0.5, -1.5}
+	}
+	y := []float64{1, 0, 1, 1, 0, 1, 0, 1}
+	labeled := make([]int, n)
+	for i := range labeled {
+		labeled[i] = i
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+
+	// The median bandwidth heuristic is undefined on all-zero distances, so
+	// the bandwidth must be fixed explicitly.
+	res, err := Fit(x, y, labeled, WithBandwidth(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.UnlabeledScores {
+		if math.Abs(s-mean) > 1e-12 {
+			t.Fatalf("unlabeled score %v, want exactly ȳ = %v", s, mean)
+		}
+	}
+	// And the soft criterion agrees at any λ: the Laplacian penalty is
+	// already zero on constants.
+	soft, err := Fit(x, y, labeled, WithBandwidth(1), WithLambda(0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range soft.UnlabeledScores {
+		if math.Abs(s-mean) > 1e-10 {
+			t.Fatalf("soft unlabeled score %v, want ȳ = %v", s, mean)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package graphssl
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"math/rand"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func robustTestData(seed int64, n, labels int) ([][]float64, []float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	y := make([]float64, labels)
+	labeled := make([]int, labels)
+	for i := range y {
+		y[i] = float64(rng.Intn(2))
+		labeled[i] = i
+	}
+	return x, y, labeled
+}
+
+func expvarInt(t *testing.T, name string) int64 {
+	t.Helper()
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatalf("expvar %q not published", name)
+	}
+	n, err := strconv.ParseInt(v.String(), 10, 64)
+	if err != nil {
+		t.Fatalf("expvar %q = %q: %v", name, v.String(), err)
+	}
+	return n
+}
+
+func TestFitCanceledContext(t *testing.T) {
+	x, y, labeled := robustTestData(1, 60, 15)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := expvarInt(t, "graphssl.cancellations_total")
+	_, err := Fit(x, y, labeled, WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := expvarInt(t, "graphssl.cancellations_total"); got != before+1 {
+		t.Fatalf("cancellations_total %d -> %d, want +1", before, got)
+	}
+}
+
+func TestFitDeadlineExceeded(t *testing.T) {
+	x, y, labeled := robustTestData(2, 40, 10)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := Fit(x, y, labeled, WithContext(ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestWithDiagnosticsReport(t *testing.T) {
+	x, y, labeled := robustTestData(3, 80, 20)
+	var rep Report
+	res, err := Fit(x, y, labeled, WithDiagnostics(&rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStages := []string{"bandwidth", "graph", "problem", "solve"}
+	if len(rep.Stages) != len(wantStages) {
+		t.Fatalf("stages = %v", rep.Stages)
+	}
+	for i, s := range rep.Stages {
+		if s.Name != wantStages[i] {
+			t.Fatalf("stage %d = %q, want %q", i, s.Name, wantStages[i])
+		}
+		if s.Duration < 0 {
+			t.Fatalf("stage %q has negative duration", s.Name)
+		}
+	}
+	if rep.Total() <= 0 {
+		t.Fatalf("total duration %v", rep.Total())
+	}
+	if rep.Bandwidth <= 0 {
+		t.Fatalf("bandwidth %v not recorded", rep.Bandwidth)
+	}
+	if rep.Solver != res.Solver {
+		t.Fatalf("report solver %v != result solver %v", rep.Solver, res.Solver)
+	}
+	if rep.Err != "" {
+		t.Fatalf("successful fit recorded error %q", rep.Err)
+	}
+	if len(rep.Fallbacks) != 0 {
+		t.Fatalf("healthy fit recorded fallbacks %+v", rep.Fallbacks)
+	}
+}
+
+func TestWithDiagnosticsReportIsReset(t *testing.T) {
+	x, y, labeled := robustTestData(4, 50, 12)
+	rep := Report{Err: "stale", Stages: []Stage{{Name: "stale"}}}
+	if _, err := Fit(x, y, labeled, WithDiagnostics(&rep)); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Err != "" || (len(rep.Stages) > 0 && rep.Stages[0].Name == "stale") {
+		t.Fatalf("report not reset: %+v", rep)
+	}
+}
+
+func TestDiagnosticsDoNotPerturbScores(t *testing.T) {
+	x, y, labeled := robustTestData(5, 70, 18)
+	plain, err := Fit(x, y, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	diag, err := Fit(x, y, labeled, WithDiagnostics(&rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Scores {
+		if plain.Scores[i] != diag.Scores[i] {
+			t.Fatalf("scores differ at %d with diagnostics enabled", i)
+		}
+	}
+}
+
+// TestFitFallbackRecordedInReport drives SolverAuto into its CG-first chain
+// with a starved iteration budget and checks the escalation shows up in the
+// public report.
+func TestFitFallbackRecordedInReport(t *testing.T) {
+	x, y, labeled := robustTestData(6, 80, 15)
+	before := expvarInt(t, "graphssl.fallbacks_total")
+	var rep Report
+	res, err := Fit(x, y, labeled,
+		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14), WithDiagnostics(&rep))
+	if err != nil {
+		t.Fatalf("fallback chain did not complete: %v", err)
+	}
+	if res.Solver != SolverCholesky {
+		t.Fatalf("settled on %v, want cholesky", res.Solver)
+	}
+	if len(rep.Plan) != 3 || rep.Plan[0] != SolverCG {
+		t.Fatalf("plan = %v", rep.Plan)
+	}
+	if len(rep.Fallbacks) != 1 || rep.Fallbacks[0].From != SolverCG || rep.Fallbacks[0].To != SolverCholesky {
+		t.Fatalf("fallbacks = %+v", rep.Fallbacks)
+	}
+	if rep.Fallbacks[0].Reason == "" {
+		t.Fatal("fallback recorded without a reason")
+	}
+	if rep.Health == nil {
+		t.Fatal("CG-first plan ran without a health probe")
+	}
+	if rep.Health.Unknowns != len(x)-len(labeled) {
+		t.Fatalf("health unknowns = %d, want %d", rep.Health.Unknowns, len(x)-len(labeled))
+	}
+	if got := expvarInt(t, "graphssl.fallbacks_total"); got != before+1 {
+		t.Fatalf("fallbacks_total %d -> %d, want +1", before, got)
+	}
+
+	// Determinism: the fallback decision is a pure function of the input.
+	var rep2 Report
+	res2, err := Fit(x, y, labeled,
+		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14), WithDiagnostics(&rep2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Solver != res.Solver || len(rep2.Fallbacks) != len(rep.Fallbacks) {
+		t.Fatal("fallback decision not reproducible")
+	}
+	for i := range res.Scores {
+		if res.Scores[i] != res2.Scores[i] {
+			t.Fatalf("fallback scores differ at %d across reruns", i)
+		}
+	}
+}
+
+func TestFitCountersMove(t *testing.T) {
+	x, y, labeled := robustTestData(7, 40, 10)
+	fits := expvarInt(t, "graphssl.fits_total")
+	errsBefore := expvarInt(t, "graphssl.fit_errors_total")
+	if _, err := Fit(x, y, labeled); err != nil {
+		t.Fatal(err)
+	}
+	if got := expvarInt(t, "graphssl.fits_total"); got != fits+1 {
+		t.Fatalf("fits_total %d -> %d, want +1", fits, got)
+	}
+	if _, err := Fit(x, y, labeled, WithBandwidth(-1)); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	if got := expvarInt(t, "graphssl.fit_errors_total"); got != errsBefore+1 {
+		t.Fatalf("fit_errors_total %d -> %d, want +1", errsBefore, got)
+	}
+}
+
+func TestReportCapturesErrors(t *testing.T) {
+	x, y, labeled := robustTestData(8, 30, 8)
+	var rep Report
+	_, err := Fit(x, y, labeled, WithBandwidth(-1), WithDiagnostics(&rep))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if rep.Err == "" {
+		t.Fatal("report did not capture the fit error")
+	}
+}

@@ -1,0 +1,80 @@
+package graphssl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/randx"
+	"repro/internal/synth"
+)
+
+// TestTheoremII1Consistency exercises the paper's Theorem II.1 at the public
+// API: with bandwidth h_n = c·n^{-1/(d+2)}, the hard-criterion estimate at
+// the unlabeled points converges to the regression function q(X) as the
+// labeled size n grows, and it stays glued to the Nadaraya–Watson estimate
+// (the two share a limit). The test averages a seeded handful of replicates
+// per n — enough to expose the trend while staying inside the tier-1 budget.
+func TestTheoremII1Consistency(t *testing.T) {
+	const (
+		c    = 1.3 // bandwidth scale for h_n = c·n^{-1/(d+2)}
+		m    = 30  // unlabeled points per replicate
+		reps = 6
+	)
+	ns := []int{30, 80, 200, 500}
+	exponent := -1.0 / float64(synth.Dim+2)
+
+	mse := make([]float64, len(ns))
+	supNW := make([]float64, len(ns))
+	root := randx.New(271)
+	for i, n := range ns {
+		h := c * math.Pow(float64(n), exponent)
+		var sumSq, maxGap float64
+		var count int
+		for rep := 0; rep < reps; rep++ {
+			ds, err := synth.Generate(root.Split(), synth.Model1, n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labeled := make([]int, n)
+			for j := range labeled {
+				labeled[j] = j
+			}
+			res, err := Fit(ds.X, ds.YLabeled(), labeled, WithBandwidth(h))
+			if err != nil {
+				t.Fatalf("n=%d rep=%d: %v", n, rep, err)
+			}
+			nw, unl, err := NadarayaWatson(ds.X, ds.YLabeled(), labeled, WithBandwidth(h))
+			if err != nil {
+				t.Fatalf("n=%d rep=%d NW: %v", n, rep, err)
+			}
+			q := ds.QUnlabeled()
+			for r, u := range unl {
+				d := res.Scores[u] - q[r]
+				sumSq += d * d
+				count++
+				if gap := math.Abs(res.Scores[u] - nw[r]); gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		mse[i] = sumSq / float64(count)
+		supNW[i] = maxGap
+		t.Logf("n=%4d h=%.4f  MSE(q)=%.5f  sup|hard-NW|=%.5f", n, h, mse[i], supNW[i])
+	}
+
+	// MSE against q(X) must trend down the ladder: each step may wobble by a
+	// small factor, and the endpoints must show a clear drop.
+	for i := 1; i < len(mse); i++ {
+		if mse[i] > mse[i-1]*1.10 {
+			t.Errorf("MSE rose from %.5f (n=%d) to %.5f (n=%d)", mse[i-1], ns[i-1], mse[i], ns[i])
+		}
+	}
+	if mse[len(mse)-1] > 0.6*mse[0] {
+		t.Errorf("MSE did not shrink: first %.5f, last %.5f", mse[0], mse[len(mse)-1])
+	}
+	// The hard criterion and Nadaraya–Watson share the Theorem II.1 limit, so
+	// their sup distance at the evaluation points must shrink too.
+	if supNW[len(supNW)-1] > 0.8*supNW[0] {
+		t.Errorf("sup|hard-NW| did not shrink: first %.5f, last %.5f", supNW[0], supNW[len(supNW)-1])
+	}
+}
