@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover
+.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover alloc-gate
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -25,9 +25,14 @@ race:
 race-concurrency:
 	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/...
 
+# Allocation-regression gate: the warm PCG/CG solve path (pooled workspace
+# + held destination) must stay at exactly zero heap allocations per solve.
+alloc-gate:
+	$(GO) test -run 'TestZeroAllocSolve' -v ./internal/sparse/ ./internal/precond/
+
 # The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
 # targets separately.
-ci: vet build race
+ci: vet build race alloc-gate
 
 # Full fuzz campaign for the public Fit pipeline (interrupt any time; new
 # crashers land in testdata/fuzz/FuzzFit/).

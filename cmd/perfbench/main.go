@@ -143,7 +143,7 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), or robust (pathological-input pipeline)")
+		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), or precond (CG vs Jacobi-PCG vs IC(0)-PCG)")
 		out     = flag.String("out", "", "output JSON path (default results/BENCH_<suite>.json)")
 		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
 		d       = flag.Int("d", 50, "point dimension (parallel suite)")
@@ -189,8 +189,15 @@ func main() {
 		runRobustSuite(*out)
 		return
 	}
+	if *suite == "precond" {
+		if *out == "" {
+			*out = "results/BENCH_precond.json"
+		}
+		runPrecondSuite(*out, *repeats)
+		return
+	}
 	if *suite != "parallel" {
-		log.Fatalf("unknown -suite %q (want parallel, spatial, or robust)", *suite)
+		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, or precond)", *suite)
 	}
 	if *out == "" {
 		*out = "results/BENCH_parallel.json"

@@ -206,9 +206,12 @@ func runRobustSuite(out string) {
 				res.Solver == graphssl.SolverCholesky && len(rep.Fallbacks) == 1
 		},
 		func(rep *graphssl.Report) (*graphssl.Result, error) {
+			// Jacobi keeps the one-iteration budget insufficient; IC(0) is
+			// exact on this dense-pattern system and would converge at once.
 			return graphssl.Fit(base, y, labeled,
 				graphssl.WithBandwidth(1), graphssl.WithAutoCutoff(1),
 				graphssl.WithMaxIter(1), graphssl.WithTolerance(1e-14),
+				graphssl.WithPreconditioner(graphssl.PrecondJacobi),
 				graphssl.WithDiagnostics(rep))
 		}))
 

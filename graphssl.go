@@ -47,6 +47,24 @@ const (
 	SolverPropagation = core.MethodPropagation
 )
 
+// Precond selects the preconditioner of CG-backed solves.
+type Precond = core.Precond
+
+// Supported preconditioners.
+const (
+	// PrecondAuto (the default) picks Jacobi at or below the auto cutoff and
+	// IC(0) with RCM reordering above it.
+	PrecondAuto = core.PrecondAuto
+	// PrecondJacobi forces diagonal scaling (the historical solve path,
+	// bit-for-bit).
+	PrecondJacobi = core.PrecondJacobi
+	// PrecondIC0 forces RCM-reordered zero-fill incomplete Cholesky, falling
+	// back to Jacobi if the factorization breaks down.
+	PrecondIC0 = core.PrecondIC0
+	// PrecondNone runs unpreconditioned CG.
+	PrecondNone = core.PrecondNone
+)
+
 type bandwidthRule int
 
 const (
@@ -64,6 +82,7 @@ type config struct {
 	solver      Solver
 	tol         float64
 	maxIter     int
+	precond     Precond         // CG preconditioner; zero value = auto
 	workers     int             // parallel compute layer: 0 = GOMAXPROCS, 1 = serial
 	distributed int             // >0: distributed propagation with this many workers
 	ctx         context.Context // nil = never canceled
@@ -127,6 +146,14 @@ func WithLambda(l float64) Option {
 // WithSolver selects the linear-algebra backend (default auto).
 func WithSolver(s Solver) Option {
 	return optionFunc(func(c *config) { c.solver = s })
+}
+
+// WithPreconditioner selects the preconditioner of CG-backed solves
+// (default PrecondAuto). Preconditioning changes only how fast CG
+// converges, never what it converges to; every choice is deterministic and
+// bitwise-stable across worker counts.
+func WithPreconditioner(p Precond) Option {
+	return optionFunc(func(c *config) { c.precond = p })
 }
 
 // WithTolerance sets the iterative-backend tolerance.
@@ -276,6 +303,7 @@ func fit(x [][]float64, y []float64, labeled []int, opts []Option) (*Result, *Re
 			core.WithTolerance(cfg.tol),
 			core.WithMaxIter(cfg.maxIter),
 			core.WithWorkers(cfg.workers),
+			core.WithPreconditioner(cfg.precond),
 		}
 		if cfg.ctx != nil {
 			solveOpts = append(solveOpts, core.WithContext(cfg.ctx))
@@ -297,6 +325,8 @@ func fit(x [][]float64, y []float64, labeled []int, opts []Option) (*Result, *Re
 		r.Solver = sol.Method
 		r.Iterations = sol.Iterations
 		r.Residual = sol.Residual
+		r.Precond = sol.Precond
+		r.PrecondSetup = sol.PrecondSetup
 		r.fromTrace(sol.Trace)
 	}
 

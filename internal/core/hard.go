@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/mat"
 	"repro/internal/parallel"
@@ -47,6 +48,41 @@ func (m Method) String() string {
 	}
 }
 
+// Precond selects the preconditioner of CG-backed solves.
+type Precond int
+
+// Available preconditioners.
+const (
+	// PrecondAuto (the default) resolves from the system size: Jacobi at or
+	// below the auto cutoff — the historical, bit-reproducible path — and
+	// IC(0) with RCM reordering above it, where the stronger preconditioner
+	// pays for its setup.
+	PrecondAuto Precond = iota
+	// PrecondJacobi forces diagonal scaling.
+	PrecondJacobi
+	// PrecondIC0 forces zero-fill incomplete Cholesky wrapped in an RCM
+	// reordering; the factorization falls back to Jacobi on breakdown.
+	PrecondIC0
+	// PrecondNone runs unpreconditioned CG.
+	PrecondNone
+)
+
+// String returns the preconditioner name.
+func (p Precond) String() string {
+	switch p {
+	case PrecondAuto:
+		return "auto"
+	case PrecondJacobi:
+		return "jacobi"
+	case PrecondIC0:
+		return "ic0"
+	case PrecondNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Precond(%d)", int(p))
+	}
+}
+
 // SolveOption customizes a solve.
 type SolveOption interface {
 	apply(*solveConfig)
@@ -60,6 +96,7 @@ type solveConfig struct {
 	ctx        context.Context
 	autoCutoff int
 	probe      bool
+	precond    Precond
 }
 
 type solveOptionFunc func(*solveConfig)
@@ -108,6 +145,15 @@ func WithAutoCutoff(n int) SolveOption {
 	return solveOptionFunc(func(c *solveConfig) { c.autoCutoff = n })
 }
 
+// WithPreconditioner selects the preconditioner of CG-backed solves
+// (default PrecondAuto). It affects only how fast CG converges, never what
+// it converges to: each choice is deterministic, and results stay
+// bitwise-identical across worker counts. PrecondJacobi reproduces the
+// historical solve path bit for bit.
+func WithPreconditioner(p Precond) SolveOption {
+	return solveOptionFunc(func(c *solveConfig) { c.precond = p })
+}
+
 // WithHealthProbe forces the pre-solve health probe to run even for small
 // MethodAuto systems (where the plan would not need it), so the resulting
 // trace carries conditioning diagnostics. Probing never changes the
@@ -141,6 +187,13 @@ type Solution struct {
 	Iterations int
 	// Residual is the final relative residual of iterative backends.
 	Residual float64
+	// Precond identifies the preconditioner of CG-backed solves ("jacobi",
+	// "ic0+rcm", "jacobi+rcm" after an IC(0) breakdown, "none"); empty for
+	// direct backends.
+	Precond string
+	// PrecondSetup is the wall time spent building the preconditioner and
+	// any reordering (reporting only; zero for the built-in Jacobi path).
+	PrecondSetup time.Duration
 	// Trace documents the backend pipeline for MethodAuto solves (health
 	// probe, plan, attempts, fallbacks); nil for explicitly chosen
 	// backends.
@@ -224,6 +277,7 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 		fu     []float64
 		res    sparse.SolveResult
 		trace  *SolveTrace
+		cgOut  cgOutcome
 		method = cfg.method
 	)
 	switch cfg.method {
@@ -238,7 +292,7 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 	case MethodLU:
 		fu, err = mat.SolveLU(sys.a.ToDense(), sys.b)
 	case MethodCG:
-		fu, res, err = sparse.CG(sys.a, sys.b, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers, Ctx: cfg.ctx})
+		fu, res, cgOut, err = solveCG(cfg.ctx, sys.a, sys.b, cfg, 0)
 	case MethodPropagation:
 		fu, res, err = propagate(cfg.ctx, sys, cfg.tol, cfg.maxIter, cfg.workers)
 	default:
@@ -255,6 +309,9 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 	}
 	sol := assembleSolution(p, fu, 0, method, res)
 	sol.Trace = trace
+	sol.Precond = cgOut.name
+	sol.PrecondSetup = cgOut.setup
+	applyTraceOutcome(sol, trace)
 	return sol, nil
 }
 

@@ -170,6 +170,12 @@ type Attempt struct {
 	// Duration is the attempt's wall time (reporting only; never feeds
 	// decisions).
 	Duration time.Duration
+	// Precond identifies the preconditioner of CG attempts ("jacobi",
+	// "ic0+rcm", "jacobi+rcm", "none"); empty for direct backends.
+	Precond string
+	// PrecondSetup is the preconditioner construction wall time (reporting
+	// only).
+	PrecondSetup time.Duration
 }
 
 // SolveTrace documents how a solve arrived at its answer: the health probe
@@ -226,7 +232,7 @@ func planAuto(h *Health, n, cutoff int) ([]Method, string) {
 	if h.ConditionProxy > condProxyCGMax {
 		return []Method{MethodCholesky, MethodLU}, fmt.Sprintf("condition proxy %.3g > %.0g: direct dense", h.ConditionProxy, float64(condProxyCGMax))
 	}
-	return []Method{MethodCG, MethodCholesky, MethodLU}, "large well-conditioned system: iterative first"
+	return []Method{MethodCG, MethodCholesky, MethodLU}, "large well-conditioned system: preconditioned CG first"
 }
 
 // runChain executes the MethodAuto pipeline on A x = b: probe (for large
@@ -262,8 +268,15 @@ func runChain(ctx context.Context, a *sparse.CSR, b []float64, cfg solveConfig) 
 			})
 		}
 		start := time.Now()
-		x, res, err := runBackend(ctx, m, a, b, cfg)
-		att := Attempt{Method: m, Iterations: res.Iterations, Residual: res.Residual, Duration: time.Since(start)}
+		x, res, out, err := runBackend(ctx, m, a, b, cfg)
+		att := Attempt{
+			Method:       m,
+			Iterations:   res.Iterations,
+			Residual:     res.Residual,
+			Duration:     time.Since(start),
+			Precond:      out.name,
+			PrecondSetup: out.setup,
+		}
 		if err != nil {
 			att.Err = err.Error()
 		}
@@ -288,30 +301,24 @@ func runChain(ctx context.Context, a *sparse.CSR, b []float64, cfg solveConfig) 
 
 // runBackend executes one backend of the chain. The CG head runs with
 // stagnation and divergence detection so pathological systems fail fast and
-// escalate; direct backends densify and factorize.
-func runBackend(ctx context.Context, m Method, a *sparse.CSR, b []float64, cfg solveConfig) ([]float64, sparse.SolveResult, error) {
+// escalate, and resolves its preconditioner through solveCG (IC(0)+RCM
+// above the cutoff by default); direct backends densify and factorize.
+func runBackend(ctx context.Context, m Method, a *sparse.CSR, b []float64, cfg solveConfig) ([]float64, sparse.SolveResult, cgOutcome, error) {
 	switch m {
 	case MethodCG:
-		return sparse.CG(a, b, sparse.CGOptions{
-			Tol:              cfg.tol,
-			MaxIter:          cfg.maxIter,
-			Precondition:     true,
-			Workers:          cfg.workers,
-			Ctx:              ctx,
-			StagnationWindow: chainStagnationWindow,
-		})
+		return solveCG(ctx, a, b, cfg, chainStagnationWindow)
 	case MethodCholesky:
 		ch, err := mat.NewCholesky(a.ToDense())
 		if err != nil {
-			return nil, sparse.SolveResult{}, err
+			return nil, sparse.SolveResult{}, cgOutcome{}, err
 		}
 		x, err := ch.Solve(b)
-		return x, sparse.SolveResult{}, err
+		return x, sparse.SolveResult{}, cgOutcome{}, err
 	case MethodLU:
 		x, err := mat.SolveLU(a.ToDense(), b)
-		return x, sparse.SolveResult{}, err
+		return x, sparse.SolveResult{}, cgOutcome{}, err
 	default:
-		return nil, sparse.SolveResult{}, fmt.Errorf("core: backend %v not usable in auto chain: %w", m, ErrParam)
+		return nil, sparse.SolveResult{}, cgOutcome{}, fmt.Errorf("core: backend %v not usable in auto chain: %w", m, ErrParam)
 	}
 }
 

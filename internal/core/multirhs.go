@@ -81,22 +81,40 @@ func (f *HardFactorization) SolveY(y []float64) (*Solution, error) {
 
 // rhs assembles W21·y for an arbitrary response vector on the labeled set.
 func (f *HardFactorization) rhs(y []float64) ([]float64, error) {
+	b := make([]float64, f.p.M())
+	f.rhsInto(b, make([]float64, f.p.g.N()), y)
+	return b, nil
+}
+
+// rhsInto assembles W21·y into b using yAt (length N of the graph) as the
+// label-scatter scratch. Both buffers are fully overwritten, so multi-RHS
+// loops reuse them across columns without reallocating.
+func (f *HardFactorization) rhsInto(b, yAt, y []float64) {
 	w := f.p.g.Weights()
-	nTotal := f.p.g.N()
-	yAt := make([]float64, nTotal)
+	for i := range yAt {
+		yAt[i] = 0
+	}
 	for k, l := range f.p.labeled {
 		yAt[l] = y[k]
 	}
-	b := make([]float64, f.p.M())
 	for k, u := range f.p.unlabeled {
 		cols, vals := w.RowNNZ(u)
+		var s float64
 		for c, j := range cols {
 			if f.p.isLabeled[j] {
-				b[k] += vals[c] * yAt[j]
+				s += vals[c] * yAt[j]
 			}
 		}
+		b[k] = s
 	}
-	return b, nil
+}
+
+// solveTo solves the factored system into dst without allocating.
+func (f *HardFactorization) solveTo(dst, b []float64) error {
+	if f.chol != nil {
+		return f.chol.SolveTo(dst, b)
+	}
+	return f.lu.SolveTo(dst, b)
 }
 
 // SolveColumns solves the hard criterion for every column of Y
@@ -120,17 +138,24 @@ func (f *HardFactorization) SolveColumnsWorkers(y *mat.Dense, workers int) (*mat
 	blocks := parallel.Split(k, parallel.Workers(workers))
 	errs := make([]error, len(blocks))
 	parallel.ForBlocks(workers, blocks, func(bi int, blk parallel.Block) {
+		// Per-block scratch reused across the block's columns — the response
+		// column, the label scatter, the right-hand side, and the solved
+		// scores — so a w-worker solve of k columns allocates O(w) buffers,
+		// not O(k). The arithmetic is identical to SolveY's column by column.
 		col := make([]float64, rows)
+		yAt := make([]float64, f.p.g.N())
+		b := make([]float64, f.M())
+		fu := make([]float64, f.M())
 		for c := blk.Lo; c < blk.Hi; c++ {
 			for i := 0; i < rows; i++ {
 				col[i] = y.At(i, c)
 			}
-			sol, err := f.SolveY(col)
-			if err != nil {
-				errs[bi] = err
+			f.rhsInto(b, yAt, col)
+			if err := f.solveTo(fu, b); err != nil {
+				errs[bi] = fmt.Errorf("core: SolveColumns column %d: %w: %w", c, ErrSolver, err)
 				return
 			}
-			for i, v := range sol.FUnlabeled {
+			for i, v := range fu {
 				out.Set(i, c, v)
 			}
 		}

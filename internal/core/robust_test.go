@@ -139,7 +139,10 @@ func TestPlanAutoIsPureAndSizeGated(t *testing.T) {
 // completes via the dense fallback, with the escalation recorded.
 func TestAutoFallbackChainCompletes(t *testing.T) {
 	p := gaussProblem(t, 7, 10, 40)
-	sol, err := SolveHard(p, WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14))
+	// Jacobi keeps the one-iteration budget insufficient; IC(0) is exact on
+	// this dense-pattern system and would converge immediately.
+	sol, err := SolveHard(p, WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14),
+		WithPreconditioner(PrecondJacobi))
 	if err != nil {
 		t.Fatalf("chain did not complete: %v", err)
 	}

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/mat"
+	"repro/internal/precond"
 	"repro/internal/sparse"
 )
 
@@ -60,6 +63,7 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 		f      []float64
 		res    sparse.SolveResult
 		trace  *SolveTrace
+		cgOut  cgOutcome
 		method = cfg.method
 	)
 	switch cfg.method {
@@ -74,7 +78,7 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 	case MethodLU:
 		f, err = mat.SolveLU(a.ToDense(), rhs)
 	case MethodCG:
-		f, res, err = sparse.CG(a, rhs, sparse.CGOptions{Tol: cfg.tol, MaxIter: cfg.maxIter, Precondition: true, Workers: cfg.workers, Ctx: cfg.ctx})
+		f, res, cgOut, err = solveCG(cfg.ctx, a, rhs, cfg, 0)
 	case MethodPropagation:
 		return nil, fmt.Errorf("core: propagation applies to the hard criterion only: %w", ErrParam)
 	default:
@@ -96,15 +100,19 @@ func SolveSoft(p *Problem, lambda float64, opts ...SolveOption) (*Solution, erro
 	}
 	full := make([]float64, len(f))
 	copy(full, f)
-	return &Solution{
-		F:          full,
-		FUnlabeled: fu,
-		Lambda:     lambda,
-		Method:     method,
-		Iterations: res.Iterations,
-		Residual:   res.Residual,
-		Trace:      trace,
-	}, nil
+	sol := &Solution{
+		F:            full,
+		FUnlabeled:   fu,
+		Lambda:       lambda,
+		Method:       method,
+		Iterations:   res.Iterations,
+		Residual:     res.Residual,
+		Precond:      cgOut.name,
+		PrecondSetup: cgOut.setup,
+		Trace:        trace,
+	}
+	applyTraceOutcome(sol, trace)
+	return sol, nil
 }
 
 // SoftObjective evaluates the paper's Eq. 2 objective
@@ -167,6 +175,15 @@ type LambdaPathPoint struct {
 // per-λ SolveSoft. Results are bitwise-identical across worker counts, and
 // independent of how lambdas interleave zeros (λ = 0 solutions never enter
 // the warm-start chain).
+//
+// The CSR wrapper, solver workspace, and warm-start buffer persist across
+// the whole path, so the steady state of a sweep allocates only the
+// per-point result copies. The default preconditioner is the historical
+// warm Jacobi path, kept bit-for-bit reproducible; WithPreconditioner
+// (PrecondIC0) switches to an RCM-reordered IC(0) factorization that is
+// built once and numerically refreshed per λ, which cuts iteration counts
+// severalfold on ill-conditioned paths (small bandwidth, large λ) at the
+// cost of breaking bitwise compatibility with the Jacobi iterates.
 func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPathPoint, error) {
 	if len(lambdas) == 0 {
 		return nil, fmt.Errorf("core: empty lambda sweep: %w", ErrParam)
@@ -226,9 +243,45 @@ func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPath
 		indptr[i+1] = len(indices)
 	}
 	data := make([]float64, len(indices))
+	// The CSR wrapper aliases data, so each λ is a pure in-place refill; the
+	// structure is validated exactly once for the whole path.
+	a, err := sparse.NewCSR(nTotal, nTotal, indptr, indices, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: lambda sweep assembly: %w", err)
+	}
+
+	// IC(0) sweeps reorder once with RCM and refactor numerically per λ
+	// (fixed pattern, fixed permutation); warm starts then live in permuted
+	// coordinates for the whole path.
+	useIC0 := cfg.precond == PrecondIC0
+	var (
+		perm, posMap []int
+		pa           *sparse.CSR
+		prhs, fbuf   []float64
+		pstate       sweepPrecondState
+	)
+	if useIC0 {
+		perm, err = sparse.RCM(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: lambda sweep reordering: %w", err)
+		}
+		pa, posMap, err = a.PermuteMap(perm)
+		if err != nil {
+			return nil, fmt.Errorf("core: lambda sweep reordering: %w", err)
+		}
+		prhs = make([]float64, nTotal)
+		sparse.PermuteVecTo(prhs, rhs, perm)
+		fbuf = make([]float64, nTotal)
+	}
+
+	// One workspace and one solution buffer persist across the path: each
+	// λ > 0 solve warm-starts from — and overwrites — xbuf.
+	ws := sparse.GetWorkspace(nTotal)
+	defer ws.Release()
+	xbuf := make([]float64, nTotal)
+	var warm []float64 // nil before the first λ > 0 solve
 
 	out := make([]LambdaPathPoint, 0, len(lambdas))
-	var warm []float64
 	for _, l := range lambdas {
 		if l == 0 {
 			sol, err := SolveHard(p, opts...)
@@ -241,18 +294,42 @@ func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPath
 		for k := range data {
 			data[k] = l*lapVal[k] + vAdd[k]
 		}
-		a, err := sparse.NewCSR(nTotal, nTotal, indptr, indices, data)
-		if err != nil {
-			return nil, fmt.Errorf("core: lambda sweep assembly: %w", err)
+		popts := sparse.PCGOptions{
+			CGOptions: sparse.CGOptions{
+				Tol:     cfg.tol,
+				MaxIter: cfg.maxIter,
+				X0:      warm,
+				Workers: cfg.workers,
+				Ctx:     cfg.ctx,
+			},
+			Dst: xbuf,
+			Ws:  ws,
 		}
-		f, res, err := sparse.CG(a, rhs, sparse.CGOptions{
-			Tol:          cfg.tol,
-			MaxIter:      cfg.maxIter,
-			Precondition: true,
-			X0:           warm,
-			Workers:      cfg.workers,
-			Ctx:          cfg.ctx,
-		})
+		sys, b := a, rhs
+		name := "jacobi"
+		var setup time.Duration
+		switch {
+		case useIC0:
+			setupStart := time.Now()
+			if err := pa.RefillPermuted(a, posMap); err != nil {
+				return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w", l, err)
+			}
+			m, pname, err := pstate.refresh(pa)
+			if err != nil {
+				return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w: %w", l, ErrSolver, err)
+			}
+			popts.M = m
+			name = pname
+			setup = time.Since(setupStart)
+			sys, b = pa, prhs
+		case cfg.precond == PrecondNone:
+			name = "none"
+		default:
+			// PrecondAuto / PrecondJacobi: the historical warm-started
+			// Jacobi-CG arithmetic, bit for bit.
+			popts.Precondition = true
+		}
+		f, res, err := sparse.PCG(sys, b, popts)
 		if err == nil && !finiteVec(f) {
 			err = fmt.Errorf("core: CG produced non-finite values: %w", mat.ErrSingular)
 		}
@@ -262,23 +339,80 @@ func SoftSweep(p *Problem, lambdas []float64, opts ...SolveOption) ([]LambdaPath
 			}
 			return nil, fmt.Errorf("core: lambda sweep at λ=%v: %w: %w", l, ErrSolver, err)
 		}
-		warm = f
+		warm = f // f aliases xbuf
+		fvals := f
+		if useIC0 {
+			sparse.UnpermuteVecTo(fbuf, f, perm)
+			fvals = fbuf
+		}
 		fu := make([]float64, p.M())
 		for k, u := range p.unlabeled {
-			fu[k] = f[u]
+			fu[k] = fvals[u]
 		}
-		full := make([]float64, len(f))
-		copy(full, f)
+		full := make([]float64, len(fvals))
+		copy(full, fvals)
 		out = append(out, LambdaPathPoint{Lambda: l, Solution: &Solution{
-			F:          full,
-			FUnlabeled: fu,
-			Lambda:     l,
-			Method:     MethodCG,
-			Iterations: res.Iterations,
-			Residual:   res.Residual,
+			F:            full,
+			FUnlabeled:   fu,
+			Lambda:       l,
+			Method:       MethodCG,
+			Iterations:   res.Iterations,
+			Residual:     res.Residual,
+			Precond:      name,
+			PrecondSetup: setup,
 		}})
 	}
 	return out, nil
+}
+
+// sweepPrecondState carries the λ-sweep preconditioner across refills:
+// IC(0) while the factorization holds, Jacobi permanently after a breakdown
+// (a breakdown at one λ means nearby λ are equally hostile, and flapping
+// between preconditioners would waste refactorization work).
+type sweepPrecondState struct {
+	ic     *precond.IC0
+	jac    *precond.Jacobi
+	broken bool
+}
+
+// refresh builds or numerically refreshes the preconditioner for the
+// current values of the permuted sweep matrix.
+func (s *sweepPrecondState) refresh(pa *sparse.CSR) (sparse.Preconditioner, string, error) {
+	if !s.broken {
+		switch {
+		case s.ic == nil:
+			f, err := precond.NewIC0(pa)
+			if err == nil {
+				s.ic = f
+				return f, "ic0+rcm", nil
+			}
+			if !errors.Is(err, precond.ErrBreakdown) {
+				return nil, "", err
+			}
+			s.broken = true
+		default:
+			err := s.ic.Update(pa)
+			if err == nil {
+				return s.ic, "ic0+rcm", nil
+			}
+			if !errors.Is(err, precond.ErrBreakdown) {
+				return nil, "", err
+			}
+			s.broken = true
+		}
+	}
+	if s.jac == nil {
+		j, err := precond.NewJacobi(pa)
+		if err != nil {
+			return nil, "", err
+		}
+		s.jac = j
+		return j, "jacobi+rcm", nil
+	}
+	if err := s.jac.Update(pa); err != nil {
+		return nil, "", err
+	}
+	return s.jac, "jacobi+rcm", nil
 }
 
 // LambdaPath solves the soft criterion for each λ in lambdas (0 allowed; it

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/kernel"
+	"repro/internal/randx"
+	"repro/internal/sparse"
+	"repro/internal/synth"
+)
+
+// TestRCMBandwidthOnFigureGraphs builds one representative similarity graph
+// per figure configuration (Figures 1–4: both response models, both sweep
+// shapes) and checks that RCM never increases the Laplacian bandwidth —
+// the property the reordered IC(0) solve path relies on. Each graph is
+// tested dense (the figures' RBF graph) and kNN-sparsified (where
+// reordering has real structure to exploit).
+func TestRCMBandwidthOnFigureGraphs(t *testing.T) {
+	cases := []struct {
+		name  string
+		model synth.Model
+		n, m  int
+	}{
+		{"fig1", synth.Model1, 200, 30},
+		{"fig2", synth.Model1, 100, 300},
+		{"fig3", synth.Model2, 200, 30},
+		{"fig4", synth.Model2, 100, 300},
+	}
+	for _, c := range cases {
+		rng := randx.New(77)
+		ds, err := synth.Generate(rng, c.model, c.n, c.m)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		h, err := kernel.PaperBandwidth(c.n, synth.Dim)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		k := kernel.MustNew(kernel.Gaussian, h)
+		for _, knn := range []int{0, 8} {
+			opts := []graph.Option{}
+			if knn > 0 {
+				opts = append(opts, graph.WithKNN(knn))
+			}
+			builder, err := graph.NewBuilder(k, opts...)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			g, err := builder.Build(ds.X)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			lap, err := g.Laplacian(graph.Unnormalized)
+			if err != nil {
+				t.Fatalf("%s: %v", c.name, err)
+			}
+			perm, err := sparse.RCM(lap)
+			if err != nil {
+				t.Fatalf("%s knn=%d: RCM: %v", c.name, knn, err)
+			}
+			pl, err := lap.Permute(perm)
+			if err != nil {
+				t.Fatalf("%s knn=%d: permute: %v", c.name, knn, err)
+			}
+			if got, orig := pl.Bandwidth(), lap.Bandwidth(); got > orig {
+				t.Fatalf("%s knn=%d: RCM increased bandwidth %d -> %d", c.name, knn, orig, got)
+			}
+		}
+	}
+}

@@ -45,11 +45,23 @@ func (c *Cholesky) L() *Dense { return c.l.Clone() }
 
 // Solve solves A x = b.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	n := c.l.rows
-	if len(b) != n {
-		return nil, ErrShape
+	x := make([]float64, c.l.rows)
+	if err := c.SolveTo(x, b); err != nil {
+		return nil, err
 	}
-	x := CloneVec(b)
+	return x, nil
+}
+
+// SolveTo solves A x = b into dst without allocating. dst may alias b (the
+// substitution runs in place). Multi-RHS loops reuse one dst across
+// columns.
+func (c *Cholesky) SolveTo(dst, b []float64) error {
+	n := c.l.rows
+	if len(b) != n || len(dst) != n {
+		return ErrShape
+	}
+	x := dst
+	copy(x, b)
 	// Forward: L y = b.
 	for i := 0; i < n; i++ {
 		row := c.l.data[i*n : i*n+i]
@@ -63,7 +75,7 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = s / c.l.data[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMatrix solves A X = B column by column.

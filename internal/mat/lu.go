@@ -65,11 +65,21 @@ func (f *LU) Order() int { return f.lu.rows }
 
 // Solve solves A x = b for a single right-hand side.
 func (f *LU) Solve(b []float64) ([]float64, error) {
-	n := f.lu.rows
-	if len(b) != n {
-		return nil, ErrShape
+	x := make([]float64, f.lu.rows)
+	if err := f.SolveTo(x, b); err != nil {
+		return nil, err
 	}
-	x := make([]float64, n)
+	return x, nil
+}
+
+// SolveTo solves A x = b into dst without allocating. dst must not alias b:
+// the pivot permutation reads b while dst is being written.
+func (f *LU) SolveTo(dst, b []float64) error {
+	n := f.lu.rows
+	if len(b) != n || len(dst) != n {
+		return ErrShape
+	}
+	x := dst
 	// Apply the permutation: x = P b.
 	for i, p := range f.piv {
 		x[i] = b[p]
@@ -85,7 +95,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 		s := x[i] - Dot(row[i+1:], x[i+1:])
 		x[i] = s / row[i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveMatrix solves A X = B column by column.

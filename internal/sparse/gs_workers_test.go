@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGaussSeidelWorkersConvergesToSerialFixedPoint: every worker count
+// runs a different (but fixed) update schedule, so iterates differ — the
+// solutions must still agree within tolerance.
+func TestGaussSeidelWorkersConvergesToSerialFixedPoint(t *testing.T) {
+	a, b := zeroAllocSystem(t)
+	serial, _, err := GaussSeidel(a, b, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, 8} {
+		x, _, err := GaussSeidelWorkers(a, b, 1e-12, 100000, w)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		for i := range x {
+			if d := math.Abs(x[i] - serial[i]); d > 1e-9*(1+math.Abs(serial[i])) {
+				t.Fatalf("workers=%d differs from serial at %d: %g vs %g", w, i, x[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestGaussSeidelWorkersDeterministicPerCount: any fixed worker count is a
+// pure function of the input — rerunning must reproduce bit-identical
+// output.
+func TestGaussSeidelWorkersDeterministicPerCount(t *testing.T) {
+	a, b := zeroAllocSystem(t)
+	for _, w := range []int{1, 2, 4} {
+		x1, r1, err := GaussSeidelWorkers(a, b, 1e-12, 100000, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, r2, err := GaussSeidelWorkers(a, b, 1e-12, 100000, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Iterations != r2.Iterations {
+			t.Fatalf("workers=%d iteration counts differ: %d vs %d", w, r1.Iterations, r2.Iterations)
+		}
+		for i := range x1 {
+			if x1[i] != x2[i] {
+				t.Fatalf("workers=%d rerun differs at %d", w, i)
+			}
+		}
+	}
+}
+
+// TestGaussSeidelSerialPathPinned: the one-worker entry points all run the
+// historical serial sweep bit-for-bit.
+func TestGaussSeidelSerialPathPinned(t *testing.T) {
+	a, b := zeroAllocSystem(t)
+	x1, _, err := GaussSeidel(a, b, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2, _, err := GaussSeidelWorkers(a, b, 1e-12, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x3, _, err := GaussSeidelCtx(nil, a, b, 1e-12, 100000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x1 {
+		if x1[i] != x2[i] || x1[i] != x3[i] {
+			t.Fatalf("serial entry points diverge at %d", i)
+		}
+	}
+}

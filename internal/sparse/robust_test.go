@@ -60,7 +60,7 @@ func TestIterativeSolversCancelMidSolve(t *testing.T) {
 			return r, err
 		}},
 		{"gauss-seidel", func(ctx context.Context) (SolveResult, error) {
-			_, r, err := GaussSeidelCtx(ctx, a, b, 1e-14, 100000)
+			_, r, err := GaussSeidelCtx(ctx, a, b, 1e-14, 100000, 1)
 			return r, err
 		}},
 	}

@@ -29,6 +29,15 @@ type SolveResult struct {
 	Residual float64
 }
 
+// Preconditioner applies an approximate inverse of the system matrix:
+// dst = M⁻¹ r. Implementations live in internal/precond (Jacobi scaling,
+// zero-fill incomplete Cholesky); dst and r never alias and are fully
+// overwritten. Apply must be deterministic — PCG's bitwise-reproducibility
+// contract extends through it.
+type Preconditioner interface {
+	Apply(dst, r []float64)
+}
+
 // CGOptions configures the conjugate gradient solver.
 type CGOptions struct {
 	// Tol is the relative residual target; default 1e-10.
@@ -63,6 +72,25 @@ type CGOptions struct {
 	DivergeFactor float64
 }
 
+// PCGOptions configures the preconditioned conjugate gradient solver. The
+// embedded CGOptions carry the shared iteration controls (tolerance, caps,
+// workers, context, stagnation/divergence guards).
+type PCGOptions struct {
+	CGOptions
+	// M is the preconditioner; nil runs plain CG (or Jacobi when the
+	// embedded Precondition flag is set, exactly as CG does).
+	M Preconditioner
+	// Dst, when non-nil, receives the solution (len n) and is returned as
+	// x, so warm repeated solves allocate nothing for the result vector.
+	// May alias X0 (the warm-start idiom: solve in place of the previous
+	// solution).
+	Dst []float64
+	// Ws supplies the scratch vectors. nil draws one from the internal
+	// size-bucketed pool for the duration of the call. Passing an explicit
+	// workspace across repeated solves makes the warm path allocation-free.
+	Ws *Workspace
+}
+
 func (o *CGOptions) fill(n int) error {
 	if o.Tol <= 0 {
 		o.Tol = 1e-10
@@ -93,9 +121,36 @@ func ctxErr(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// Workspace scratch-slot layout for the CG/PCG engine.
+const (
+	wsCGResidual = iota
+	wsCGPrecond
+	wsCGDirection
+	wsCGMatVec
+	wsCGInvDiag
+	wsCGSolution
+	wsSweepPrev // Jacobi / Gauss–Seidel sweep buffers reuse the tail slots
+	wsSweepNext
+	wsSweepResidual
+)
+
 // CG solves A x = b for a symmetric positive definite CSR matrix using the
-// conjugate gradient method, optionally with Jacobi preconditioning.
+// conjugate gradient method, optionally with Jacobi preconditioning. It is
+// the unpreconditioned/Jacobi façade over the PCG engine; the iterates are
+// bit-for-bit those of the historical CG implementation.
 func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
+	return PCG(a, b, PCGOptions{CGOptions: opts})
+}
+
+// PCG solves A x = b by preconditioned conjugate gradient. With M == nil it
+// degenerates to CG (identity preconditioner, or Jacobi when
+// opts.Precondition is set). The engine draws every scratch vector from a
+// Workspace, so a caller holding one (plus Dst) across repeated solves —
+// λ sweeps, one-vs-rest right-hand sides — runs with zero steady-state heap
+// allocation. Iterates are bitwise-identical across worker counts: only the
+// matrix-vector products parallelize, with fixed per-row accumulation
+// order.
+func PCG(a *CSR, b []float64, opts PCGOptions) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
 		return nil, SolveResult{}, ErrShape
@@ -103,11 +158,20 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 	if err := opts.fill(n); err != nil {
 		return nil, SolveResult{}, err
 	}
+	if opts.Dst != nil && len(opts.Dst) != n {
+		return nil, SolveResult{}, ErrShape
+	}
+	ws := opts.Ws
+	if ws == nil {
+		ws = GetWorkspace(n)
+		defer ws.Release()
+	}
 
 	var invDiag []float64
-	if opts.Precondition {
-		invDiag = make([]float64, n)
-		for i, d := range a.Diag() {
+	if opts.M == nil && opts.Precondition {
+		invDiag = ws.vec(wsCGInvDiag, n)
+		a.DiagTo(invDiag)
+		for i, d := range invDiag {
 			if d == 0 {
 				return nil, SolveResult{}, ErrZeroDiagonal
 			}
@@ -115,11 +179,18 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 		}
 	}
 
-	x := make([]float64, n)
+	x := opts.Dst
+	if x == nil {
+		x = make([]float64, n)
+	}
 	if opts.X0 != nil {
 		copy(x, opts.X0)
+	} else {
+		for i := range x {
+			x[i] = 0
+		}
 	}
-	r := make([]float64, n)
+	r := ws.vec(wsCGResidual, n)
 	if err := a.MulVecToWorkers(r, x, opts.Workers); err != nil {
 		return nil, SolveResult{}, err
 	}
@@ -131,20 +202,24 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 		bnorm = 1
 	}
 
-	z := make([]float64, n)
-	applyPrec := func() {
-		if invDiag == nil {
+	z := ws.vec(wsCGPrecond, n)
+	applyM := func() {
+		switch {
+		case opts.M != nil:
+			opts.M.Apply(z, r)
+		case invDiag != nil:
+			for i := range z {
+				z[i] = invDiag[i] * r[i]
+			}
+		default:
 			copy(z, r)
-			return
-		}
-		for i := range z {
-			z[i] = invDiag[i] * r[i]
 		}
 	}
-	applyPrec()
-	p := mat.CloneVec(z)
+	applyM()
+	p := ws.vec(wsCGDirection, n)
+	copy(p, z)
 	rz := mat.Dot(r, z)
-	ap := make([]float64, n)
+	ap := ws.vec(wsCGMatVec, n)
 
 	res := mat.Norm2(r) / bnorm
 	res0 := res
@@ -178,7 +253,7 @@ func CG(a *CSR, b []float64, opts CGOptions) ([]float64, SolveResult, error) {
 		mat.AXPY(alpha, p, x)
 		mat.AXPY(-alpha, ap, r)
 		res = mat.Norm2(r) / bnorm
-		applyPrec()
+		applyM()
 		rzNew := mat.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
@@ -212,6 +287,8 @@ func JacobiWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]fl
 
 // JacobiCtx is JacobiWorkers with cooperative cancellation: a done context
 // aborts with ctx.Err() within one sweep. A nil context never cancels.
+// Scratch vectors come from the pooled solver workspace, so repeated calls
+// reach a zero steady-state-allocation regime.
 func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
@@ -223,7 +300,10 @@ func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, w
 	if maxIter <= 0 {
 		maxIter = 10000
 	}
-	diag := a.Diag()
+	ws := GetWorkspace(n)
+	defer ws.Release()
+	diag := ws.vec(wsCGInvDiag, n)
+	a.DiagTo(diag)
 	for _, d := range diag {
 		if d == 0 {
 			return nil, SolveResult{}, ErrZeroDiagonal
@@ -233,25 +313,40 @@ func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, w
 	if bnorm == 0 {
 		bnorm = 1
 	}
-	x := make([]float64, n)
-	next := make([]float64, n)
-	r := make([]float64, n)
+	// Both ping-pong iterates live in the workspace; the converged iterate is
+	// copied into a fresh caller-owned slice on return (the only per-solve
+	// allocation besides the workspace's first warm-up).
+	x := ws.vec(wsSweepPrev, n)
+	for i := range x {
+		x[i] = 0
+	}
+	next := ws.vec(wsSweepNext, n)
+	r := ws.vec(wsSweepResidual, n)
+	out := func(v []float64) []float64 {
+		o := make([]float64, n)
+		copy(o, v)
+		return o
+	}
+	// One closure for every sweep: it reads x through the captured variable,
+	// which the swap below retargets, so the per-iteration loop allocates
+	// nothing.
+	sweep := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cols, vals := a.RowNNZ(i)
+			s := b[i]
+			for k, j := range cols {
+				if j != i {
+					s -= vals[k] * x[j]
+				}
+			}
+			next[i] = s / diag[i]
+		}
+	}
 	for it := 0; it < maxIter; it++ {
 		if err := ctxErr(ctx); err != nil {
-			return x, SolveResult{Iterations: it}, err
+			return out(x), SolveResult{Iterations: it}, err
 		}
-		parallel.For(workers, n, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				cols, vals := a.RowNNZ(i)
-				s := b[i]
-				for k, j := range cols {
-					if j != i {
-						s -= vals[k] * x[j]
-					}
-				}
-				next[i] = s / diag[i]
-			}
-		})
+		parallel.For(workers, n, sweep)
 		x, next = next, x
 		if err := a.MulVecToWorkers(r, x, workers); err != nil {
 			return nil, SolveResult{}, err
@@ -261,7 +356,7 @@ func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, w
 		}
 		res := mat.Norm2(r) / bnorm
 		if res <= tol {
-			return x, SolveResult{Iterations: it + 1, Residual: res}, nil
+			return out(x), SolveResult{Iterations: it + 1, Residual: res}, nil
 		}
 	}
 	if err := a.MulVecTo(r, x); err != nil {
@@ -270,20 +365,34 @@ func JacobiCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, w
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
-	return x, SolveResult{Iterations: maxIter, Residual: mat.Norm2(r) / bnorm}, ErrNotConverged
+	return out(x), SolveResult{Iterations: maxIter, Residual: mat.Norm2(r) / bnorm}, ErrNotConverged
 }
 
-// GaussSeidel solves A x = b by forward Gauss–Seidel sweeps. Like Jacobi it
-// converges for strictly diagonally dominant systems, typically in fewer
-// iterations.
+// GaussSeidel solves A x = b by serial forward Gauss–Seidel sweeps. Like
+// Jacobi it converges for strictly diagonally dominant systems, typically in
+// fewer iterations. The serial sweep order is pinned: outputs are
+// bit-for-bit those of the historical implementation.
 func GaussSeidel(a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
-	return GaussSeidelCtx(nil, a, b, tol, maxIter)
+	return GaussSeidelCtx(nil, a, b, tol, maxIter, 1)
 }
 
-// GaussSeidelCtx is GaussSeidel with cooperative cancellation: a done
+// GaussSeidelWorkers is Gauss–Seidel with an explicit worker count, the
+// same signature shape as JacobiWorkers (<= 0 selects GOMAXPROCS, 1 runs
+// the pinned serial sweep). Unlike Jacobi — whose iterates are
+// worker-count-invariant — a parallel Gauss–Seidel sweep necessarily
+// changes the update schedule: workers > 1 runs a block-sequential hybrid
+// (Gauss–Seidel ordering inside each of `workers` fixed contiguous blocks,
+// frozen previous-sweep values across blocks). The block layout is a pure
+// function of (n, resolved workers), so any fixed worker count is
+// deterministic run-to-run; all schedules converge to the same fixed point.
+func GaussSeidelWorkers(a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
+	return GaussSeidelCtx(nil, a, b, tol, maxIter, workers)
+}
+
+// GaussSeidelCtx is GaussSeidelWorkers with cooperative cancellation: a done
 // context aborts with ctx.Err() within one sweep. A nil context never
 // cancels.
-func GaussSeidelCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter int) ([]float64, SolveResult, error) {
+func GaussSeidelCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIter, workers int) ([]float64, SolveResult, error) {
 	n := a.rows
 	if a.cols != n || len(b) != n {
 		return nil, SolveResult{}, ErrShape
@@ -294,7 +403,10 @@ func GaussSeidelCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIt
 	if maxIter <= 0 {
 		maxIter = 10000
 	}
-	diag := a.Diag()
+	ws := GetWorkspace(n)
+	defer ws.Release()
+	diag := ws.vec(wsCGInvDiag, n)
+	a.DiagTo(diag)
 	for _, d := range diag {
 		if d == 0 {
 			return nil, SolveResult{}, ErrZeroDiagonal
@@ -304,23 +416,63 @@ func GaussSeidelCtx(ctx context.Context, a *CSR, b []float64, tol float64, maxIt
 	if bnorm == 0 {
 		bnorm = 1
 	}
+	w := parallel.Workers(workers)
+	if w > n {
+		w = n
+	}
 	x := make([]float64, n)
-	r := make([]float64, n)
+	r := ws.vec(wsSweepResidual, n)
+
+	var (
+		blocks []parallel.Block
+		prev   []float64
+		sweep  func(bi int, blk parallel.Block)
+	)
+	if w > 1 {
+		blocks = parallel.Split(n, w)
+		prev = ws.vec(wsSweepPrev, n)
+		sweep = func(_ int, blk parallel.Block) {
+			for i := blk.Lo; i < blk.Hi; i++ {
+				cols, vals := a.RowNNZ(i)
+				s := b[i]
+				for k, j := range cols {
+					if j == i {
+						continue
+					}
+					if j >= blk.Lo && j < blk.Hi {
+						// In-block: Gauss–Seidel order (rows above i in this
+						// block already hold this sweep's values).
+						s -= vals[k] * x[j]
+					} else {
+						// Cross-block: frozen previous-sweep snapshot, so
+						// concurrent block writes never race with reads.
+						s -= vals[k] * prev[j]
+					}
+				}
+				x[i] = s / diag[i]
+			}
+		}
+	}
 	for it := 0; it < maxIter; it++ {
 		if err := ctxErr(ctx); err != nil {
 			return x, SolveResult{Iterations: it}, err
 		}
-		for i := 0; i < n; i++ {
-			cols, vals := a.RowNNZ(i)
-			s := b[i]
-			for k, j := range cols {
-				if j != i {
-					s -= vals[k] * x[j]
+		if w == 1 {
+			for i := 0; i < n; i++ {
+				cols, vals := a.RowNNZ(i)
+				s := b[i]
+				for k, j := range cols {
+					if j != i {
+						s -= vals[k] * x[j]
+					}
 				}
+				x[i] = s / diag[i]
 			}
-			x[i] = s / diag[i]
+		} else {
+			copy(prev, x)
+			parallel.ForBlocks(w, blocks, sweep)
 		}
-		if err := a.MulVecTo(r, x); err != nil {
+		if err := a.MulVecToWorkers(r, x, workers); err != nil {
 			return nil, SolveResult{}, err
 		}
 		for i := range r {

@@ -225,8 +225,18 @@ func (m *CSR) MulVecToWorkers(dst, x []float64, workers int) error {
 	if len(x) != m.cols || len(dst) != m.rows {
 		return ErrShape
 	}
-	if m.rows < mulVecMinParRows && m.NNZ() < mulVecMinParNNZ {
-		workers = 1
+	if workers == 1 || (m.rows < mulVecMinParRows && m.NNZ() < mulVecMinParNNZ) {
+		// Direct serial loop: identical arithmetic to the parallel path, but
+		// with no closure so the CG/PCG inner loop stays allocation-free.
+		for i := 0; i < m.rows; i++ {
+			a, b := m.indptr[i], m.indptr[i+1]
+			var s float64
+			for k := a; k < b; k++ {
+				s += m.data[k] * x[m.indices[k]]
+			}
+			dst[i] = s
+		}
+		return nil
 	}
 	parallel.For(workers, m.rows, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -248,10 +258,23 @@ func (m *CSR) Diag() []float64 {
 		n = m.cols
 	}
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = m.At(i, i)
-	}
+	m.DiagTo(out)
 	return out
+}
+
+// DiagTo fills dst with the main diagonal without allocating. dst must have
+// length min(rows, cols); a wrong length panics like slice indexing.
+func (m *CSR) DiagTo(dst []float64) {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	if len(dst) != n {
+		panic(ErrShape)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = m.At(i, i)
+	}
 }
 
 // RowSums returns the vector of row sums.

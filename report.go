@@ -66,6 +66,12 @@ type Report struct {
 	// Iterations and Residual report iterative-backend work.
 	Iterations int
 	Residual   float64
+	// Precond identifies the preconditioner of CG-backed solves ("jacobi",
+	// "ic0+rcm", "jacobi+rcm", "none"); empty for direct backends.
+	// PrecondSetup is the wall time spent building it (reordering plus
+	// factorization; zero for the built-in Jacobi path).
+	Precond      string
+	PrecondSetup time.Duration
 	// Fallbacks are the escalations taken; empty on the happy path.
 	Fallbacks []Fallback
 	// Health is the pre-solve probe of the solved system (nil when the
@@ -128,6 +134,8 @@ var (
 	cancellationsTotal  = expvar.NewInt("graphssl.cancellations_total")
 	healthWarningsTotal = expvar.NewInt("graphssl.health_warnings_total")
 	solverChosen        = expvar.NewMap("graphssl.solver_chosen")
+	precondChosen       = expvar.NewMap("graphssl.precond_chosen")
+	precondSetupNanos   = expvar.NewInt("graphssl.precond_setup_nanos_total")
 )
 
 // countFit updates the expvar counters from one finished fit.
@@ -138,6 +146,10 @@ func countFit(rep *Report, err error) {
 		healthWarningsTotal.Add(int64(len(rep.Warnings)))
 		if err == nil {
 			solverChosen.Add(rep.Solver.String(), 1)
+			if rep.Precond != "" {
+				precondChosen.Add(rep.Precond, 1)
+				precondSetupNanos.Add(rep.PrecondSetup.Nanoseconds())
+			}
 		}
 	}
 	if err != nil {

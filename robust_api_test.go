@@ -134,8 +134,11 @@ func TestFitFallbackRecordedInReport(t *testing.T) {
 	x, y, labeled := robustTestData(6, 80, 15)
 	before := expvarInt(t, "graphssl.fallbacks_total")
 	var rep Report
+	// Jacobi keeps the one-iteration budget insufficient; IC(0) is exact on
+	// this dense-pattern system and would converge immediately.
 	res, err := Fit(x, y, labeled,
-		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14), WithDiagnostics(&rep))
+		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14),
+		WithPreconditioner(PrecondJacobi), WithDiagnostics(&rep))
 	if err != nil {
 		t.Fatalf("fallback chain did not complete: %v", err)
 	}
@@ -164,7 +167,8 @@ func TestFitFallbackRecordedInReport(t *testing.T) {
 	// Determinism: the fallback decision is a pure function of the input.
 	var rep2 Report
 	res2, err := Fit(x, y, labeled,
-		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14), WithDiagnostics(&rep2))
+		WithAutoCutoff(1), WithMaxIter(1), WithTolerance(1e-14),
+		WithPreconditioner(PrecondJacobi), WithDiagnostics(&rep2))
 	if err != nil {
 		t.Fatal(err)
 	}
