@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover alloc-gate
+.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover alloc-gate serve-smoke
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -65,3 +65,10 @@ perfbench:
 	$(GO) run ./cmd/perfbench -out results/BENCH_parallel.json
 	$(GO) run ./cmd/perfbench -suite spatial -out results/BENCH_spatial.json
 	$(GO) run ./cmd/perfbench -suite robust -out results/BENCH_robust.json
+	$(GO) run ./cmd/perfbench -suite serve -out results/BENCH_serve.json
+
+# End-to-end smoke of the serving subsystem: boots sslserve on a free port,
+# fits a model over HTTP, runs a batched predict, checks /readyz, and drains
+# on the SIGTERM path.
+serve-smoke:
+	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/sslserve/

@@ -143,7 +143,7 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), or precond (CG vs Jacobi-PCG vs IC(0)-PCG)")
+		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), precond (CG vs Jacobi-PCG vs IC(0)-PCG), or serve (HTTP serving throughput, batched vs unbatched)")
 		out     = flag.String("out", "", "output JSON path (default results/BENCH_<suite>.json)")
 		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
 		d       = flag.Int("d", 50, "point dimension (parallel suite)")
@@ -155,6 +155,9 @@ func main() {
 		sradius = flag.Float64("sradius", 0.05, "ε-radius bandwidth for the spatial radius bench")
 		snwLab  = flag.Int("snwlab", 2000, "labeled count for the spatial NW bench")
 		snwH    = flag.Float64("snwh", 0.3, "bandwidth for the spatial NW bench")
+		svAnch  = flag.Int("sva", 24000, "anchor count for the serve suite")
+		svD     = flag.Int("svd", 64, "point dimension for the serve suite")
+		svReqs  = flag.Int("svreqs", 256, "timed requests per serve configuration")
 		repeats = flag.Int("repeats", 3, "timed repetitions per configuration (min is reported)")
 	)
 	flag.Parse()
@@ -196,8 +199,18 @@ func main() {
 		runPrecondSuite(*out, *repeats)
 		return
 	}
+	if *suite == "serve" {
+		if *out == "" {
+			*out = "results/BENCH_serve.json"
+		}
+		runServeSuite(*out, serveParams{
+			anchors: *svAnch, d: *svD,
+			requests: *svReqs, warmup: *svReqs / 4,
+		})
+		return
+	}
 	if *suite != "parallel" {
-		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, or precond)", *suite)
+		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, precond, or serve)", *suite)
 	}
 	if *out == "" {
 		*out = "results/BENCH_parallel.json"

@@ -1,0 +1,283 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	graphssl "repro"
+	"repro/internal/randx"
+	"repro/serve"
+)
+
+// The serve suite measures the serving subsystem end to end over loopback
+// HTTP: concurrent clients firing single-point predict requests at a hot
+// model, with the micro-batcher on versus off. On a single-core host the
+// batching win is purely mechanical — coalesced requests run through the
+// tiled SIMD batch kernel instead of one scalar anchor scan per request —
+// so any speedup here is cache and vector efficiency, not parallelism.
+
+// serveParams sizes the load test.
+type serveParams struct {
+	anchors  int // labeled anchor count (the per-point scan length)
+	d        int // point dimension
+	requests int // timed requests per configuration
+	warmup   int // untimed requests per configuration
+}
+
+// serveMeasurement is one (clients, batching) load configuration.
+type serveMeasurement struct {
+	Clients        int     `json:"clients"`
+	Batched        bool    `json:"batched"`
+	Requests       int     `json:"requests"`
+	Seconds        float64 `json:"seconds"`
+	RPS            float64 `json:"rps"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	Batches        int64   `json:"batches,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
+}
+
+// serveSpeedup compares batched vs unbatched throughput at one client count.
+type serveSpeedup struct {
+	Clients      int     `json:"clients"`
+	BatchedRPS   float64 `json:"batched_rps"`
+	UnbatchedRPS float64 `json:"unbatched_rps"`
+	Speedup      float64 `json:"speedup_batched_vs_unbatched"`
+}
+
+// serveReport is the JSON document for -suite serve.
+type serveReport struct {
+	Benchmark  string             `json:"benchmark"`
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Params     map[string]int     `json:"params"`
+	Results    []serveMeasurement `json:"results"`
+	Speedups   []serveSpeedup     `json:"speedups"`
+	Notes      string             `json:"notes"`
+}
+
+// serveCounter reads one graphssl.serve expvar counter.
+func serveCounter(name string) int64 {
+	if v, ok := expvar.Get(name).(*expvar.Int); ok {
+		return v.Value()
+	}
+	return 0
+}
+
+// benchModel builds the served model directly (no quadratic fit at bench
+// time): every point is a labeled anchor, so each unbatched predict scans
+// all of them.
+func benchModel(p serveParams) *serve.Model {
+	rng := randx.New(97)
+	snap := &graphssl.ModelSnapshot{
+		X:       make([][]float64, p.anchors),
+		Y:       make([]float64, p.anchors),
+		Labeled: make([]int, p.anchors),
+		Scores:  make([]float64, p.anchors),
+		// Triangular support sized so ~N(0,1) queries always land inside
+		// it in this dimension (matching the core predictor benchmarks).
+		Kernel:    graphssl.Triangular,
+		Bandwidth: 36,
+		Lambda:    0,
+	}
+	for i := range snap.X {
+		xi := make([]float64, p.d)
+		for j := range xi {
+			xi[j] = rng.Norm()
+		}
+		snap.X[i] = xi
+		snap.Scores[i] = rng.Norm()
+		snap.Y[i] = snap.Scores[i]
+		snap.Labeled[i] = i
+	}
+	m, err := serve.NewModel(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return m
+}
+
+// runServeLoad drives one configuration: clients goroutines firing
+// single-point predicts until the shared request budget is spent.
+func runServeLoad(base string, client *http.Client, p serveParams, clients int, queries [][]byte) serveMeasurement {
+	post := func(body []byte) {
+		resp, err := client.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out struct {
+			Scores []float64 `json:"scores"`
+			Errors []string  `json:"errors"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(out.Errors) != 0 {
+			log.Fatalf("predict: status %d, errors %v", resp.StatusCode, out.Errors)
+		}
+	}
+
+	// Warmup (connections, batcher, branch predictors).
+	var budget atomic.Int64
+	budget.Store(int64(p.warmup))
+	var wg sync.WaitGroup
+	drive := func(latencies *[]float64) {
+		defer wg.Done()
+		for {
+			n := budget.Add(-1)
+			if n < 0 {
+				return
+			}
+			body := queries[int(n)%len(queries)]
+			start := time.Now()
+			post(body)
+			if latencies != nil {
+				*latencies = append(*latencies, float64(time.Since(start).Microseconds()))
+			}
+		}
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go drive(nil)
+	}
+	wg.Wait()
+
+	// Timed run.
+	batches0 := serveCounter("graphssl.serve.batches_total")
+	points0 := serveCounter("graphssl.serve.batched_points_total")
+	budget.Store(int64(p.requests))
+	perClient := make([][]float64, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go drive(&perClient[c])
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var lat []float64
+	for _, l := range perClient {
+		lat = append(lat, l...)
+	}
+	sort.Float64s(lat)
+	q := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		return lat[int(p*float64(len(lat)-1))]
+	}
+	m := serveMeasurement{
+		Clients:  clients,
+		Requests: p.requests,
+		Seconds:  elapsed,
+		RPS:      float64(p.requests) / elapsed,
+		P50Us:    q(0.50),
+		P99Us:    q(0.99),
+	}
+	if batches := serveCounter("graphssl.serve.batches_total") - batches0; batches > 0 {
+		points := serveCounter("graphssl.serve.batched_points_total") - points0
+		m.Batches = batches
+		m.BatchOccupancy = float64(points) / float64(batches)
+	}
+	return m
+}
+
+// runServeSuite benchmarks the HTTP serving path and writes the report.
+func runServeSuite(out string, p serveParams) {
+	model := benchModel(p)
+
+	// Pre-encoded single-point request bodies.
+	rng := randx.New(101)
+	queries := make([][]byte, 64)
+	for i := range queries {
+		pt := make([]float64, p.d)
+		for j := range pt {
+			pt[j] = rng.Norm()
+		}
+		body, err := json.Marshal(map[string]any{"model": "bench", "points": [][]float64{pt}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		queries[i] = body
+	}
+
+	report := serveReport{
+		Benchmark:  "serve",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Params: map[string]int{
+			"anchors": p.anchors, "d": p.d,
+			"requests": p.requests, "warmup": p.warmup,
+		},
+		Notes: "Loopback HTTP load test of the serving subsystem: N concurrent " +
+			"clients firing single-point predicts at one hot model. batched=true " +
+			"runs the request-coalescing micro-batcher (64-point flush, 500µs max " +
+			"delay); batched=false evaluates each request inline. Anchors all " +
+			"labeled, so every unbatched predict is one full scalar anchor scan " +
+			"while coalesced batches run the tiled SIMD kernel — on a single-core " +
+			"host the speedup column is pure cache/vector efficiency.",
+	}
+
+	byClients := map[int]map[bool]float64{}
+	for _, batched := range []bool{false, true} {
+		srv := serve.NewServer(serve.Config{
+			NoBatch:    !batched,
+			MaxBatch:   64,
+			BatchDelay: 500 * time.Microsecond,
+			QueueDepth: 1 << 16,
+			Workers:    1,
+		})
+		if _, err := srv.Registry().Store("bench", model); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		base := "http://" + ln.Addr().String()
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+
+		for _, clients := range []int{1, 4, 16, 64} {
+			m := runServeLoad(base, client, p, clients, queries)
+			m.Batched = batched
+			report.Results = append(report.Results, m)
+			if byClients[clients] == nil {
+				byClients[clients] = map[bool]float64{}
+			}
+			byClients[clients][batched] = m.RPS
+			fmt.Printf("serve  clients %2d  batched %-5v  %8.1f rps  p50 %7.0f µs  p99 %7.0f µs  occupancy %.1f\n",
+				clients, batched, m.RPS, m.P50Us, m.P99Us, m.BatchOccupancy)
+		}
+		client.CloseIdleConnections()
+		_ = hs.Close()
+		srv.Close()
+	}
+
+	for _, clients := range []int{1, 4, 16, 64} {
+		rps := byClients[clients]
+		report.Speedups = append(report.Speedups, serveSpeedup{
+			Clients:      clients,
+			BatchedRPS:   rps[true],
+			UnbatchedRPS: rps[false],
+			Speedup:      rps[true] / rps[false],
+		})
+	}
+	writeReportAny(out, report)
+}

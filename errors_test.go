@@ -1,0 +1,158 @@
+package graphssl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mat"
+)
+
+// TestTranslateCoreErr covers every branch of the core→public error map.
+func TestTranslateCoreErr(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		want error
+	}{
+		{"isolated", fmt.Errorf("core: node cut off: %w", core.ErrIsolated), ErrIsolated},
+		{"singular", fmt.Errorf("solve: %w", mat.ErrSingular), ErrIsolated},
+		{"param", fmt.Errorf("core: bad k: %w", core.ErrParam), ErrParam},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := translateCoreErr(tc.in)
+			if !errors.Is(got, tc.want) {
+				t.Fatalf("translateCoreErr(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+			// The original cause stays readable in the message but the
+			// core sentinel must not leak as the match target.
+			if tc.want == ErrParam && errors.Is(got, ErrIsolated) {
+				t.Fatalf("param error matched ErrIsolated: %v", got)
+			}
+		})
+	}
+	t.Run("default", func(t *testing.T) {
+		cause := errors.New("something else")
+		got := translateCoreErr(cause)
+		if !errors.Is(got, cause) {
+			t.Fatalf("default branch lost the cause: %v", got)
+		}
+		if errors.Is(got, ErrParam) || errors.Is(got, ErrIsolated) {
+			t.Fatalf("default branch gained a sentinel: %v", got)
+		}
+	})
+}
+
+// TestFitDuplicateLabeled checks the fail-fast labeled-set validation in
+// prepare: duplicates and out-of-range indices return typed ErrParam before
+// any graph work happens.
+func TestFitDuplicateLabeled(t *testing.T) {
+	x, _ := twoClusters(17, 10, 4)
+	y := []float64{1, 0, 1}
+	if _, err := Fit(x, y, []int{0, 3, 0}); !errors.Is(err, ErrParam) {
+		t.Fatalf("duplicate labeled: %v", err)
+	}
+	if _, err := Fit(x, y, []int{0, 1, len(x)}); !errors.Is(err, ErrParam) {
+		t.Fatalf("out-of-range labeled: %v", err)
+	}
+	if _, err := Fit(x, y, []int{0, 1, -1}); !errors.Is(err, ErrParam) {
+		t.Fatalf("negative labeled: %v", err)
+	}
+	if _, _, err := NadarayaWatson(x, y, []int{2, 2, 3}); !errors.Is(err, ErrParam) {
+		t.Fatalf("duplicate labeled (NW): %v", err)
+	}
+}
+
+// TestResultAccessorsEmptyUnlabeled checks the accessors on a Result whose
+// unlabeled set is empty: slice-returning accessors yield empty slices, and
+// the metric accessors return errors instead of NaN or panics.
+func TestResultAccessorsEmptyUnlabeled(t *testing.T) {
+	r := &Result{
+		Scores:          []float64{1, 0, 1},
+		Labeled:         []int{0, 1, 2},
+		Unlabeled:       []int{},
+		UnlabeledScores: []float64{},
+	}
+	if got := r.Classify(0.5); len(got) != 0 {
+		t.Fatalf("Classify = %v", got)
+	}
+	ls := r.LabeledScores()
+	if len(ls) != 3 || ls[0] != 1 || ls[1] != 0 || ls[2] != 1 {
+		t.Fatalf("LabeledScores = %v", ls)
+	}
+	if _, err := r.AUC([]float64{}); err == nil {
+		t.Fatal("AUC on empty unlabeled set: no error")
+	}
+	if _, err := r.RMSE([]float64{}); err == nil {
+		t.Fatal("RMSE on empty unlabeled set: no error")
+	}
+	if _, err := r.Accuracy([]float64{}); err == nil {
+		t.Fatal("Accuracy on empty unlabeled set: no error")
+	}
+}
+
+// TestLabeledScoresHardCriterion checks that under the hard criterion the
+// labeled scores are exactly the observed responses — the property that
+// makes labeled-anchor serving bitwise-identical to the NW baseline.
+func TestLabeledScoresHardCriterion(t *testing.T) {
+	x, y := twoClusters(19, 20, 8)
+	labeled := []int{3, 0, 9, 14, 7, 21, 2, 35}
+	res, err := Fit(x, y, labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := res.LabeledScores()
+	for i := range labeled {
+		if math.Float64bits(ls[i]) != math.Float64bits(y[i]) {
+			t.Fatalf("labeled %d: score %v != response %v", labeled[i], ls[i], y[i])
+		}
+	}
+}
+
+// TestSnapshot covers the serving export hook.
+func TestSnapshot(t *testing.T) {
+	x, y := twoClusters(23, 15, 6)
+	res, err := Fit(x, y, nil, WithBandwidth(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dim() != 2 || snap.Kernel != Gaussian || snap.Bandwidth != 1.0 || snap.KNN != 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if len(snap.X) != len(x) || len(snap.Scores) != len(res.Scores) || len(snap.Labeled) != 6 {
+		t.Fatalf("snapshot sizes: %d %d %d", len(snap.X), len(snap.Scores), len(snap.Labeled))
+	}
+	// Deep copy: mutating the originals must not alias into the snapshot.
+	x[0][0] = 99
+	y[0] = 99
+	if snap.X[0][0] == 99 || snap.Y[0] == 99 {
+		t.Fatal("snapshot aliases caller data")
+	}
+
+	// Mismatched data is rejected.
+	if _, err := res.Snapshot(x[:3], y); !errors.Is(err, ErrParam) {
+		t.Fatalf("short x: %v", err)
+	}
+	if _, err := res.Snapshot(x, y[:2]); !errors.Is(err, ErrParam) {
+		t.Fatalf("short y: %v", err)
+	}
+	bad := make([][]float64, len(x))
+	copy(bad, x)
+	bad[1] = []float64{math.NaN(), 0}
+	if _, err := res.Snapshot(bad, y); !errors.Is(err, ErrParam) {
+		t.Fatalf("NaN point: %v", err)
+	}
+
+	// FitGraph results carry no kernel, so no inductive extension exists.
+	empty := &Result{Scores: res.Scores, Labeled: res.Labeled}
+	if _, err := empty.Snapshot(x, y); !errors.Is(err, ErrParam) {
+		t.Fatalf("kernel-less result: %v", err)
+	}
+}

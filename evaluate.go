@@ -16,6 +16,19 @@ func (r *Result) Classify(thr float64) []float64 {
 	return out
 }
 
+// LabeledScores returns the fitted scores at the labeled nodes, aligned
+// with Result.Labeled. Under the hard criterion (λ = 0) these are exactly
+// the observed responses; under the soft criterion they are the smoothed
+// fit at the labeled points. The serve package uses them as the anchor
+// values of the inductive Nadaraya–Watson extension.
+func (r *Result) LabeledScores() []float64 {
+	out := make([]float64, len(r.Labeled))
+	for i, l := range r.Labeled {
+		out[i] = r.Scores[l]
+	}
+	return out
+}
+
 // AUC computes the area under the ROC curve of the unlabeled scores against
 // the true binary labels (aligned with Result.Unlabeled) — the paper's
 // Figure-5 metric.

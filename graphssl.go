@@ -230,6 +230,11 @@ type Result struct {
 	Lambda float64
 	// Bandwidth is the kernel bandwidth actually used.
 	Bandwidth float64
+	// Kernel is the similarity kernel the fit was built with; zero for
+	// FitGraph results, whose similarity matrix is caller-supplied.
+	Kernel Kernel
+	// KNN is the k-NN sparsification used to build the graph (0 = dense).
+	KNN int
 	// Solver is the backend that produced the solution.
 	Solver Solver
 	// Iterations and Residual report iterative-backend work.
@@ -237,6 +242,94 @@ type Result struct {
 	Residual   float64
 	// GraphStats summarizes the similarity graph.
 	GraphStats graph.Stats
+}
+
+// ModelSnapshot is an immutable, self-contained freeze of a fitted model:
+// the training inputs, their responses, the fitted scores, and the graph
+// hyperparameters (kernel, bandwidth, k-NN sparsification) needed to extend
+// the fit to out-of-sample query points. It is the export hook consumed by
+// the serve package, which wraps it in an inductive predictor and an HTTP
+// model registry. Every slice is a deep copy, so later mutation of the
+// training data or the Result cannot alias into a served model.
+type ModelSnapshot struct {
+	// X are the training inputs, Y the responses aligned with Labeled.
+	X       [][]float64
+	Y       []float64
+	Labeled []int
+	// Scores are the fitted scores, one per training point.
+	Scores []float64
+	// Kernel, Bandwidth, and KNN identify the similarity graph the fit
+	// used; Lambda is the criterion parameter.
+	Kernel    Kernel
+	Bandwidth float64
+	KNN       int
+	Lambda    float64
+}
+
+// Dim returns the input dimension.
+func (s *ModelSnapshot) Dim() int {
+	if len(s.X) == 0 {
+		return 0
+	}
+	return len(s.X[0])
+}
+
+// Snapshot freezes the fit into a ModelSnapshot for serving. The Result
+// does not retain the training data, so the caller passes back the same x
+// and y given to Fit; Snapshot validates them against the fit (point count,
+// response count, labeled indices, finite coordinates) and deep-copies
+// everything. Results of FitGraph cannot be snapshotted: their similarity
+// matrix is caller-supplied, so no kernel extension to new points exists.
+func (r *Result) Snapshot(x [][]float64, y []float64) (*ModelSnapshot, error) {
+	if r.Kernel == 0 {
+		return nil, fmt.Errorf("graphssl: snapshot requires a kernel-built fit (FitGraph results carry no kernel): %w", ErrParam)
+	}
+	if !(r.Bandwidth > 0) || math.IsInf(r.Bandwidth, 0) {
+		return nil, fmt.Errorf("graphssl: snapshot bandwidth %v: %w", r.Bandwidth, ErrParam)
+	}
+	if len(x) != len(r.Scores) {
+		return nil, fmt.Errorf("graphssl: snapshot of %d points against a fit of %d: %w", len(x), len(r.Scores), ErrParam)
+	}
+	if len(y) != len(r.Labeled) {
+		return nil, fmt.Errorf("graphssl: %d responses for %d labeled points: %w", len(y), len(r.Labeled), ErrParam)
+	}
+	if len(x) == 0 {
+		return nil, fmt.Errorf("graphssl: empty snapshot: %w", ErrParam)
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("graphssl: zero-dimensional snapshot inputs: %w", ErrParam)
+	}
+	snap := &ModelSnapshot{
+		X:         make([][]float64, len(x)),
+		Y:         append([]float64(nil), y...),
+		Labeled:   append([]int(nil), r.Labeled...),
+		Scores:    append([]float64(nil), r.Scores...),
+		Kernel:    r.Kernel,
+		Bandwidth: r.Bandwidth,
+		KNN:       r.KNN,
+		Lambda:    r.Lambda,
+	}
+	for i, xi := range x {
+		if len(xi) != dim {
+			return nil, fmt.Errorf("graphssl: snapshot point %d has dim %d, want %d: %w", i, len(xi), dim, ErrParam)
+		}
+		for j, v := range xi {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("graphssl: snapshot point %d coordinate %d is %v: %w", i, j, v, ErrParam)
+			}
+		}
+		snap.X[i] = append([]float64(nil), xi...)
+	}
+	seen := make([]bool, len(x))
+	for _, idx := range snap.Labeled {
+		if idx < 0 || idx >= len(x) || seen[idx] {
+			return nil, fmt.Errorf("graphssl: snapshot labeled index %d invalid: %w", idx, ErrParam)
+		}
+		seen[idx] = true
+	}
+	countSnapshot()
+	return snap, nil
 }
 
 // Fit builds the similarity graph over x and solves the selected criterion.
@@ -337,6 +430,8 @@ func fit(x [][]float64, y []float64, labeled []int, opts []Option) (*Result, *Re
 		UnlabeledScores: sol.FUnlabeled,
 		Lambda:          cfg.lambda,
 		Bandwidth:       bw,
+		Kernel:          cfg.kernel,
+		KNN:             cfg.knn,
 		Solver:          sol.Method,
 		Iterations:      sol.Iterations,
 		Residual:        sol.Residual,
@@ -411,6 +506,19 @@ func prepare(x [][]float64, y []float64, labeled []int, opts []Option) (*core.Pr
 		labeled = make([]int, len(y))
 		for i := range labeled {
 			labeled[i] = i
+		}
+	} else {
+		// Validate the labeled set before the (expensive) bandwidth and
+		// graph stages so malformed index lists fail fast with ErrParam.
+		seen := make([]bool, len(x))
+		for _, idx := range labeled {
+			if idx < 0 || idx >= len(x) {
+				return nil, cfg, 0, nil, fmt.Errorf("graphssl: labeled index %d outside [0,%d): %w", idx, len(x), ErrParam)
+			}
+			if seen[idx] {
+				return nil, cfg, 0, nil, fmt.Errorf("graphssl: duplicate labeled index %d: %w", idx, ErrParam)
+			}
+			seen[idx] = true
 		}
 	}
 	if cfg.lambda < 0 || math.IsNaN(cfg.lambda) || math.IsInf(cfg.lambda, 0) {

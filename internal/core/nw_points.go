@@ -5,13 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/kernel"
-	"repro/internal/parallel"
-	"repro/internal/spatial"
 )
-
-// Minimum labeled-set size before NadarayaWatsonPoints builds a spatial
-// index; below it the brute scan over labeled points is already cheap.
-const nwMinIndexLabeled = 64
 
 // NadarayaWatsonPoints computes the paper's Eq. 6 estimator directly from
 // points, without materializing a similarity graph: for every unlabeled
@@ -19,13 +13,14 @@ const nwMinIndexLabeled = 64
 // Σ w(x_u, x_i) Y_i / Σ w(x_u, x_i) over the labeled points, with the
 // second return value listing the unlabeled indices the estimates align to.
 //
-// For compactly supported kernels only labeled points within the bandwidth
-// contribute, so the labeled set is indexed in a spatial grid (or KD-tree in
-// higher dimensions) and each estimate touches O(k̄) labeled points instead
-// of all of them. The accumulation order is ascending labeled index with
-// zero weights skipped — exactly the order NadarayaWatson sees on a
-// default-built graph (no ε truncation, no k-NN, no self-loops), so the two
-// estimators are bitwise-identical there.
+// It is a thin transductive wrapper over NWPredictor: the labeled points
+// become the anchor set in ascending node order, so the accumulation runs
+// in ascending labeled index with zero weights skipped — exactly the order
+// NadarayaWatson sees on a default-built graph (no ε truncation, no k-NN,
+// no self-loops), making the two estimators bitwise-identical there. For
+// compactly supported kernels the predictor indexes the labeled set in a
+// spatial grid (or KD-tree in higher dimensions) so each estimate touches
+// O(k̄) labeled points instead of all of them.
 //
 // An unlabeled point with zero similarity mass to every labeled point has an
 // undefined estimate; ErrIsolated is returned (naming the smallest such
@@ -72,11 +67,9 @@ func NadarayaWatsonPoints(x [][]float64, labeled []int, y []float64, k *kernel.K
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return labeled[order[a]] < labeled[order[b]] })
-	labNode := make([]int, len(labeled))
 	labY := make([]float64, len(labeled))
 	labX := make([][]float64, len(labeled))
 	for p, o := range order {
-		labNode[p] = labeled[o]
 		labY[p] = y[o]
 		labX[p] = x[labeled[o]]
 	}
@@ -87,69 +80,19 @@ func NadarayaWatsonPoints(x [][]float64, labeled []int, y []float64, k *kernel.K
 		}
 	}
 
-	// candidates yields, for one query point, the ascending positions into
-	// labNode worth evaluating (a superset of the kernel's support).
-	var candidates func(q []float64, buf []int32) []int32
-	if h := k.Bandwidth(); k.Kind().CompactSupport() && len(labNode) >= nwMinIndexLabeled {
-		cell := h * (1 + 1e-6)
-		if dim <= 6 && cell >= spatial.MinCell && cell <= spatial.MaxCell {
-			g, err := spatial.NewGrid(labX, cell)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: nw grid index: %w", err)
-			}
-			candidates = func(q []float64, buf []int32) []int32 {
-				buf = g.Candidates(q, buf)
-				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
-				return buf
-			}
-		} else if dim <= 16 {
-			t, err := spatial.NewKDTree(labX, workers)
-			if err != nil {
-				return nil, nil, fmt.Errorf("core: nw kd-tree index: %w", err)
-			}
-			r2 := h * h
-			candidates = func(q []float64, buf []int32) []int32 {
-				buf = t.Radius(q, -1, r2, buf)
-				sort.Slice(buf, func(a, b int) bool { return buf[a] < buf[b] })
-				return buf
-			}
-		}
+	pred, err := NewNWPredictor(labX, labY, k, 0, workers)
+	if err != nil {
+		return nil, nil, err
 	}
-
+	qs := make([][]float64, len(unlabeled))
+	for r, u := range unlabeled {
+		qs[r] = x[u]
+	}
 	out := make([]float64, len(unlabeled))
-	isolated := make([]bool, len(unlabeled))
-	parallel.For(workers, len(unlabeled), func(lo, hi int) {
-		var buf []int32
-		for r := lo; r < hi; r++ {
-			q := x[unlabeled[r]]
-			var num, den float64
-			if candidates != nil {
-				buf = candidates(q, buf[:0])
-				for _, p := range buf {
-					w := k.WeightDist2(kernel.Dist2(q, labX[p]))
-					if w > 0 {
-						num += w * labY[p]
-						den += w
-					}
-				}
-			} else {
-				for p := range labX {
-					w := k.WeightDist2(kernel.Dist2(q, labX[p]))
-					if w > 0 {
-						num += w * labY[p]
-						den += w
-					}
-				}
-			}
-			if den == 0 {
-				isolated[r] = true
-				continue
-			}
-			out[r] = num / den
-		}
-	})
-	for r, iso := range isolated {
-		if iso {
+	status := make([]NWStatus, len(unlabeled))
+	pred.PredictBatch(out, status, qs, workers)
+	for r, st := range status {
+		if st == NWIsolated {
 			return nil, nil, fmt.Errorf("core: unlabeled point %d has no labeled neighbour: %w", unlabeled[r], ErrIsolated)
 		}
 	}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+	"repro/internal/spatial"
+)
+
+// nwPath selects how a predictor finds the anchors worth evaluating for a
+// query point.
+type nwPath uint8
+
+const (
+	// nwBrute scans every anchor (the Gaussian kernel, or small/high-dim
+	// anchor sets).
+	nwBrute nwPath = iota
+	// nwGrid takes the uniform-grid candidate superset of the kernel
+	// support (compact kernels, dim <= 6).
+	nwGrid
+	// nwRadius takes the KD-tree radius candidates (compact kernels,
+	// dim <= 16).
+	nwRadius
+	// nwKNN restricts each query to its k nearest anchors (k-NN-built
+	// fits).
+	nwKNN
+)
+
+// NWPredictor is the frozen, inductive form of the paper's Eq. 6 estimator:
+// a fixed set of anchor points with values, a kernel, and a spatial-lookup
+// rule. Predict evaluates
+//
+//	f(x*) = Σ_j K_h(x*, X_j) v_j / Σ_j K_h(x*, X_j)
+//
+// over the anchors — Theorem II.1's Nadaraya–Watson form, which the
+// hard-criterion solution converges to, extended to arbitrary query points.
+// When the anchors are the labeled points in ascending node order with knn
+// = 0, Predict at an in-sample unlabeled point is bitwise-identical to
+// NadarayaWatson on a default-built graph: the accumulation runs in
+// ascending anchor order with zero weights skipped, distances come from the
+// shared bitwise-stable kernels, and the spatial indexes only prune exact
+// zeros. With knn > 0 each query instead adopts its own k nearest anchors
+// under the strict (distance, index) order — the inductive analogue of a
+// k-NN-sparsified graph (the transductive graph symmetrizes neighbour sets
+// across points, which has no out-of-sample counterpart).
+//
+// A predictor is immutable after construction and safe for concurrent use;
+// per-goroutine mutable state lives in NWScratch.
+type NWPredictor struct {
+	dim  int
+	k    *kernel.K
+	x    [][]float64 // anchors, in accumulation order
+	v    []float64   // anchor values, aligned with x
+	knn  int
+	path nwPath
+	grid *spatial.Grid   // nwGrid
+	tree *spatial.KDTree // nwRadius and nwKNN
+	r2   float64         // nwRadius: squared support radius
+}
+
+// nwMinIndexAnchors is the minimum anchor count before a compact-support
+// predictor builds a spatial index; below it the brute scan is already
+// cheap. It must equal the historical NadarayaWatsonPoints cutoff so the
+// point estimator keeps choosing the same paths.
+const nwMinIndexAnchors = 64
+
+// NewNWPredictor freezes an inductive estimator over the given anchors and
+// aligned values. Accumulation runs in the order anchors are passed, so
+// callers wanting parity with the graph estimators must pass them in
+// ascending node order. knn > 0 restricts each query to its k nearest
+// anchors; knn = 0 uses the kernel's full support. The anchor slices are
+// retained, not copied; callers must not mutate them afterwards. workers
+// bounds index-construction parallelism only (queries are always
+// deterministic).
+func NewNWPredictor(anchors [][]float64, values []float64, k *kernel.K, knn, workers int) (*NWPredictor, error) {
+	if k == nil {
+		return nil, fmt.Errorf("core: nil kernel: %w", ErrParam)
+	}
+	if len(anchors) == 0 {
+		return nil, fmt.Errorf("core: no anchor points: %w", ErrParam)
+	}
+	if len(values) != len(anchors) {
+		return nil, fmt.Errorf("core: %d anchors but %d values: %w", len(anchors), len(values), ErrParam)
+	}
+	dim := len(anchors[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("core: zero-dimensional anchors: %w", ErrParam)
+	}
+	for i, a := range anchors {
+		if len(a) != dim {
+			return nil, fmt.Errorf("core: anchor %d has dim %d, want %d: %w", i, len(a), dim, ErrParam)
+		}
+	}
+	if knn < 0 {
+		return nil, fmt.Errorf("core: knn=%d: %w", knn, ErrParam)
+	}
+	p := &NWPredictor{dim: dim, k: k, x: anchors, v: values, knn: knn, path: nwBrute}
+	if knn > 0 && len(anchors) > knn {
+		t, err := spatial.NewKDTree(anchors, workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: nw kd-tree index: %w", err)
+		}
+		p.path, p.tree = nwKNN, t
+		return p, nil
+	}
+	if h := k.Bandwidth(); knn == 0 && k.Kind().CompactSupport() && len(anchors) >= nwMinIndexAnchors {
+		cell := h * (1 + 1e-6)
+		if dim <= 6 && cell >= spatial.MinCell && cell <= spatial.MaxCell {
+			g, err := spatial.NewGrid(anchors, cell)
+			if err != nil {
+				return nil, fmt.Errorf("core: nw grid index: %w", err)
+			}
+			p.path, p.grid = nwGrid, g
+		} else if dim <= 16 {
+			t, err := spatial.NewKDTree(anchors, workers)
+			if err != nil {
+				return nil, fmt.Errorf("core: nw kd-tree index: %w", err)
+			}
+			p.path, p.tree, p.r2 = nwRadius, t, h*h
+		}
+	}
+	return p, nil
+}
+
+// Dim returns the input dimension queries must have.
+func (p *NWPredictor) Dim() int { return p.dim }
+
+// NumAnchors returns the anchor count.
+func (p *NWPredictor) NumAnchors() int { return len(p.x) }
+
+// KNN returns the per-query neighbour restriction (0 = full support).
+func (p *NWPredictor) KNN() int { return p.knn }
+
+// NWScratch holds the per-goroutine mutable state of repeated predictions:
+// the candidate buffer and, for k-NN predictors, the reusable bounded
+// priority queue. One scratch serves one goroutine at a time.
+type NWScratch struct {
+	buf  []int32
+	knnq *spatial.KNNQuery
+}
+
+// NewScratch allocates prediction scratch sized for this predictor.
+func (p *NWPredictor) NewScratch() *NWScratch {
+	s := &NWScratch{}
+	if p.path == nwKNN {
+		s.knnq = p.tree.NewKNNQuery(p.knn)
+	}
+	return s
+}
+
+// NWStatus reports the outcome of one batched prediction.
+type NWStatus uint8
+
+const (
+	// NWOK marks a well-defined estimate.
+	NWOK NWStatus = iota
+	// NWBadDim marks a query whose dimension does not match the anchors.
+	NWBadDim
+	// NWIsolated marks a query with zero similarity mass to every
+	// (selected) anchor, where the estimator is undefined.
+	NWIsolated
+)
+
+// Predict evaluates the estimator at one query point. It returns ErrParam
+// for a dimension mismatch and ErrIsolated when the query has zero
+// similarity mass to every anchor. scratch may be nil (one is allocated);
+// passing one amortizes allocations across calls.
+func (p *NWPredictor) Predict(q []float64, scratch *NWScratch) (float64, error) {
+	if len(q) != p.dim {
+		return 0, fmt.Errorf("core: query has dim %d, want %d: %w", len(q), p.dim, ErrParam)
+	}
+	if scratch == nil {
+		scratch = p.NewScratch()
+	}
+	val, ok := p.predictOne(q, scratch)
+	if !ok {
+		return 0, fmt.Errorf("core: query point has no anchor within kernel support: %w", ErrIsolated)
+	}
+	return val, nil
+}
+
+// predictOne evaluates one dimension-checked query; ok = false means
+// isolated.
+func (p *NWPredictor) predictOne(q []float64, s *NWScratch) (float64, bool) {
+	var num, den float64
+	switch p.path {
+	case nwBrute:
+		for i, a := range p.x {
+			w := p.k.WeightDist2(kernel.Dist2(q, a))
+			if w > 0 {
+				num += w * p.v[i]
+				den += w
+			}
+		}
+	case nwGrid:
+		s.buf = p.grid.Candidates(q, s.buf[:0])
+		num, den = p.accumulate(q, s.buf, true)
+	case nwRadius:
+		s.buf = p.tree.Radius(q, -1, p.r2, s.buf[:0])
+		num, den = p.accumulate(q, s.buf, true)
+	case nwKNN:
+		s.buf = s.knnq.Do(q, -1, -1, s.buf[:0])
+		num, den = p.accumulate(q, s.buf, false)
+	}
+	if den == 0 {
+		return 0, false
+	}
+	return num / den, true
+}
+
+// accumulate sums the weighted anchor values over the candidate positions,
+// in ascending position order with zero weights skipped — the exact
+// accumulation the graph estimator runs. needSort re-sorts candidate sets
+// whose producers return them unsorted.
+func (p *NWPredictor) accumulate(q []float64, cand []int32, needSort bool) (num, den float64) {
+	if needSort {
+		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+	}
+	for _, c := range cand {
+		w := p.k.WeightDist2(kernel.Dist2(q, p.x[c]))
+		if w > 0 {
+			num += w * p.v[c]
+			den += w
+		}
+	}
+	return num, den
+}
+
+// Batch-path tiling constants: anchor rows stream through the multi-row
+// distance kernel in blocks of nwTileA while a tile of nwTileQ queries
+// stays cache-resident, so one pass over the anchor matrix serves the whole
+// query tile instead of one query. Per query the anchor order — and with it
+// every floating-point accumulation — is identical to predictOne's scan, so
+// tiling changes throughput, never bits.
+const (
+	nwTileQ = 16
+	nwTileA = 8
+)
+
+// PredictBatch evaluates the estimator at every query point, writing
+// estimates to dst and per-point outcomes to status (both sized len(qs)).
+// Results are bitwise-identical to per-point Predict calls at every worker
+// count; the brute path additionally tiles queries against anchor blocks,
+// the cache- and SIMD-level win that makes server-side micro-batching pay.
+func (p *NWPredictor) PredictBatch(dst []float64, status []NWStatus, qs [][]float64, workers int) {
+	if len(dst) != len(qs) || len(status) != len(qs) {
+		panic(fmt.Errorf("core: PredictBatch dst/status length mismatch: %w", ErrParam))
+	}
+	parallel.For(workers, len(qs), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			if len(qs[r]) != p.dim {
+				status[r] = NWBadDim
+			} else {
+				status[r] = NWOK
+			}
+		}
+		if p.path == nwBrute {
+			p.bruteTiled(dst, status, qs, lo, hi)
+			return
+		}
+		s := p.NewScratch()
+		for r := lo; r < hi; r++ {
+			if status[r] != NWOK {
+				continue
+			}
+			val, ok := p.predictOne(qs[r], s)
+			if !ok {
+				status[r] = NWIsolated
+				continue
+			}
+			dst[r] = val
+		}
+	})
+}
+
+// bruteTiled is the blocked brute-force batch kernel: queries in tiles of
+// nwTileQ, anchors in blocks of nwTileA through the batched distance
+// kernel. Each query still accumulates over anchors in strictly ascending
+// order with zero weights skipped, so every output is bitwise-identical to
+// the scalar scan in predictOne.
+func (p *NWPredictor) bruteTiled(dst []float64, status []NWStatus, qs [][]float64, lo, hi int) {
+	var (
+		num, den [nwTileQ]float64
+		d2       [nwTileA]float64
+	)
+	nA := len(p.x)
+	nBlk := nA - nA%nwTileA
+	for qlo := lo; qlo < hi; qlo += nwTileQ {
+		qhi := qlo + nwTileQ
+		if qhi > hi {
+			qhi = hi
+		}
+		for i := range num {
+			num[i], den[i] = 0, 0
+		}
+		for a := 0; a < nBlk; a += nwTileA {
+			rows := p.x[a : a+nwTileA]
+			vals := p.v[a : a+nwTileA]
+			for qi := qlo; qi < qhi; qi++ {
+				if status[qi] != NWOK {
+					continue
+				}
+				kernel.Dist2Rows(qs[qi], rows, d2[:])
+				t := qi - qlo
+				for r, dd := range d2 {
+					w := p.k.WeightDist2(dd)
+					if w > 0 {
+						num[t] += w * vals[r]
+						den[t] += w
+					}
+				}
+			}
+		}
+		for qi := qlo; qi < qhi; qi++ {
+			if status[qi] != NWOK {
+				continue
+			}
+			t := qi - qlo
+			for a := nBlk; a < nA; a++ {
+				w := p.k.WeightDist2(kernel.Dist2(qs[qi], p.x[a]))
+				if w > 0 {
+					num[t] += w * p.v[a]
+					den[t] += w
+				}
+			}
+			if den[t] == 0 {
+				status[qi] = NWIsolated
+				continue
+			}
+			dst[qi] = num[t] / den[t]
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/randx"
+)
+
+// predCase draws anchors, values, and off-sample query points.
+func predCase(seed int64, nAnchor, nQuery, d int) (anchors [][]float64, values []float64, queries [][]float64) {
+	rng := randx.New(seed)
+	draw := func(n int) [][]float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			xi := make([]float64, d)
+			for j := range xi {
+				v := rng.Norm()
+				if rng.Float64() < 0.3 {
+					v = math.Round(v) // exact ties
+				}
+				xi[j] = v
+			}
+			pts[i] = xi
+		}
+		return pts
+	}
+	anchors = draw(nAnchor)
+	values = make([]float64, nAnchor)
+	for i := range values {
+		values[i] = rng.Norm()
+	}
+	queries = draw(nQuery)
+	return anchors, values, queries
+}
+
+// TestNWPredictorBatchMatchesPredict checks the batch contract: PredictBatch
+// is bitwise-identical to per-point Predict at every worker count, on every
+// lookup path (brute incl. the tiled kernel, grid, KD-tree radius, k-NN).
+func TestNWPredictorBatchMatchesPredict(t *testing.T) {
+	cases := []struct {
+		name    string
+		k       *kernel.K
+		d, knn  int
+		nAnchor int
+	}{
+		{"gaussian-brute-tiled", kernel.MustNew(kernel.Gaussian, 1.5), 7, 0, 203},
+		{"gaussian-brute-small", kernel.MustNew(kernel.Gaussian, 1.5), 3, 0, 13},
+		{"epanechnikov-grid", kernel.MustNew(kernel.Epanechnikov, 2.5), 3, 0, 150},
+		{"tricube-kdtree-radius", kernel.MustNew(kernel.Tricube, 3.5), 9, 0, 150},
+		{"triangular-brute-highdim", kernel.MustNew(kernel.Triangular, 6), 18, 0, 150},
+		{"gaussian-knn", kernel.MustNew(kernel.Gaussian, 1.5), 5, 7, 150},
+		{"epanechnikov-knn", kernel.MustNew(kernel.Epanechnikov, 3), 5, 9, 150},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			anchors, values, queries := predCase(11, tc.nAnchor, 90, tc.d)
+			p, err := NewNWPredictor(anchors, values, tc.k, tc.knn, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float64, len(queries))
+			wantIso := make([]bool, len(queries))
+			s := p.NewScratch()
+			for i, q := range queries {
+				v, err := p.Predict(q, s)
+				if err != nil {
+					if !errors.Is(err, ErrIsolated) {
+						t.Fatalf("Predict(%d): %v", i, err)
+					}
+					wantIso[i] = true
+					continue
+				}
+				want[i] = v
+			}
+			for _, workers := range []int{1, 2, 3, 7} {
+				got := make([]float64, len(queries))
+				status := make([]NWStatus, len(queries))
+				p.PredictBatch(got, status, queries, workers)
+				for i := range queries {
+					if wantIso[i] {
+						if status[i] != NWIsolated {
+							t.Fatalf("w=%d query %d: want isolated, got status %d", workers, i, status[i])
+						}
+						continue
+					}
+					if status[i] != NWOK {
+						t.Fatalf("w=%d query %d: status %d", workers, i, status[i])
+					}
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("w=%d query %d: batch %v != predict %v", workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNWPredictorKNNSelection checks the k-NN path against brute-force
+// selection under the strict (squared distance, index) order.
+func TestNWPredictorKNNSelection(t *testing.T) {
+	k := kernel.MustNew(kernel.Gaussian, 2)
+	anchors, values, queries := predCase(29, 80, 40, 4)
+	const knn = 5
+	p, err := NewNWPredictor(anchors, values, k, knn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewScratch()
+	for qi, q := range queries {
+		// Brute k-NN selection with the same tie-break.
+		type cand struct {
+			d2  float64
+			idx int
+		}
+		cands := make([]cand, len(anchors))
+		for i, a := range anchors {
+			cands[i] = cand{kernel.Dist2(q, a), i}
+		}
+		sort.Slice(cands, func(a, b int) bool {
+			if cands[a].d2 != cands[b].d2 {
+				return cands[a].d2 < cands[b].d2
+			}
+			return cands[a].idx < cands[b].idx
+		})
+		sel := cands[:knn]
+		sort.Slice(sel, func(a, b int) bool { return sel[a].idx < sel[b].idx })
+		var num, den float64
+		for _, c := range sel {
+			w := k.WeightDist2(c.d2)
+			if w > 0 {
+				num += w * values[c.idx]
+				den += w
+			}
+		}
+		want := num / den
+		got, err := p.Predict(q, s)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("query %d: got %v want %v", qi, got, want)
+		}
+	}
+}
+
+// TestNWPredictorErrors covers construction and query validation.
+func TestNWPredictorErrors(t *testing.T) {
+	k := kernel.MustNew(kernel.Gaussian, 1)
+	anchors := [][]float64{{0, 0}, {1, 1}}
+	values := []float64{1, 2}
+	if _, err := NewNWPredictor(anchors, values, nil, 0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("nil kernel: %v", err)
+	}
+	if _, err := NewNWPredictor(nil, nil, k, 0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("no anchors: %v", err)
+	}
+	if _, err := NewNWPredictor(anchors, values[:1], k, 0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("value mismatch: %v", err)
+	}
+	if _, err := NewNWPredictor([][]float64{{}}, []float64{1}, k, 0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("zero-dim: %v", err)
+	}
+	if _, err := NewNWPredictor([][]float64{{0}, {1, 2}}, values, k, 0, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("ragged: %v", err)
+	}
+	if _, err := NewNWPredictor(anchors, values, k, -1, 1); !errors.Is(err, ErrParam) {
+		t.Fatalf("negative knn: %v", err)
+	}
+
+	p, err := NewNWPredictor(anchors, values, k, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Predict([]float64{1}, nil); !errors.Is(err, ErrParam) {
+		t.Fatalf("dim mismatch: %v", err)
+	}
+
+	// Compact kernel, far query: isolated.
+	pc, err := NewNWPredictor(anchors, values, kernel.MustNew(kernel.Uniform, 0.5), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Predict([]float64{50, 50}, nil); !errors.Is(err, ErrIsolated) {
+		t.Fatalf("isolated: %v", err)
+	}
+	dst := make([]float64, 2)
+	status := make([]NWStatus, 2)
+	pc.PredictBatch(dst, status, [][]float64{{50, 50}, {0}}, 1)
+	if status[0] != NWIsolated || status[1] != NWBadDim {
+		t.Fatalf("batch status = %v", status)
+	}
+}
+
+// Benchmarks comparing the per-point scan against the tiled batch kernel —
+// the single-core mechanism behind the serving micro-batcher.
+func BenchmarkNWPredict(b *testing.B) {
+	for _, cfg := range []struct {
+		nAnchor, d int
+		k          *kernel.K
+	}{
+		{4800, 32, kernel.MustNew(kernel.Triangular, 14)},
+		{8000, 128, kernel.MustNew(kernel.Triangular, 26)},
+		{8000, 256, kernel.MustNew(kernel.Triangular, 36)},
+	} {
+		anchors, values, queries := predCase(7, cfg.nAnchor, 64, cfg.d)
+		p, err := NewNWPredictor(anchors, values, cfg.k, 0, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("one/a%d_d%d", cfg.nAnchor, cfg.d), func(b *testing.B) {
+			s := p.NewScratch()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Predict(queries[i%len(queries)], s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch64/a%d_d%d", cfg.nAnchor, cfg.d), func(b *testing.B) {
+			dst := make([]float64, len(queries))
+			status := make([]NWStatus, len(queries))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PredictBatch(dst, status, queries, 1)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(queries)), "ns/point")
+		})
+	}
+}

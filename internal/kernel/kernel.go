@@ -185,6 +185,36 @@ func dist2Lanes(x, y []float64, nq int) (s0, s1, s2, s3 float64) {
 // indexes rely on that identity to reproduce brute-force graphs exactly.
 func Dist2(x, y []float64) float64 { return dist2(x, y) }
 
+// Dist2Rows fills out[i] with ‖q−rows[i]‖², batching the rows through the
+// multi-row distance kernels (AVX on amd64 hosts, the same path as the
+// pairwise matrix). Every entry is bitwise-identical to Dist2(q, rows[i]) —
+// the lane convention is shared — so batch evaluation is a pure throughput
+// optimization: it amortizes the loads of q and the loop overhead across
+// rows. The serving batch path leans on this to stream one anchor block
+// against many queries.
+func Dist2Rows(q []float64, rows [][]float64, out []float64) {
+	if len(out) < len(rows) {
+		panic(errors.New("kernel: Dist2Rows output shorter than rows"))
+	}
+	i := 0
+	var oct [8]float64
+	var octRows [8][]float64
+	for ; i+8 <= len(rows); i += 8 {
+		copy(octRows[:], rows[i:i+8])
+		dist2x8(q, &octRows, &oct)
+		copy(out[i:i+8], oct[:])
+	}
+	if i+4 <= len(rows) {
+		var quad [4]float64
+		dist2x4(q, rows[i], rows[i+1], rows[i+2], rows[i+3], &quad)
+		copy(out[i:i+4], quad[:])
+		i += 4
+	}
+	for ; i < len(rows); i++ {
+		out[i] = dist2(q, rows[i])
+	}
+}
+
 func dist2(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(errors.New("kernel: dimension mismatch"))

@@ -325,6 +325,44 @@ func (t *KDTree) visitable(boxD2, maxD2 float64, h *kdHeap) bool {
 	return !h.full() || !(boxD2 > h.worst().d2*(1+prunePad))
 }
 
+// KNNQuery holds reusable state for repeated single-point k-NN lookups
+// against one tree — the serving hot path, where the per-call heap
+// allocation of KNN would dominate small queries. A KNNQuery may be used by
+// one goroutine at a time; concurrent queries each need their own.
+type KNNQuery struct {
+	t *KDTree
+	h kdHeap
+}
+
+// NewKNNQuery prepares reusable query state selecting the k nearest points.
+func (t *KDTree) NewKNNQuery(k int) *KNNQuery {
+	if k < 0 {
+		k = 0
+	}
+	return &KNNQuery{t: t, h: kdHeap{cand: make([]kdCand, 0, k), cap: k}}
+}
+
+// Do runs one query, appending to buf exactly what t.KNN(pt, self, k,
+// maxD2, buf) would — the k nearest points under the strict (squared
+// distance, index) order, sorted ascending by index — without allocating.
+func (q *KNNQuery) Do(pt []float64, self int32, maxD2 float64, buf []int32) []int32 {
+	t := q.t
+	if len(pt) != t.dim {
+		panic(ErrParam)
+	}
+	if q.h.cap <= 0 {
+		return buf
+	}
+	q.h.cand = q.h.cand[:0]
+	t.knnVisit(t.root, pt, self, maxD2, &q.h)
+	start := len(buf)
+	for _, c := range q.h.cand {
+		buf = append(buf, c.idx)
+	}
+	sortInt32(buf[start:])
+	return buf
+}
+
 // Radius appends to buf every indexed point with squared distance <= r2
 // from q (excluding self; pass self < 0 to exclude nothing) and returns the
 // extended slice, unsorted. The comparison d² <= r2 is exact, so the result

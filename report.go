@@ -136,7 +136,14 @@ var (
 	solverChosen        = expvar.NewMap("graphssl.solver_chosen")
 	precondChosen       = expvar.NewMap("graphssl.precond_chosen")
 	precondSetupNanos   = expvar.NewInt("graphssl.precond_setup_nanos_total")
+	snapshotsTotal      = expvar.NewInt("graphssl.snapshots_total")
 )
+
+// countSnapshot updates the expvar counters from one successful Result
+// snapshot (the serve subsystem's model-freeze hook).
+func countSnapshot() {
+	snapshotsTotal.Add(1)
+}
 
 // countFit updates the expvar counters from one finished fit.
 func countFit(rep *Report, err error) {

@@ -1,0 +1,223 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// job is one caller's prediction request, parked until the dispatcher folds
+// it into a batch. Results land in dst/st (owned by the job, so a caller
+// that abandons the wait cannot race the dispatcher), then done closes.
+type job struct {
+	m    *Model
+	pts  [][]float64
+	dst  []float64
+	st   []pointStatus
+	done chan struct{}
+}
+
+// Batcher coalesces concurrent prediction requests into tiled batch
+// evaluations. On a single core the win is mechanical, not parallel: the
+// batch path streams anchor blocks through the SIMD multi-row distance
+// kernel against a cache-resident query tile, which measures ~3x faster per
+// point than the per-point scan. Admission is bounded in points, not
+// requests: work beyond Capacity is rejected with ErrOverloaded so latency
+// stays bounded under overload (HTTP 429 at the server layer).
+type Batcher struct {
+	maxBatch int           // flush when a batch reaches this many points
+	maxDelay time.Duration // flush a partial batch after this long
+	capacity int64         // max points admitted (queued + in flight)
+	workers  int
+
+	depth atomic.Int64 // admitted points not yet completed
+
+	mu     sync.RWMutex // guards closed and the queue send
+	closed bool
+	queue  chan *job
+
+	dispatcherDone chan struct{}
+}
+
+// NewBatcher starts a batcher flushing at maxBatch points or after maxDelay,
+// whichever comes first, and admitting at most capacity points at a time.
+// Non-positive arguments select the defaults (64 points, 500µs, 1024
+// points). Close must be called to release the dispatcher.
+func NewBatcher(maxBatch int, maxDelay time.Duration, capacity, workers int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 64
+	}
+	if maxDelay <= 0 {
+		maxDelay = 500 * time.Microsecond
+	}
+	if capacity < maxBatch {
+		if capacity > 0 {
+			capacity = maxBatch
+		} else {
+			capacity = 1024
+		}
+	}
+	b := &Batcher{
+		maxBatch: maxBatch,
+		maxDelay: maxDelay,
+		capacity: int64(capacity),
+		workers:  workers,
+		// Every admitted job carries >= 1 point, so at most capacity jobs
+		// are ever queued and a send under the admission budget never
+		// blocks.
+		queue:          make(chan *job, capacity),
+		dispatcherDone: make(chan struct{}),
+	}
+	liveBatchers.Store(b, struct{}{})
+	go b.dispatch()
+	return b
+}
+
+// Depth returns the number of admitted points not yet completed.
+func (b *Batcher) Depth() int64 { return b.depth.Load() }
+
+// admit reserves n points of queue budget, failing without blocking when
+// the budget is exhausted.
+func (b *Batcher) admit(n int64) bool {
+	for {
+		cur := b.depth.Load()
+		if cur+n > b.capacity {
+			return false
+		}
+		if b.depth.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}
+
+// Do submits pts for batched prediction against m and waits for the result
+// (or ctx). It returns ErrOverloaded when the queue budget is exhausted and
+// ErrDraining after Close. On ctx expiry the batch still completes in the
+// background; the returned slices are never written after Do returns.
+func (b *Batcher) Do(ctx context.Context, m *Model, pts [][]float64) ([]float64, []pointStatus, error) {
+	n := int64(len(pts))
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if !b.admit(n) {
+		return nil, nil, ErrOverloaded
+	}
+	j := &job{
+		m:    m,
+		pts:  pts,
+		dst:  make([]float64, len(pts)),
+		st:   make([]pointStatus, len(pts)),
+		done: make(chan struct{}),
+	}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		b.depth.Add(-n)
+		return nil, nil, ErrDraining
+	}
+	b.queue <- j
+	b.mu.RUnlock()
+	select {
+	case <-j.done:
+		return j.dst, j.st, nil
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// Close stops admission and waits for the dispatcher to drain every
+// admitted job. It is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.dispatcherDone
+		return
+	}
+	b.closed = true
+	close(b.queue)
+	b.mu.Unlock()
+	<-b.dispatcherDone
+	liveBatchers.Delete(b)
+}
+
+// dispatch coalesces queued jobs: it blocks for the first job of a batch,
+// then keeps folding jobs in until the batch holds maxBatch points or
+// maxDelay has passed, then evaluates. A closed queue drains fully before
+// the dispatcher exits, so Close never drops admitted work.
+func (b *Batcher) dispatch() {
+	defer close(b.dispatcherDone)
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		j, ok := <-b.queue
+		if !ok {
+			return
+		}
+		batch := []*job{j}
+		points := len(j.pts)
+		timer.Reset(b.maxDelay)
+	fill:
+		for points < b.maxBatch {
+			select {
+			case nj, ok := <-b.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, nj)
+				points += len(nj.pts)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		b.run(batch, points)
+	}
+}
+
+// run evaluates one coalesced batch. Jobs against the same model are
+// concatenated (in arrival order) into a single tiled evaluation, then
+// results scatter back to each job.
+func (b *Batcher) run(batch []*job, points int) {
+	countBatch(len(batch), points)
+	for lo := 0; lo < len(batch); {
+		m := batch[lo].m
+		hi := lo + 1
+		n := len(batch[lo].pts)
+		for hi < len(batch) && batch[hi].m == m {
+			n += len(batch[hi].pts)
+			hi++
+		}
+		if hi == lo+1 {
+			j := batch[lo]
+			m.predictInto(j.dst, j.st, j.pts, b.workers)
+		} else {
+			qs := make([][]float64, 0, n)
+			dst := make([]float64, n)
+			st := make([]pointStatus, n)
+			for _, j := range batch[lo:hi] {
+				qs = append(qs, j.pts...)
+			}
+			m.predictInto(dst, st, qs, b.workers)
+			off := 0
+			for _, j := range batch[lo:hi] {
+				copy(j.dst, dst[off:off+len(j.pts)])
+				copy(j.st, st[off:off+len(j.pts)])
+				off += len(j.pts)
+			}
+		}
+		lo = hi
+	}
+	for _, j := range batch {
+		close(j.done)
+	}
+	b.depth.Add(-int64(points))
+}

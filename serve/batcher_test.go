@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	graphssl "repro"
+)
+
+// batchModel builds a model big enough that batched evaluation does real
+// work, with well-spread anchors so nothing is isolated.
+func batchModel(t *testing.T) *Model {
+	t.Helper()
+	x, y, labeled := testData(21, 200, 6, 80)
+	snap := fitSnapshot(t, x, y, labeled, graphssl.WithBandwidth(1.5))
+	m, err := NewModel(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestBatcherCoalesces checks that concurrent submissions fold into shared
+// batches and every caller gets exactly the values a direct evaluation
+// produces.
+func TestBatcherCoalesces(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(64, 2*time.Millisecond, 1024, 1)
+	defer b.Close()
+	batches0, points0 := srvBatches.Value(), srvBatchedPoints.Value()
+
+	const callers = 16
+	const perCall = 4
+	queries := make([][][]float64, callers)
+	for c := range queries {
+		qs := make([][]float64, perCall)
+		for i := range qs {
+			qs[i] = make([]float64, m.Dim())
+			for j := range qs[i] {
+				qs[i][j] = 0.1 * float64(c+i+j)
+			}
+		}
+		queries[c] = qs
+	}
+	var wg sync.WaitGroup
+	results := make([][]float64, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			dst, st, err := b.Do(context.Background(), m, queries[c])
+			if err != nil {
+				t.Errorf("caller %d: %v", c, err)
+				return
+			}
+			for i, s := range st {
+				if s != psOK {
+					t.Errorf("caller %d point %d: status %d", c, i, s)
+				}
+			}
+			results[c] = dst
+		}(c)
+	}
+	wg.Wait()
+	for c := 0; c < callers; c++ {
+		want, errs := m.PredictBatch(queries[c])
+		if errs != nil {
+			t.Fatalf("caller %d direct: %v", c, errs)
+		}
+		for i := range want {
+			if math.Float64bits(results[c][i]) != math.Float64bits(want[i]) {
+				t.Fatalf("caller %d point %d: %v != %v", c, i, results[c][i], want[i])
+			}
+		}
+	}
+	batches := srvBatches.Value() - batches0
+	points := srvBatchedPoints.Value() - points0
+	if points != callers*perCall {
+		t.Fatalf("batched points = %d, want %d", points, callers*perCall)
+	}
+	if batches < 1 || batches > callers {
+		t.Fatalf("batches = %d", batches)
+	}
+	if b.Depth() != 0 {
+		t.Fatalf("depth = %d after drain", b.Depth())
+	}
+}
+
+// TestBatcherOverload checks points-bounded admission: one request larger
+// than the budget is rejected without blocking.
+func TestBatcherOverload(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(4, time.Millisecond, 8, 1)
+	defer b.Close()
+	big := make([][]float64, 16)
+	for i := range big {
+		big[i] = make([]float64, m.Dim())
+	}
+	if _, _, err := b.Do(context.Background(), m, big); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("oversized request: %v", err)
+	}
+	if b.Depth() != 0 {
+		t.Fatalf("rejected request leaked depth %d", b.Depth())
+	}
+	// Within budget still works.
+	if _, _, err := b.Do(context.Background(), m, big[:8]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherDrain checks Close semantics: admitted work completes, late
+// work is refused, Close is idempotent.
+func TestBatcherDrain(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(8, 5*time.Millisecond, 256, 1)
+	qs := [][]float64{make([]float64, m.Dim()), make([]float64, m.Dim())}
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, st, err := b.Do(context.Background(), m, qs)
+			if err != nil {
+				if !errors.Is(err, ErrDraining) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				return
+			}
+			for i, s := range st {
+				if s != psOK {
+					t.Errorf("point %d: status %d", i, s)
+				}
+			}
+		}()
+	}
+	b.Close()
+	wg.Wait()
+	if _, _, err := b.Do(context.Background(), m, qs); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-close: %v", err)
+	}
+	if b.Depth() != 0 {
+		t.Fatalf("depth = %d after close", b.Depth())
+	}
+	b.Close() // idempotent
+}
+
+// TestBatcherContext checks that an expired context releases the caller.
+func TestBatcherContext(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(64, 50*time.Millisecond, 256, 1)
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := [][]float64{make([]float64, m.Dim())}
+	// The job may complete before the select observes cancellation; both
+	// outcomes are legal, hanging is not.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, err := b.Do(ctx, m, qs)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("canceled ctx: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Do hung on canceled context")
+	}
+	// Empty submissions are no-ops.
+	if _, _, err := b.Do(context.Background(), m, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatcherMixedModels checks that one coalesced batch spanning several
+// models scatters each caller's results against its own model.
+func TestBatcherMixedModels(t *testing.T) {
+	m1, m2 := batchModel(t), smallModel(t)
+	b := NewBatcher(64, 5*time.Millisecond, 1024, 1)
+	defer b.Close()
+	qs1 := [][]float64{make([]float64, m1.Dim())}
+	qs2 := [][]float64{{0.2, 0.1}}
+	var wg sync.WaitGroup
+	var r1, r2 []float64
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		dst, _, err := b.Do(context.Background(), m1, qs1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r1 = dst
+	}()
+	go func() {
+		defer wg.Done()
+		dst, _, err := b.Do(context.Background(), m2, qs2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r2 = dst
+	}()
+	wg.Wait()
+	w1, _ := m1.PredictBatch(qs1)
+	w2, _ := m2.PredictBatch(qs2)
+	if math.Float64bits(r1[0]) != math.Float64bits(w1[0]) {
+		t.Fatalf("model 1: %v != %v", r1[0], w1[0])
+	}
+	if math.Float64bits(r2[0]) != math.Float64bits(w2[0]) {
+		t.Fatalf("model 2: %v != %v", r2[0], w2[0])
+	}
+}

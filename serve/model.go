@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	graphssl "repro"
+	"repro/internal/core"
+	"repro/internal/kernel"
+)
+
+// AnchorSet selects which training points a served model anchors its
+// inductive Nadaraya–Watson extension on.
+type AnchorSet uint8
+
+const (
+	// AnchorLabeled anchors on the labeled points with their fitted
+	// scores. Under the hard criterion the fitted labeled scores are
+	// exactly the observed responses, so Predict at an in-sample point is
+	// bitwise-identical to the NadarayaWatson baseline on a default-built
+	// graph. This is the default.
+	AnchorLabeled AnchorSet = iota
+	// AnchorAll anchors on every training point with its fitted score —
+	// the Delalleau-style induction, which also propagates the structure
+	// the fit extracted from the unlabeled points.
+	AnchorAll
+)
+
+// String names the anchor set for reports and the HTTP API.
+func (a AnchorSet) String() string {
+	if a == AnchorAll {
+		return "all"
+	}
+	return "labeled"
+}
+
+// Model is an immutable serving snapshot: a frozen inductive predictor plus
+// the hyperparameters it was fitted with. It is safe for unbounded
+// concurrent use; all mutable prediction state is per-call.
+type Model struct {
+	dim       int
+	kind      kernel.Kind
+	bandwidth float64
+	knn       int
+	lambda    float64
+	anchorSet AnchorSet
+	trainN    int
+	labeledN  int
+	pred      *core.NWPredictor
+	workers   int
+}
+
+// ModelOption configures NewModel.
+type ModelOption func(*modelConfig)
+
+type modelConfig struct {
+	anchorSet AnchorSet
+	workers   int
+}
+
+// WithAnchorSet selects the anchor set (default AnchorLabeled).
+func WithAnchorSet(a AnchorSet) ModelOption {
+	return func(c *modelConfig) { c.anchorSet = a }
+}
+
+// WithWorkers bounds the parallelism of batch predictions made through this
+// model (<= 0 selects GOMAXPROCS, 1 runs serially). Worker count never
+// changes results.
+func WithWorkers(w int) ModelOption {
+	return func(c *modelConfig) { c.workers = w }
+}
+
+// NewModel freezes a fitted snapshot into a servable model. The snapshot's
+// anchor points are deep-copied out, so the caller may keep mutating its
+// own data afterwards.
+func NewModel(snap *graphssl.ModelSnapshot, opts ...ModelOption) (*Model, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil snapshot: %w", ErrSnapshot)
+	}
+	cfg := modelConfig{anchorSet: AnchorLabeled, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	dim := snap.Dim()
+	if dim == 0 {
+		return nil, fmt.Errorf("serve: empty snapshot: %w", ErrSnapshot)
+	}
+	if len(snap.Scores) != len(snap.X) {
+		return nil, fmt.Errorf("serve: %d scores for %d points: %w", len(snap.Scores), len(snap.X), ErrSnapshot)
+	}
+	k, err := kernel.New(snap.Kernel, snap.Bandwidth)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot kernel: %w", ErrSnapshot)
+	}
+
+	// Anchor points in ascending node order with their fitted scores —
+	// the accumulation order that keeps Predict bitwise-identical to the
+	// transductive estimators.
+	var nodes []int
+	switch cfg.anchorSet {
+	case AnchorLabeled:
+		if len(snap.Labeled) == 0 {
+			return nil, fmt.Errorf("serve: snapshot has no labeled points: %w", ErrSnapshot)
+		}
+		nodes = append([]int(nil), snap.Labeled...)
+		sort.Ints(nodes)
+	case AnchorAll:
+		nodes = make([]int, len(snap.X))
+		for i := range nodes {
+			nodes[i] = i
+		}
+	default:
+		return nil, fmt.Errorf("serve: anchor set %d: %w", cfg.anchorSet, ErrSnapshot)
+	}
+	anchors := make([][]float64, len(nodes))
+	values := make([]float64, len(nodes))
+	for p, node := range nodes {
+		if node < 0 || node >= len(snap.X) {
+			return nil, fmt.Errorf("serve: snapshot labeled index %d outside [0,%d): %w", node, len(snap.X), ErrSnapshot)
+		}
+		if len(snap.X[node]) != dim {
+			return nil, fmt.Errorf("serve: snapshot point %d has dim %d, want %d: %w", node, len(snap.X[node]), dim, ErrSnapshot)
+		}
+		anchors[p] = append([]float64(nil), snap.X[node]...)
+		values[p] = snap.Scores[node]
+	}
+	pred, err := core.NewNWPredictor(anchors, values, k, snap.KNN, cfg.workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: snapshot predictor: %w", ErrSnapshot)
+	}
+	return &Model{
+		dim:       dim,
+		kind:      snap.Kernel,
+		bandwidth: snap.Bandwidth,
+		knn:       snap.KNN,
+		lambda:    snap.Lambda,
+		anchorSet: cfg.anchorSet,
+		trainN:    len(snap.X),
+		labeledN:  len(snap.Labeled),
+		pred:      pred,
+		workers:   cfg.workers,
+	}, nil
+}
+
+// Dim returns the input dimension query points must have.
+func (m *Model) Dim() int { return m.dim }
+
+// NumAnchors returns the number of anchor points the model predicts from.
+func (m *Model) NumAnchors() int { return m.pred.NumAnchors() }
+
+// Info describes the model for the HTTP API and reports.
+type Info struct {
+	Dim       int     `json:"dim"`
+	Kernel    string  `json:"kernel"`
+	Bandwidth float64 `json:"bandwidth"`
+	KNN       int     `json:"knn,omitempty"`
+	Lambda    float64 `json:"lambda"`
+	AnchorSet string  `json:"anchor_set"`
+	Anchors   int     `json:"anchors"`
+	TrainN    int     `json:"train_n"`
+	LabeledN  int     `json:"labeled_n"`
+}
+
+// Info returns the model's hyperparameters and sizes.
+func (m *Model) Info() Info {
+	return Info{
+		Dim:       m.dim,
+		Kernel:    m.kind.String(),
+		Bandwidth: m.bandwidth,
+		KNN:       m.knn,
+		Lambda:    m.lambda,
+		AnchorSet: m.anchorSet.String(),
+		Anchors:   m.pred.NumAnchors(),
+		TrainN:    m.trainN,
+		LabeledN:  m.labeledN,
+	}
+}
+
+// pointStatus is the per-point outcome of a batched prediction.
+type pointStatus uint8
+
+const (
+	psOK pointStatus = iota
+	psBadPoint
+	psIsolated
+)
+
+// err maps a non-OK status to its sentinel.
+func (s pointStatus) err() error {
+	switch s {
+	case psBadPoint:
+		return ErrPoint
+	case psIsolated:
+		return ErrIsolated
+	default:
+		return nil
+	}
+}
+
+// checkPoint validates one query point against the model.
+func (m *Model) checkPoint(q []float64) bool {
+	if len(q) != m.dim {
+		return false
+	}
+	for _, v := range q {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Predict evaluates the inductive estimator at one query point. It returns
+// ErrPoint for a malformed point and ErrIsolated when the point has zero
+// similarity mass to every anchor.
+func (m *Model) Predict(q []float64) (float64, error) {
+	if !m.checkPoint(q) {
+		return 0, fmt.Errorf("serve: point has dim %d, want %d finite coordinates: %w", len(q), m.dim, ErrPoint)
+	}
+	v, err := m.pred.Predict(q, nil)
+	if err != nil {
+		return 0, fmt.Errorf("serve: no anchor within kernel support: %w", ErrIsolated)
+	}
+	return v, nil
+}
+
+// PredictBatch evaluates the estimator at every query point, returning the
+// estimates and, when some points fail, a per-point error slice (nil
+// entries mark successes). The batch path tiles queries against anchor
+// blocks, so large batches run substantially faster per point than repeated
+// Predict calls while staying bitwise-identical to them.
+func (m *Model) PredictBatch(qs [][]float64) ([]float64, []error) {
+	dst := make([]float64, len(qs))
+	st := make([]pointStatus, len(qs))
+	m.predictInto(dst, st, qs, m.workers)
+	var errs []error
+	for i, s := range st {
+		if s != psOK {
+			if errs == nil {
+				errs = make([]error, len(qs))
+			}
+			errs[i] = s.err()
+		}
+	}
+	return dst, errs
+}
+
+// predictSerial evaluates qs one point at a time through the scalar
+// per-point path — the unbatched serving baseline. Results are
+// bitwise-identical to predictInto; only the throughput differs.
+func (m *Model) predictSerial(dst []float64, st []pointStatus, qs [][]float64) {
+	for i, q := range qs {
+		if !m.checkPoint(q) {
+			st[i] = psBadPoint
+			continue
+		}
+		v, err := m.pred.Predict(q, nil)
+		if err != nil {
+			st[i] = psIsolated
+			continue
+		}
+		dst[i] = v
+	}
+}
+
+// predictInto is the allocation-lean batch core used by the batcher: dst
+// and st are caller-owned slices sized len(qs). Malformed points are
+// screened before the compute pass and never reach the predictor.
+func (m *Model) predictInto(dst []float64, st []pointStatus, qs [][]float64, workers int) {
+	bad := false
+	for i, q := range qs {
+		if !m.checkPoint(q) {
+			st[i] = psBadPoint
+			bad = true
+		}
+	}
+	n := len(qs)
+	if bad {
+		// Compact the good points so the tiled kernel sees a clean batch.
+		good := make([][]float64, 0, n)
+		pos := make([]int, 0, n)
+		for i, q := range qs {
+			if st[i] == psOK {
+				good = append(good, q)
+				pos = append(pos, i)
+			}
+		}
+		if len(good) == 0 {
+			return
+		}
+		gdst := make([]float64, len(good))
+		gst := make([]core.NWStatus, len(good))
+		m.pred.PredictBatch(gdst, gst, good, workers)
+		for r, i := range pos {
+			switch gst[r] {
+			case core.NWOK:
+				dst[i] = gdst[r]
+			default:
+				st[i] = psIsolated
+			}
+		}
+		return
+	}
+	cst := make([]core.NWStatus, n)
+	m.pred.PredictBatch(dst, cst, qs, workers)
+	for i, s := range cst {
+		if s != core.NWOK {
+			st[i] = psIsolated
+			dst[i] = 0
+		}
+	}
+}

@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	graphssl "repro"
+	"repro/internal/kernel"
+)
+
+// Config tunes a Server. The zero value selects the defaults noted on each
+// field.
+type Config struct {
+	// MaxBatch is the batch flush size in points (default 64).
+	MaxBatch int
+	// BatchDelay is how long a partial batch waits for company before it
+	// flushes anyway (default 500µs).
+	BatchDelay time.Duration
+	// QueueDepth bounds the admitted-but-unfinished points; requests
+	// beyond it get 429 (default 1024).
+	QueueDepth int
+	// Workers bounds batch-evaluation parallelism (default 1; <= 0
+	// selects GOMAXPROCS). Worker count never changes results.
+	Workers int
+	// NoBatch disables the micro-batcher: every request is evaluated
+	// inline, point by point, without the tiled batch kernel — the
+	// baseline the batching win is measured against.
+	NoBatch bool
+	// PredictTimeout bounds one predict request (default 10s).
+	PredictTimeout time.Duration
+	// FitTimeout bounds one fit request (default 120s).
+	FitTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 64 MiB).
+	MaxBodyBytes int64
+	// MaxPoints bounds the points in one predict request (default 4096).
+	MaxPoints int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 500 * time.Microsecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.PredictTimeout <= 0 {
+		c.PredictTimeout = 10 * time.Second
+	}
+	if c.FitTimeout <= 0 {
+		c.FitTimeout = 120 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxPoints <= 0 {
+		c.MaxPoints = 4096
+	}
+}
+
+// Server is the HTTP serving layer: a model registry behind a JSON API with
+// micro-batched prediction, admission control, and a drain switch for
+// graceful shutdown. Create with NewServer, mount Handler on an
+// http.Server, and on shutdown call BeginDrain, then http.Server.Shutdown,
+// then Close.
+type Server struct {
+	cfg      Config
+	registry *Registry
+	batcher  *Batcher
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// NewServer builds a server around an empty registry.
+func NewServer(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{cfg: cfg, registry: &Registry{}}
+	if !cfg.NoBatch {
+		s.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchDelay, cfg.QueueDepth, cfg.Workers)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/models/{name}", s.handleFit)
+	mux.HandleFunc("GET /v1/models", s.handleList)
+	mux.HandleFunc("GET /v1/models/{name}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/models/{name}", s.handleDelete)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s
+}
+
+// Registry exposes the server's model registry (for in-process publication,
+// e.g. pre-loading a model before listening).
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Handler returns the HTTP handler to mount.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips readiness to 503 and rejects new fits, while predictions
+// keep flowing so a load balancer can cut traffic over without dropping
+// in-flight work. Call before http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close drains and stops the batcher, waiting for every admitted job. Call
+// after http.Server.Shutdown has returned (no handlers in flight).
+func (s *Server) Close() {
+	s.BeginDrain()
+	if s.batcher != nil {
+		s.batcher.Close()
+	}
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// fail maps a serving error to its HTTP status and writes the envelope.
+func fail(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrIsolated):
+		code = http.StatusUnprocessableEntity
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+		countRejected()
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	}
+	if code != http.StatusTooManyRequests {
+		countError()
+	}
+	writeJSON(w, code, httpError{Error: err.Error()})
+}
+
+// decodeBody JSON-decodes a size-capped request body into v.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %v: %w", err, ErrPoint)
+	}
+	return nil
+}
+
+// predictRequest is the body of POST /v1/predict.
+type predictRequest struct {
+	Model  string      `json:"model"`
+	Points [][]float64 `json:"points"`
+}
+
+// predictResponse answers a predict request. Errors, when present, aligns
+// with Points; empty strings mark successes.
+type predictResponse struct {
+	Model   string    `json:"model"`
+	Version int64     `json:"version"`
+	Scores  []float64 `json:"scores"`
+	Errors  []string  `json:"errors,omitempty"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req predictRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	if len(req.Points) == 0 {
+		fail(w, fmt.Errorf("serve: no points: %w", ErrPoint))
+		return
+	}
+	if len(req.Points) > s.cfg.MaxPoints {
+		fail(w, fmt.Errorf("serve: %d points exceeds the per-request limit %d: %w", len(req.Points), s.cfg.MaxPoints, ErrPoint))
+		return
+	}
+	e, err := s.registry.Load(req.Model)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PredictTimeout)
+	defer cancel()
+	var (
+		dst []float64
+		st  []pointStatus
+	)
+	if s.batcher != nil {
+		dst, st, err = s.batcher.Do(ctx, e.Model, req.Points)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				err = fmt.Errorf("serve: request canceled: %w", err)
+			}
+			fail(w, err)
+			return
+		}
+	} else {
+		dst = make([]float64, len(req.Points))
+		st = make([]pointStatus, len(req.Points))
+		e.Model.predictSerial(dst, st, req.Points)
+	}
+	resp := predictResponse{Model: e.Name, Version: e.Version, Scores: dst}
+	for i, ps := range st {
+		if ps != psOK {
+			if resp.Errors == nil {
+				resp.Errors = make([]string, len(st))
+			}
+			resp.Errors[i] = ps.err().Error()
+		}
+	}
+	countRequest(len(req.Points), time.Since(start))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fitRequest is the body of POST /v1/models/{name}: training data plus the
+// fit hyperparameters. Zero values select the library defaults (Gaussian
+// kernel, paper bandwidth, dense graph, hard criterion).
+type fitRequest struct {
+	X       [][]float64 `json:"x"`
+	Y       []float64   `json:"y"`
+	Labeled []int       `json:"labeled,omitempty"`
+	Kernel  string      `json:"kernel,omitempty"`
+	// Bandwidth > 0 fixes h; otherwise the paper rule is used.
+	Bandwidth float64  `json:"bandwidth,omitempty"`
+	KNN       int      `json:"knn,omitempty"`
+	Lambda    *float64 `json:"lambda,omitempty"`
+	// AnchorSet is "labeled" (default) or "all".
+	AnchorSet string `json:"anchor_set,omitempty"`
+}
+
+// fitResponse answers a fit request.
+type fitResponse struct {
+	Model   string  `json:"model"`
+	Version int64   `json:"version"`
+	Info    Info    `json:"info"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		fail(w, ErrDraining)
+		return
+	}
+	name := r.PathValue("name")
+	if !validName(name) {
+		fail(w, fmt.Errorf("serve: model name %q: %w", name, ErrName))
+		return
+	}
+	var req fitRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	var anchorSet AnchorSet
+	switch req.AnchorSet {
+	case "", "labeled":
+		anchorSet = AnchorLabeled
+	case "all":
+		anchorSet = AnchorAll
+	default:
+		fail(w, fmt.Errorf("serve: anchor_set %q (want \"labeled\" or \"all\"): %w", req.AnchorSet, ErrPoint))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FitTimeout)
+	defer cancel()
+	opts := []graphssl.Option{graphssl.WithContext(ctx), graphssl.WithWorkers(s.cfg.Workers)}
+	if req.Kernel != "" {
+		kind, err := kernel.Parse(req.Kernel)
+		if err != nil {
+			fail(w, fmt.Errorf("serve: %v: %w", err, ErrPoint))
+			return
+		}
+		opts = append(opts, graphssl.WithKernel(kind))
+	}
+	if req.Bandwidth != 0 {
+		opts = append(opts, graphssl.WithBandwidth(req.Bandwidth))
+	}
+	if req.KNN != 0 {
+		opts = append(opts, graphssl.WithKNN(req.KNN))
+	}
+	if req.Lambda != nil {
+		opts = append(opts, graphssl.WithLambda(*req.Lambda))
+	}
+	start := time.Now()
+	res, err := graphssl.Fit(req.X, req.Y, req.Labeled, opts...)
+	if err != nil {
+		if ctx.Err() != nil {
+			fail(w, context.DeadlineExceeded)
+			return
+		}
+		fail(w, fmt.Errorf("serve: fit: %v: %w", err, ErrPoint))
+		return
+	}
+	snap, err := res.Snapshot(req.X, req.Y)
+	if err != nil {
+		fail(w, fmt.Errorf("serve: snapshot: %v: %w", err, ErrPoint))
+		return
+	}
+	m, err := NewModel(snap, WithAnchorSet(anchorSet), WithWorkers(s.cfg.Workers))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	e, err := s.registry.Store(name, m)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	setModelVersion(e.Name, e.Version)
+	writeJSON(w, http.StatusOK, fitResponse{
+		Model:   e.Name,
+		Version: e.Version,
+		Info:    m.Info(),
+		Seconds: time.Since(start).Seconds(),
+	})
+}
+
+// modelEntry lists one registry entry.
+type modelEntry struct {
+	Model   string `json:"model"`
+	Version int64  `json:"version"`
+	Info    Info   `json:"info"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.registry.Entries()
+	out := make([]modelEntry, len(entries))
+	for i, e := range entries {
+		out[i] = modelEntry{Model: e.Name, Version: e.Version, Info: e.Model.Info()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"models": out})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	e, err := s.registry.Load(r.PathValue("name"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelEntry{Model: e.Name, Version: e.Version, Info: e.Model.Info()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.registry.Delete(name); err != nil {
+		fail(w, err)
+		return
+	}
+	clearModelVersion(name)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": s.registry.Len()})
+}
