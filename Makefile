@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench fuzz fuzz-smoke cover alloc-gate serve-smoke
+.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench fuzz fuzz-smoke cover alloc-gate serve-smoke
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -26,9 +26,11 @@ race-concurrency:
 	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/...
 
 # Allocation-regression gate: the warm PCG/CG solve path (pooled workspace
-# + held destination) must stay at exactly zero heap allocations per solve.
+# + held destination) and the serving predict hot path (pooled scratch,
+# pooled batcher jobs) must stay at exactly zero heap allocations per op.
 alloc-gate:
 	$(GO) test -run 'TestZeroAllocSolve' -v ./internal/sparse/ ./internal/precond/
+	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/
 
 # The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
 # targets separately.
@@ -65,6 +67,11 @@ perfbench:
 	$(GO) run ./cmd/perfbench -out results/BENCH_parallel.json
 	$(GO) run ./cmd/perfbench -suite spatial -out results/BENCH_spatial.json
 	$(GO) run ./cmd/perfbench -suite robust -out results/BENCH_robust.json
+	$(GO) run ./cmd/perfbench -suite serve -out results/BENCH_serve.json
+
+# Refreshes just the serving-path load test (batched x cached grid over
+# 1/4/16/64 clients) after hot-path changes.
+serve-bench:
 	$(GO) run ./cmd/perfbench -suite serve -out results/BENCH_serve.json
 
 # End-to-end smoke of the serving subsystem: boots sslserve on a free port,

@@ -6,6 +6,7 @@
 //
 //	sslserve [-addr :8080] [-max-batch 64] [-batch-delay 500us]
 //	         [-queue 1024] [-workers 1] [-no-batch]
+//	         [-cache-size 8192] [-model-budget 0] [-max-queue-wait 0]
 //	         [-predict-timeout 10s] [-fit-timeout 120s]
 //
 // Endpoints:
@@ -62,6 +63,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		queueDepth     = fs.Int("queue", 1024, "admission queue depth in points (excess gets 429)")
 		workers        = fs.Int("workers", 1, "evaluation workers (<=0 = all cores)")
 		noBatch        = fs.Bool("no-batch", false, "disable the micro-batcher (evaluate each request inline)")
+		cacheSize      = fs.Int("cache-size", 8192, "prediction cache entries (negative disables)")
+		modelBudget    = fs.Int("model-budget", 0, "max in-flight uncached points per model (0 = unlimited)")
+		maxQueueWait   = fs.Duration("max-queue-wait", 0, "shed when estimated queue drain exceeds this (0 = predict timeout)")
 		predictTimeout = fs.Duration("predict-timeout", 10*time.Second, "per-request predict timeout")
 		fitTimeout     = fs.Duration("fit-timeout", 120*time.Second, "per-request fit timeout")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
@@ -76,6 +80,9 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		QueueDepth:     *queueDepth,
 		Workers:        *workers,
 		NoBatch:        *noBatch,
+		CacheSize:      *cacheSize,
+		ModelBudget:    *modelBudget,
+		MaxQueueWait:   *maxQueueWait,
 		PredictTimeout: *predictTimeout,
 		FitTimeout:     *fitTimeout,
 	})

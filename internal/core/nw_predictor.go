@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/kernel"
 	"repro/internal/parallel"
@@ -24,9 +26,23 @@ const (
 	// dim <= 16).
 	nwRadius
 	// nwKNN restricts each query to its k nearest anchors (k-NN-built
-	// fits).
+	// fits, or serving-side top-m truncation).
 	nwKNN
 )
+
+// String names the lookup path for diagnostics and the serving API.
+func (p nwPath) String() string {
+	switch p {
+	case nwGrid:
+		return "grid"
+	case nwRadius:
+		return "kdtree"
+	case nwKNN:
+		return "knn"
+	default:
+		return "brute"
+	}
+}
 
 // NWPredictor is the frozen, inductive form of the paper's Eq. 6 estimator:
 // a fixed set of anchor points with values, a kernel, and a spatial-lookup
@@ -46,8 +62,16 @@ const (
 // k-NN-sparsified graph (the transductive graph symmetrizes neighbour sets
 // across points, which has no out-of-sample counterpart).
 //
+// Every lookup path streams its distance evaluations through the multi-row
+// SIMD kernel (kernel.Dist2Rows) in blocks of nwTileA anchors. The kernel's
+// entries are bitwise-identical to per-pair kernel.Dist2 calls and the
+// weighted accumulation still runs one anchor at a time in ascending order,
+// so vectorization changes throughput, never bits — the same contract the
+// pairwise-distance layer has kept since the parallel substrate landed.
+//
 // A predictor is immutable after construction and safe for concurrent use;
-// per-goroutine mutable state lives in NWScratch.
+// per-goroutine mutable state lives in NWScratch (pooled internally, so
+// passing a nil scratch stays allocation-free once warm).
 type NWPredictor struct {
 	dim  int
 	k    *kernel.K
@@ -58,6 +82,8 @@ type NWPredictor struct {
 	grid *spatial.Grid   // nwGrid
 	tree *spatial.KDTree // nwRadius and nwKNN
 	r2   float64         // nwRadius: squared support radius
+
+	pool sync.Pool // *NWScratch
 }
 
 // nwMinIndexAnchors is the minimum anchor count before a compact-support
@@ -133,12 +159,23 @@ func (p *NWPredictor) NumAnchors() int { return len(p.x) }
 // KNN returns the per-query neighbour restriction (0 = full support).
 func (p *NWPredictor) KNN() int { return p.knn }
 
+// Path names the anchor-lookup route this predictor resolved to: "brute",
+// "grid", "kdtree" (radius ball rejection), or "knn" (top-k truncation).
+func (p *NWPredictor) Path() string { return p.path.String() }
+
 // NWScratch holds the per-goroutine mutable state of repeated predictions:
-// the candidate buffer and, for k-NN predictors, the reusable bounded
-// priority queue. One scratch serves one goroutine at a time.
+// the candidate buffer, the SIMD gather/distance tiles, and, for k-NN
+// predictors, the reusable bounded priority queue. One scratch serves one
+// goroutine at a time.
 type NWScratch struct {
 	buf  []int32
 	knnq *spatial.KNNQuery
+	rows [nwTileA][]float64 // gather tile for candidate-path SIMD blocks
+	d2   [nwTileA]float64   // distance tile shared by all per-point paths
+
+	// Diagnostics of the most recent prediction made with this scratch.
+	pruned int     // anchors skipped without a distance evaluation
+	bound  float64 // truncation residual-mass bound (0 = exact)
 }
 
 // NewScratch allocates prediction scratch sized for this predictor.
@@ -148,6 +185,41 @@ func (p *NWPredictor) NewScratch() *NWScratch {
 		s.knnq = p.tree.NewKNNQuery(p.knn)
 	}
 	return s
+}
+
+// GetScratch returns a pooled scratch (allocating only when the pool is
+// empty). Pair with PutScratch to keep warm per-point prediction loops at
+// zero heap allocations.
+func (p *NWPredictor) GetScratch() *NWScratch {
+	if s, ok := p.pool.Get().(*NWScratch); ok {
+		return s
+	}
+	return p.NewScratch()
+}
+
+// PutScratch returns a scratch obtained from GetScratch to the pool.
+func (p *NWPredictor) PutScratch(s *NWScratch) {
+	if s != nil {
+		p.pool.Put(s)
+	}
+}
+
+// LastStats reports diagnostics of the most recent prediction made through
+// this scratch: how many anchors the spatial index pruned (or the top-k
+// truncation skipped) without evaluating a distance, and the residual-mass
+// bound of that truncation. For the exact paths — brute, grid, and KD-tree
+// radius, whose skipped anchors provably carry zero kernel weight — the
+// bound is exactly 0. For the k-NN path the bound is
+//
+//	R / (den + R),   R = (N − m) · K_h(d_m),
+//
+// where d_m is the m-th nearest-anchor distance and den the selected kernel
+// mass: every skipped anchor is at distance >= d_m, kernel profiles are
+// non-increasing, so R bounds the skipped mass and the reported value
+// bounds the fraction of total kernel mass the truncation can have
+// discarded. |f_trunc − f_full| <= bound · max_j |v_j − f_trunc|.
+func (s *NWScratch) LastStats() (pruned int, residualBound float64) {
+	return s.pruned, s.bound
 }
 
 // NWStatus reports the outcome of one batched prediction.
@@ -163,16 +235,27 @@ const (
 	NWIsolated
 )
 
+// NWBatchStats aggregates pruning diagnostics across one batched
+// prediction. Counters are summed atomically, so one stats value can be
+// shared across worker chunks (and across batches, for long-lived meters).
+type NWBatchStats struct {
+	// AnchorsPruned counts anchors skipped without a distance evaluation,
+	// summed over all points of the batch.
+	AnchorsPruned int64
+}
+
 // Predict evaluates the estimator at one query point. It returns ErrParam
 // for a dimension mismatch and ErrIsolated when the query has zero
-// similarity mass to every anchor. scratch may be nil (one is allocated);
-// passing one amortizes allocations across calls.
+// similarity mass to every anchor. scratch may be nil (one is borrowed from
+// the predictor's pool); passing one amortizes lookups across calls and
+// exposes LastStats.
 func (p *NWPredictor) Predict(q []float64, scratch *NWScratch) (float64, error) {
 	if len(q) != p.dim {
 		return 0, fmt.Errorf("core: query has dim %d, want %d: %w", len(q), p.dim, ErrParam)
 	}
 	if scratch == nil {
-		scratch = p.NewScratch()
+		scratch = p.GetScratch()
+		defer p.PutScratch(scratch)
 	}
 	val, ok := p.predictOne(q, scratch)
 	if !ok {
@@ -185,24 +268,29 @@ func (p *NWPredictor) Predict(q []float64, scratch *NWScratch) (float64, error) 
 // isolated.
 func (p *NWPredictor) predictOne(q []float64, s *NWScratch) (float64, bool) {
 	var num, den float64
+	s.pruned, s.bound = 0, 0
 	switch p.path {
 	case nwBrute:
-		for i, a := range p.x {
-			w := p.k.WeightDist2(kernel.Dist2(q, a))
-			if w > 0 {
-				num += w * p.v[i]
-				den += w
-			}
-		}
+		num, den = p.bruteOne(q, s)
 	case nwGrid:
 		s.buf = p.grid.Candidates(q, s.buf[:0])
-		num, den = p.accumulate(q, s.buf, true)
+		s.pruned = len(p.x) - len(s.buf)
+		num, den = p.accumulate(q, s.buf, true, s)
 	case nwRadius:
 		s.buf = p.tree.Radius(q, -1, p.r2, s.buf[:0])
-		num, den = p.accumulate(q, s.buf, true)
+		s.pruned = len(p.x) - len(s.buf)
+		num, den = p.accumulate(q, s.buf, true, s)
 	case nwKNN:
 		s.buf = s.knnq.Do(q, -1, -1, s.buf[:0])
-		num, den = p.accumulate(q, s.buf, false)
+		s.pruned = len(p.x) - len(s.buf)
+		num, den = p.accumulate(q, s.buf, false, s)
+		if s.pruned > 0 {
+			if worst := s.knnq.WorstDist2(); worst >= 0 {
+				if r := float64(s.pruned) * p.k.WeightDist2(worst); r > 0 && den+r > 0 {
+					s.bound = r / (den + r)
+				}
+			}
+		}
 	}
 	if den == 0 {
 		return 0, false
@@ -210,15 +298,63 @@ func (p *NWPredictor) predictOne(q []float64, s *NWScratch) (float64, bool) {
 	return num / den, true
 }
 
+// bruteOne is the full anchor scan of one query, streamed through the
+// multi-row SIMD distance kernel in blocks of nwTileA rows (the anchor
+// slice is contiguous, so no gather is needed). Per-anchor accumulation
+// order and arithmetic match the historical scalar scan exactly, so the
+// result is bitwise-identical on every backend.
+func (p *NWPredictor) bruteOne(q []float64, s *NWScratch) (num, den float64) {
+	nA := len(p.x)
+	nBlk := nA - nA%nwTileA
+	for a := 0; a < nBlk; a += nwTileA {
+		kernel.Dist2Rows(q, p.x[a:a+nwTileA], s.d2[:])
+		vals := p.v[a : a+nwTileA]
+		for r, dd := range s.d2 {
+			w := p.k.WeightDist2(dd)
+			if w > 0 {
+				num += w * vals[r]
+				den += w
+			}
+		}
+	}
+	for a := nBlk; a < nA; a++ {
+		w := p.k.WeightDist2(kernel.Dist2(q, p.x[a]))
+		if w > 0 {
+			num += w * p.v[a]
+			den += w
+		}
+	}
+	return num, den
+}
+
 // accumulate sums the weighted anchor values over the candidate positions,
 // in ascending position order with zero weights skipped — the exact
-// accumulation the graph estimator runs. needSort re-sorts candidate sets
-// whose producers return them unsorted.
-func (p *NWPredictor) accumulate(q []float64, cand []int32, needSort bool) (num, den float64) {
+// accumulation the graph estimator runs. Candidate rows are gathered into a
+// tile and streamed through the SIMD distance kernel; Dist2Rows entries are
+// bitwise-identical to per-pair Dist2 calls, so results never depend on the
+// tiling. needSort re-sorts candidate sets whose producers return them
+// unsorted.
+func (p *NWPredictor) accumulate(q []float64, cand []int32, needSort bool, s *NWScratch) (num, den float64) {
 	if needSort {
-		sort.Slice(cand, func(a, b int) bool { return cand[a] < cand[b] })
+		slices.Sort(cand)
 	}
-	for _, c := range cand {
+	i := 0
+	for ; i+nwTileA <= len(cand); i += nwTileA {
+		for j := 0; j < nwTileA; j++ {
+			s.rows[j] = p.x[cand[i+j]]
+		}
+		kernel.Dist2Rows(q, s.rows[:], s.d2[:])
+		for j := 0; j < nwTileA; j++ {
+			w := p.k.WeightDist2(s.d2[j])
+			if w > 0 {
+				c := cand[i+j]
+				num += w * p.v[c]
+				den += w
+			}
+		}
+	}
+	for ; i < len(cand); i++ {
+		c := cand[i]
 		w := p.k.WeightDist2(kernel.Dist2(q, p.x[c]))
 		if w > 0 {
 			num += w * p.v[c]
@@ -245,34 +381,76 @@ const (
 // count; the brute path additionally tiles queries against anchor blocks,
 // the cache- and SIMD-level win that makes server-side micro-batching pay.
 func (p *NWPredictor) PredictBatch(dst []float64, status []NWStatus, qs [][]float64, workers int) {
+	p.PredictBatchBounds(dst, status, nil, qs, workers, nil)
+}
+
+// PredictBatchBounds is PredictBatch with pruning diagnostics: when bounds
+// is non-nil (sized len(qs)) it receives each point's truncation
+// residual-mass bound (0 for exact paths; see NWScratch.LastStats for the
+// bound's definition), and when stats is non-nil the batch's pruned-anchor
+// total is added to it atomically. Estimates are bitwise-identical to
+// PredictBatch and per-point Predict at every worker count.
+func (p *NWPredictor) PredictBatchBounds(dst []float64, status []NWStatus, bounds []float64, qs [][]float64, workers int, stats *NWBatchStats) {
 	if len(dst) != len(qs) || len(status) != len(qs) {
 		panic(fmt.Errorf("core: PredictBatch dst/status length mismatch: %w", ErrParam))
 	}
+	if bounds != nil && len(bounds) != len(qs) {
+		panic(fmt.Errorf("core: PredictBatch bounds length mismatch: %w", ErrParam))
+	}
+	if workers == 1 {
+		// Serial fast path: no closure, no goroutines — the warm batch call
+		// stays allocation-free (the serving hot-path contract).
+		p.predictChunk(dst, status, bounds, qs, 0, len(qs), stats)
+		return
+	}
 	parallel.For(workers, len(qs), func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			if len(qs[r]) != p.dim {
-				status[r] = NWBadDim
-			} else {
-				status[r] = NWOK
-			}
-		}
-		if p.path == nwBrute {
-			p.bruteTiled(dst, status, qs, lo, hi)
-			return
-		}
-		s := p.NewScratch()
-		for r := lo; r < hi; r++ {
-			if status[r] != NWOK {
-				continue
-			}
-			val, ok := p.predictOne(qs[r], s)
-			if !ok {
-				status[r] = NWIsolated
-				continue
-			}
-			dst[r] = val
-		}
+		p.predictChunk(dst, status, bounds, qs, lo, hi, stats)
 	})
+}
+
+// predictChunk evaluates one contiguous chunk of a batch.
+func (p *NWPredictor) predictChunk(dst []float64, status []NWStatus, bounds []float64, qs [][]float64, lo, hi int, stats *NWBatchStats) {
+	for r := lo; r < hi; r++ {
+		if len(qs[r]) != p.dim {
+			status[r] = NWBadDim
+		} else {
+			status[r] = NWOK
+		}
+		if bounds != nil {
+			bounds[r] = 0
+		}
+	}
+	if p.path == nwBrute {
+		p.bruteTiled(dst, status, qs, lo, hi)
+		return
+	}
+	s := p.GetScratch()
+	defer p.PutScratch(s)
+	var pruned int64
+	for r := lo; r < hi; r++ {
+		if status[r] != NWOK {
+			continue
+		}
+		val, ok := p.predictOne(qs[r], s)
+		pruned += int64(s.pruned)
+		if bounds != nil {
+			bounds[r] = s.bound
+		}
+		if !ok {
+			status[r] = NWIsolated
+			continue
+		}
+		dst[r] = val
+	}
+	if stats != nil && pruned > 0 {
+		stats.add(pruned)
+	}
+}
+
+// add accumulates pruned-anchor counts; chunks of one batch run
+// concurrently, so the sum is atomic.
+func (st *NWBatchStats) add(n int64) {
+	atomic.AddInt64(&st.AnchorsPruned, n)
 }
 
 // bruteTiled is the blocked brute-force batch kernel: queries in tiles of

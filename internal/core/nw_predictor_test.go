@@ -231,3 +231,262 @@ func BenchmarkNWPredict(b *testing.B) {
 		})
 	}
 }
+
+// TestNWPredictorZeroDenominator pins the zero-mass outcome on every lookup
+// path: a query with no kernel mass to any selected anchor is NWIsolated in
+// the batch API and ErrIsolated point-wise — never a 0/0 NaN score.
+func TestNWPredictorZeroDenominator(t *testing.T) {
+	anchors, values, _ := predCase(41, 120, 0, 3)
+	far := []float64{500, 500, 500}
+	cases := []struct {
+		name string
+		k    *kernel.K
+		knn  int
+		path string
+	}{
+		{"grid", kernel.MustNew(kernel.Uniform, 1.5), 0, "grid"},
+		{"knn", kernel.MustNew(kernel.Epanechnikov, 1.5), 5, "knn"},
+	}
+	// High-dim compact kernel stays on the brute path.
+	bAnchors, bValues, _ := predCase(43, 60, 0, 18)
+	bruteFar := make([]float64, 18)
+	for j := range bruteFar {
+		bruteFar[j] = 500
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewNWPredictor(anchors, values, tc.k, tc.knn, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Path() != tc.path {
+				t.Fatalf("path = %q, want %q", p.Path(), tc.path)
+			}
+			if _, err := p.Predict(far, nil); !errors.Is(err, ErrIsolated) {
+				t.Fatalf("far query: %v", err)
+			}
+			dst := []float64{math.NaN()}
+			status := []NWStatus{NWOK}
+			bounds := []float64{math.NaN()}
+			p.PredictBatchBounds(dst, status, bounds, [][]float64{far}, 1, nil)
+			if status[0] != NWIsolated {
+				t.Fatalf("status = %d, want NWIsolated", status[0])
+			}
+			if bounds[0] != 0 && !(tc.knn > 0) {
+				t.Fatalf("exact-path bound = %v", bounds[0])
+			}
+		})
+	}
+	t.Run("brute", func(t *testing.T) {
+		p, err := NewNWPredictor(bAnchors, bValues, kernel.MustNew(kernel.Tricube, 1.5), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Path() != "brute" {
+			t.Fatalf("path = %q, want brute", p.Path())
+		}
+		if _, err := p.Predict(bruteFar, nil); !errors.Is(err, ErrIsolated) {
+			t.Fatalf("far query: %v", err)
+		}
+	})
+}
+
+// TestNWScratchReuse checks that one scratch reused across many predictions
+// — including pool round-trips — yields results bitwise-identical to fresh
+// scratch per call, and that LastStats resets between calls.
+func TestNWScratchReuse(t *testing.T) {
+	k := kernel.MustNew(kernel.Epanechnikov, 2.5)
+	anchors, values, queries := predCase(17, 150, 50, 3)
+	p, err := NewNWPredictor(anchors, values, k, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Path() != "grid" {
+		t.Fatalf("path = %q, want grid", p.Path())
+	}
+	reused := p.NewScratch()
+	for i, q := range queries {
+		fresh := p.NewScratch()
+		vw, errW := p.Predict(q, fresh)
+		vg, errG := p.Predict(q, reused)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("query %d: fresh err %v, reused err %v", i, errW, errG)
+		}
+		if errW != nil {
+			if pr, b := reused.LastStats(); pr != len(anchors)-0 && b != 0 {
+				continue
+			}
+			continue
+		}
+		if math.Float64bits(vw) != math.Float64bits(vg) {
+			t.Fatalf("query %d: fresh %v != reused %v", i, vw, vg)
+		}
+		prF, bF := fresh.LastStats()
+		prR, bR := reused.LastStats()
+		if prF != prR || bF != bR {
+			t.Fatalf("query %d: stats fresh (%d,%v) != reused (%d,%v)", i, prF, bF, prR, bR)
+		}
+		// Pool round-trip between calls must not change anything.
+		p.PutScratch(reused)
+		reused = p.GetScratch()
+	}
+}
+
+// TestNWPredictorPrunedMatchesBrute pins the exact-pruning contract on all
+// four compact kernels: the spatial-index paths (grid and KD-tree radius)
+// must be bitwise-identical to the full brute scan at every worker count,
+// because every anchor they skip carries exactly zero kernel weight.
+func TestNWPredictorPrunedMatchesBrute(t *testing.T) {
+	kinds := []kernel.Kind{kernel.Uniform, kernel.Epanechnikov, kernel.Triangular, kernel.Tricube}
+	for _, kind := range kinds {
+		for _, dc := range []struct {
+			d    int
+			path string
+		}{{3, "grid"}, {9, "kdtree"}} {
+			t.Run(fmt.Sprintf("%s/%s", kind, dc.path), func(t *testing.T) {
+				k := kernel.MustNew(kind, 2.5)
+				anchors, values, queries := predCase(59, 160, 60, dc.d)
+				p, err := NewNWPredictor(anchors, values, k, 0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Path() != dc.path {
+					t.Fatalf("path = %q, want %q", p.Path(), dc.path)
+				}
+				// A brute twin of the same predictor: identical anchors and
+				// kernel, spatial index disabled.
+				brute := &NWPredictor{dim: p.dim, k: p.k, x: p.x, v: p.v, path: nwBrute}
+				want := make([]float64, len(queries))
+				wantSt := make([]NWStatus, len(queries))
+				brute.PredictBatch(want, wantSt, queries, 1)
+				for _, workers := range []int{1, 2, 3, 7} {
+					got := make([]float64, len(queries))
+					st := make([]NWStatus, len(queries))
+					bounds := make([]float64, len(queries))
+					var stats NWBatchStats
+					p.PredictBatchBounds(got, st, bounds, queries, workers, &stats)
+					for i := range queries {
+						if st[i] != wantSt[i] {
+							t.Fatalf("w=%d query %d: status %d != brute %d", workers, i, st[i], wantSt[i])
+						}
+						if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+							t.Fatalf("w=%d query %d: pruned %v != brute %v", workers, i, got[i], want[i])
+						}
+						if bounds[i] != 0 {
+							t.Fatalf("w=%d query %d: exact path reported bound %v", workers, i, bounds[i])
+						}
+					}
+					if workers == 1 && stats.AnchorsPruned == 0 {
+						t.Fatal("spatial index pruned nothing on a compact kernel")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNWPredictorResidualBound checks the top-m truncation bound: it is in
+// [0, 1), zero when nothing is skipped, and the truncation error obeys
+// |f_trunc − f_full| <= bound · max_j |v_j − f_trunc|.
+func TestNWPredictorResidualBound(t *testing.T) {
+	k := kernel.MustNew(kernel.Gaussian, 2)
+	anchors, values, queries := predCase(71, 120, 60, 4)
+	const m = 9
+	p, err := NewNWPredictor(anchors, values, k, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := NewNWPredictor(anchors, values, k, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.NewScratch()
+	for qi, q := range queries {
+		ft, err := p.Predict(q, s)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		pruned, bound := s.LastStats()
+		if pruned != len(anchors)-m {
+			t.Fatalf("query %d: pruned %d, want %d", qi, pruned, len(anchors)-m)
+		}
+		if bound <= 0 || bound >= 1 {
+			t.Fatalf("query %d: bound %v outside (0,1)", qi, bound)
+		}
+		ff, err := full.Predict(q, nil)
+		if err != nil {
+			t.Fatalf("query %d full: %v", qi, err)
+		}
+		var maxDev float64
+		for _, v := range values {
+			if d := math.Abs(v - ft); d > maxDev {
+				maxDev = d
+			}
+		}
+		if err := math.Abs(ft - ff); err > bound*maxDev*(1+1e-12) {
+			t.Fatalf("query %d: |f_trunc−f_full| = %v exceeds bound %v·%v", qi, err, bound, maxDev)
+		}
+	}
+	// No truncation when m >= anchors: bound 0 on the same API.
+	pAll, err := NewNWPredictor(anchors[:5], values[:5], k, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sAll := pAll.NewScratch()
+	if _, err := pAll.Predict(queries[0], sAll); err != nil {
+		t.Fatal(err)
+	}
+	if pr, b := sAll.LastStats(); pr != 0 || b != 0 {
+		t.Fatalf("untruncated: stats (%d, %v), want (0, 0)", pr, b)
+	}
+}
+
+// TestZeroAllocPredict gates the warm per-point and batch prediction paths
+// at zero heap allocations — the serving hot-path contract (run by the CI
+// alloc gate).
+func TestZeroAllocPredict(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	cases := []struct {
+		name string
+		k    *kernel.K
+		d    int
+		knn  int
+	}{
+		{"brute", kernel.MustNew(kernel.Gaussian, 1.5), 7, 0},
+		{"grid", kernel.MustNew(kernel.Epanechnikov, 2.5), 3, 0},
+		{"kdtree", kernel.MustNew(kernel.Tricube, 3.5), 9, 0},
+		{"knn", kernel.MustNew(kernel.Gaussian, 1.5), 5, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			anchors, values, queries := predCase(23, 150, 16, tc.d)
+			p, err := NewNWPredictor(anchors, values, tc.k, tc.knn, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the pools.
+			if _, err := p.Predict(queries[0], nil); err != nil && !errors.Is(err, ErrIsolated) {
+				t.Fatal(err)
+			}
+			i := 0
+			if n := testing.AllocsPerRun(200, func() {
+				_, _ = p.Predict(queries[i%len(queries)], nil)
+				i++
+			}); n != 0 {
+				t.Fatalf("Predict: %v allocs/op", n)
+			}
+			dst := make([]float64, len(queries))
+			st := make([]NWStatus, len(queries))
+			bounds := make([]float64, len(queries))
+			var stats NWBatchStats
+			p.PredictBatchBounds(dst, st, bounds, queries, 1, &stats)
+			if n := testing.AllocsPerRun(50, func() {
+				p.PredictBatchBounds(dst, st, bounds, queries, 1, &stats)
+			}); n != 0 {
+				t.Fatalf("PredictBatchBounds: %v allocs/op", n)
+			}
+		})
+	}
+}

@@ -181,16 +181,24 @@ func (g *Grid) Candidates(q []float64, buf []int32) []int32 {
 	if len(q) != g.dim {
 		panic(ErrParam)
 	}
-	center := make([]int32, g.dim)
+	// Coordinate scratch lives on the stack for the dims grids are built at
+	// (lookup only reads it), keeping warm candidate queries allocation-free.
+	var center, offs, coords []int32
+	if g.dim <= 8 {
+		var centerA, offsA, coordsA [8]int32
+		center, offs, coords = centerA[:g.dim], offsA[:g.dim], coordsA[:g.dim]
+	} else {
+		center = make([]int32, g.dim)
+		offs = make([]int32, g.dim)
+		coords = make([]int32, g.dim)
+	}
 	for j, v := range q {
 		center[j] = cellCoord(v, g.min[j], g.cell)
 	}
 	// Odometer over the 3^d neighbour offsets, each in {-1, 0, +1}.
-	offs := make([]int32, g.dim)
 	for j := range offs {
 		offs[j] = -1
 	}
-	coords := make([]int32, g.dim)
 	for {
 		for j := range coords {
 			coords[j] = center[j] + offs[j]

@@ -342,6 +342,19 @@ func (t *KDTree) NewKNNQuery(k int) *KNNQuery {
 	return &KNNQuery{t: t, h: kdHeap{cand: make([]kdCand, 0, k), cap: k}}
 }
 
+// WorstDist2 returns the squared distance of the worst candidate the last
+// Do retained — the k-th nearest distance when the query found k points —
+// or -1 when the last query retained nothing. Every point NOT selected by
+// the last Do lies at squared distance >= WorstDist2 under the strict
+// (d², index) order, which makes it the anchor of computable residual-mass
+// bounds for truncated kernel sums.
+func (q *KNNQuery) WorstDist2() float64 {
+	if len(q.h.cand) == 0 {
+		return -1
+	}
+	return q.h.worst().d2
+}
+
 // Do runs one query, appending to buf exactly what t.KNN(pt, self, k,
 // maxD2, buf) would — the k nearest points under the strict (squared
 // distance, index) order, sorted ascending by index — without allocating.

@@ -2,20 +2,54 @@ package serve
 
 import (
 	"context"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// job is one caller's prediction request, parked until the dispatcher folds
-// it into a batch. Results land in dst/st (owned by the job, so a caller
-// that abandons the wait cannot race the dispatcher), then done closes.
-type job struct {
-	m    *Model
-	pts  [][]float64
-	dst  []float64
-	st   []pointStatus
-	done chan struct{}
+// Result state machine: a job starts pending; exactly one of the caller
+// (on ctx expiry) or the dispatcher (on completion) wins the CAS away from
+// pending, which decides who owns the job afterwards. The loser follows the
+// winner's protocol, so pooled jobs are never touched by two goroutines.
+const (
+	jobPending int32 = iota
+	jobAbandoned
+	jobDelivered
+)
+
+// Result is one Do call's pooled result: scores, per-point statuses, and
+// truncation residual bounds, all sized to the submitted points. The slices
+// are owned by the batcher's pool — read them, then call Release to recycle
+// the buffers (do not retain them past Release). A Result whose Do returned
+// an error is never handed to the caller, so only success paths release.
+type Result struct {
+	m      *Model
+	pts    [][]float64
+	dst    []float64
+	st     []pointStatus
+	bounds []float64
+	done   chan struct{}
+	state  atomic.Int32
+	b      *Batcher
+}
+
+// Scores returns the per-point estimates (aligned with the submitted
+// points).
+func (r *Result) Scores() []float64 { return r.dst }
+
+// Status returns the per-point outcomes.
+func (r *Result) Status() []pointStatus { return r.st }
+
+// Bounds returns the per-point truncation residual-mass bounds (0 = exact).
+func (r *Result) Bounds() []float64 { return r.bounds }
+
+// Release recycles the result's buffers. The Result and every slice it
+// returned become invalid.
+func (r *Result) Release() {
+	r.m = nil
+	r.pts = nil
+	r.b.pool.Put(r)
 }
 
 // Batcher coalesces concurrent prediction requests into tiled batch
@@ -25,6 +59,17 @@ type job struct {
 // point than the per-point scan. Admission is bounded in points, not
 // requests: work beyond Capacity is rejected with ErrOverloaded so latency
 // stays bounded under overload (HTTP 429 at the server layer).
+//
+// The dispatcher flushes adaptively: when the queue is idle and nothing
+// else is in flight, a batch evaluates immediately instead of waiting out
+// the maxDelay window, so a lone client never pays the coalescing latency;
+// under concurrency the window still fills batches to maxBatch points.
+//
+// The whole warm request path — job admission, dispatch, evaluation, and
+// result delivery — runs at zero heap allocations: jobs (with their result
+// buffers) are pooled, the dispatcher reuses its batch and merge buffers,
+// and the model layer's scratch is pooled beneath it. CI gates this with
+// testing.AllocsPerRun.
 type Batcher struct {
 	maxBatch int           // flush when a batch reaches this many points
 	maxDelay time.Duration // flush a partial batch after this long
@@ -33,9 +78,24 @@ type Batcher struct {
 
 	depth atomic.Int64 // admitted points not yet completed
 
+	// perPointNs is an EWMA of batch-evaluation nanoseconds per point
+	// (float64 bits), maintained by the dispatcher and read lock-free by
+	// the server's queue-wait shedding estimate.
+	perPointNs atomic.Uint64
+
+	pool sync.Pool // *Result
+
 	mu     sync.RWMutex // guards closed and the queue send
 	closed bool
-	queue  chan *job
+	queue  chan *Result
+
+	// Dispatcher-owned reusable buffers (only the dispatch goroutine
+	// touches them).
+	batch       []*Result
+	mergeQS     [][]float64
+	mergeDst    []float64
+	mergeSt     []pointStatus
+	mergeBounds []float64
 
 	dispatcherDone chan struct{}
 }
@@ -66,7 +126,7 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, capacity, workers int) *Ba
 		// Every admitted job carries >= 1 point, so at most capacity jobs
 		// are ever queued and a send under the admission budget never
 		// blocks.
-		queue:          make(chan *job, capacity),
+		queue:          make(chan *Result, capacity),
 		dispatcherDone: make(chan struct{}),
 	}
 	liveBatchers.Store(b, struct{}{})
@@ -76,6 +136,14 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, capacity, workers int) *Ba
 
 // Depth returns the number of admitted points not yet completed.
 func (b *Batcher) Depth() int64 { return b.depth.Load() }
+
+// EstimatedWait returns the predicted time the current queue needs to
+// drain: admitted-but-unfinished points times the per-point service-time
+// EWMA. Zero until the first batch has been measured.
+func (b *Batcher) EstimatedWait() time.Duration {
+	ns := math.Float64frombits(b.perPointNs.Load())
+	return time.Duration(ns * float64(b.depth.Load()))
+}
 
 // admit reserves n points of queue budget, failing without blocking when
 // the budget is exhausted.
@@ -91,38 +159,75 @@ func (b *Batcher) admit(n int64) bool {
 	}
 }
 
+// getResult pulls a job from the pool and sizes its buffers for n points.
+func (b *Batcher) getResult(n int) *Result {
+	j, ok := b.pool.Get().(*Result)
+	if !ok {
+		j = &Result{done: make(chan struct{}, 1), b: b}
+	}
+	if cap(j.dst) < n {
+		j.dst = make([]float64, n)
+		j.st = make([]pointStatus, n)
+		j.bounds = make([]float64, n)
+	}
+	j.dst = j.dst[:n]
+	j.st = j.st[:n]
+	j.bounds = j.bounds[:n]
+	j.state.Store(jobPending)
+	return j
+}
+
 // Do submits pts for batched prediction against m and waits for the result
 // (or ctx). It returns ErrOverloaded when the queue budget is exhausted and
 // ErrDraining after Close. On ctx expiry the batch still completes in the
-// background; the returned slices are never written after Do returns.
-func (b *Batcher) Do(ctx context.Context, m *Model, pts [][]float64) ([]float64, []pointStatus, error) {
+// background on job-owned buffers, so the abandoned caller can never race
+// the dispatcher; the job is recycled by whichever side loses the handoff.
+//
+// A submission that is the only admitted work evaluates inline on the
+// caller's goroutine: with nothing to coalesce against, routing through the
+// dispatcher would cost two scheduler handoffs for an unavoidable
+// batch-of-one — the lone-client case must not pay for batching it cannot
+// benefit from. The read lock held across the inline evaluation keeps Close
+// from completing with the job in flight.
+func (b *Batcher) Do(ctx context.Context, m *Model, pts [][]float64) (*Result, error) {
 	n := int64(len(pts))
 	if n == 0 {
-		return nil, nil, nil
+		return nil, nil
 	}
 	if !b.admit(n) {
-		return nil, nil, ErrOverloaded
+		return nil, ErrOverloaded
 	}
-	j := &job{
-		m:    m,
-		pts:  pts,
-		dst:  make([]float64, len(pts)),
-		st:   make([]pointStatus, len(pts)),
-		done: make(chan struct{}),
-	}
+	j := b.getResult(len(pts))
+	j.m, j.pts = m, pts
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
 		b.depth.Add(-n)
-		return nil, nil, ErrDraining
+		j.Release()
+		return nil, ErrDraining
+	}
+	if b.depth.Load() == n {
+		countBatch(1, len(pts))
+		m.predictInto(j.dst, j.st, j.bounds, pts, b.workers)
+		j.state.Store(jobDelivered)
+		b.depth.Add(-n)
+		b.mu.RUnlock()
+		return j, nil
 	}
 	b.queue <- j
 	b.mu.RUnlock()
 	select {
 	case <-j.done:
-		return j.dst, j.st, nil
+		return j, nil
 	case <-ctx.Done():
-		return nil, nil, ctx.Err()
+		if j.state.CompareAndSwap(jobPending, jobAbandoned) {
+			// The dispatcher will see the abandonment and recycle the job.
+			return nil, ctx.Err()
+		}
+		// Delivery won the race: consume the signal and recycle here.
+		<-j.done
+		j.Release()
+		return nil, ctx.Err()
 	}
 }
 
@@ -143,9 +248,10 @@ func (b *Batcher) Close() {
 }
 
 // dispatch coalesces queued jobs: it blocks for the first job of a batch,
-// then keeps folding jobs in until the batch holds maxBatch points or
-// maxDelay has passed, then evaluates. A closed queue drains fully before
-// the dispatcher exits, so Close never drops admitted work.
+// then keeps folding jobs in until the batch holds maxBatch points, the
+// queue goes idle with nothing else in flight (adaptive flush), or maxDelay
+// has passed. A closed queue drains fully before the dispatcher exits, so
+// Close never drops admitted work.
 func (b *Batcher) dispatch() {
 	defer close(b.dispatcherDone)
 	timer := time.NewTimer(0)
@@ -157,37 +263,68 @@ func (b *Batcher) dispatch() {
 		if !ok {
 			return
 		}
-		batch := []*job{j}
+		b.batch = append(b.batch[:0], j)
 		points := len(j.pts)
-		timer.Reset(b.maxDelay)
+		armed := false
 	fill:
 		for points < b.maxBatch {
+			// Fast path: fold in whatever is already queued.
 			select {
 			case nj, ok := <-b.queue:
 				if !ok {
 					break fill
 				}
-				batch = append(batch, nj)
+				b.batch = append(b.batch, nj)
+				points += len(nj.pts)
+				continue
+			default:
+			}
+			// Queue idle. If every admitted point is already in this batch,
+			// nothing can arrive that coalescing would help — flush now
+			// rather than taxing a lone client with the delay window.
+			if b.depth.Load() <= int64(points) {
+				break fill
+			}
+			// Admitted-but-not-yet-queued work is in flight; wait for it,
+			// bounded by the flush window.
+			if !armed {
+				timer.Reset(b.maxDelay)
+				armed = true
+			}
+			select {
+			case nj, ok := <-b.queue:
+				if !ok {
+					break fill
+				}
+				b.batch = append(b.batch, nj)
 				points += len(nj.pts)
 			case <-timer.C:
+				armed = false
 				break fill
 			}
 		}
-		if !timer.Stop() {
+		if armed && !timer.Stop() {
 			select {
 			case <-timer.C:
 			default:
 			}
 		}
-		b.run(batch, points)
+		b.run(b.batch, points)
+		// Drop job references so the pool, not the batch buffer, owns them.
+		for i := range b.batch {
+			b.batch[i] = nil
+		}
 	}
 }
 
 // run evaluates one coalesced batch. Jobs against the same model are
 // concatenated (in arrival order) into a single tiled evaluation, then
-// results scatter back to each job.
-func (b *Batcher) run(batch []*job, points int) {
+// results scatter back to each job. Afterwards each job is either delivered
+// to its waiting caller or — when the caller abandoned the wait — recycled
+// straight back to the pool.
+func (b *Batcher) run(batch []*Result, points int) {
 	countBatch(len(batch), points)
+	start := time.Now()
 	for lo := 0; lo < len(batch); {
 		m := batch[lo].m
 		hi := lo + 1
@@ -198,26 +335,50 @@ func (b *Batcher) run(batch []*job, points int) {
 		}
 		if hi == lo+1 {
 			j := batch[lo]
-			m.predictInto(j.dst, j.st, j.pts, b.workers)
+			m.predictInto(j.dst, j.st, j.bounds, j.pts, b.workers)
 		} else {
-			qs := make([][]float64, 0, n)
-			dst := make([]float64, n)
-			st := make([]pointStatus, n)
-			for _, j := range batch[lo:hi] {
-				qs = append(qs, j.pts...)
+			if cap(b.mergeQS) < n {
+				b.mergeQS = make([][]float64, n)
+				b.mergeDst = make([]float64, n)
+				b.mergeSt = make([]pointStatus, n)
+				b.mergeBounds = make([]float64, n)
 			}
-			m.predictInto(dst, st, qs, b.workers)
+			qs := b.mergeQS[:n]
 			off := 0
 			for _, j := range batch[lo:hi] {
-				copy(j.dst, dst[off:off+len(j.pts)])
-				copy(j.st, st[off:off+len(j.pts)])
+				off += copy(qs[off:], j.pts)
+			}
+			m.predictInto(b.mergeDst[:n], b.mergeSt[:n], b.mergeBounds[:n], qs, b.workers)
+			off = 0
+			for _, j := range batch[lo:hi] {
+				copy(j.dst, b.mergeDst[off:off+len(j.pts)])
+				copy(j.st, b.mergeSt[off:off+len(j.pts)])
+				copy(j.bounds, b.mergeBounds[off:off+len(j.pts)])
 				off += len(j.pts)
+			}
+			// Drop the query references: they belong to callers.
+			for i := range qs {
+				qs[i] = nil
 			}
 		}
 		lo = hi
 	}
+	if points > 0 {
+		sample := float64(time.Since(start).Nanoseconds()) / float64(points)
+		prev := math.Float64frombits(b.perPointNs.Load())
+		if prev == 0 {
+			prev = sample
+		}
+		// EWMA, dispatcher-only writer so a plain store suffices.
+		b.perPointNs.Store(math.Float64bits(prev + 0.2*(sample-prev)))
+	}
 	for _, j := range batch {
-		close(j.done)
+		if j.state.CompareAndSwap(jobPending, jobDelivered) {
+			j.done <- struct{}{}
+		} else {
+			// Caller abandoned on ctx; the buffers are ours to recycle.
+			j.Release()
+		}
 	}
 	b.depth.Add(-int64(points))
 }

@@ -52,17 +52,18 @@ func TestBatcherCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			dst, st, err := b.Do(context.Background(), m, queries[c])
+			res, err := b.Do(context.Background(), m, queries[c])
 			if err != nil {
 				t.Errorf("caller %d: %v", c, err)
 				return
 			}
-			for i, s := range st {
+			for i, s := range res.Status() {
 				if s != psOK {
 					t.Errorf("caller %d point %d: status %d", c, i, s)
 				}
 			}
-			results[c] = dst
+			results[c] = append([]float64(nil), res.Scores()...)
+			res.Release()
 		}(c)
 	}
 	wg.Wait()
@@ -100,16 +101,18 @@ func TestBatcherOverload(t *testing.T) {
 	for i := range big {
 		big[i] = make([]float64, m.Dim())
 	}
-	if _, _, err := b.Do(context.Background(), m, big); !errors.Is(err, ErrOverloaded) {
+	if _, err := b.Do(context.Background(), m, big); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("oversized request: %v", err)
 	}
 	if b.Depth() != 0 {
 		t.Fatalf("rejected request leaked depth %d", b.Depth())
 	}
 	// Within budget still works.
-	if _, _, err := b.Do(context.Background(), m, big[:8]); err != nil {
+	res, err := b.Do(context.Background(), m, big[:8])
+	if err != nil {
 		t.Fatal(err)
 	}
+	res.Release()
 }
 
 // TestBatcherDrain checks Close semantics: admitted work completes, late
@@ -125,23 +128,24 @@ func TestBatcherDrain(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, st, err := b.Do(context.Background(), m, qs)
+			res, err := b.Do(context.Background(), m, qs)
 			if err != nil {
 				if !errors.Is(err, ErrDraining) {
 					t.Errorf("unexpected error: %v", err)
 				}
 				return
 			}
-			for i, s := range st {
+			for i, s := range res.Status() {
 				if s != psOK {
 					t.Errorf("point %d: status %d", i, s)
 				}
 			}
+			res.Release()
 		}()
 	}
 	b.Close()
 	wg.Wait()
-	if _, _, err := b.Do(context.Background(), m, qs); !errors.Is(err, ErrDraining) {
+	if _, err := b.Do(context.Background(), m, qs); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-close: %v", err)
 	}
 	if b.Depth() != 0 {
@@ -163,9 +167,12 @@ func TestBatcherContext(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _, err := b.Do(ctx, m, qs)
+		res, err := b.Do(ctx, m, qs)
 		if err != nil && !errors.Is(err, context.Canceled) {
 			t.Errorf("canceled ctx: %v", err)
+		}
+		if res != nil {
+			res.Release()
 		}
 	}()
 	select {
@@ -174,7 +181,7 @@ func TestBatcherContext(t *testing.T) {
 		t.Fatal("Do hung on canceled context")
 	}
 	// Empty submissions are no-ops.
-	if _, _, err := b.Do(context.Background(), m, nil); err != nil {
+	if _, err := b.Do(context.Background(), m, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -192,21 +199,23 @@ func TestBatcherMixedModels(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		dst, _, err := b.Do(context.Background(), m1, qs1)
+		res, err := b.Do(context.Background(), m1, qs1)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		r1 = dst
+		r1 = append([]float64(nil), res.Scores()...)
+		res.Release()
 	}()
 	go func() {
 		defer wg.Done()
-		dst, _, err := b.Do(context.Background(), m2, qs2)
+		res, err := b.Do(context.Background(), m2, qs2)
 		if err != nil {
 			t.Error(err)
 			return
 		}
-		r2 = dst
+		r2 = append([]float64(nil), res.Scores()...)
+		res.Release()
 	}()
 	wg.Wait()
 	w1, _ := m1.PredictBatch(qs1)

@@ -1,0 +1,410 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	graphssl "repro"
+)
+
+// TestPredCache covers the cache container itself: exact hits, version and
+// point keying, the FIFO bound, and the disabled (nil) form.
+func TestPredCache(t *testing.T) {
+	c := newPredCache(32) // 2 entries per shard
+	p1 := []float64{1.5, -2.25}
+	p2 := []float64{1.5, -2.25000001}
+	c.put("m", 1, p1, 3.5, 0.25, psOK)
+
+	if v, b, st, ok := c.get("m", 1, p1); !ok || v != 3.5 || b != 0.25 || st != psOK {
+		t.Fatalf("hit = %v %v %v %v", v, b, st, ok)
+	}
+	if _, _, _, ok := c.get("m", 2, p1); ok {
+		t.Fatal("stale version hit")
+	}
+	if _, _, _, ok := c.get("other", 1, p1); ok {
+		t.Fatal("wrong model hit")
+	}
+	if _, _, _, ok := c.get("m", 1, p2); ok {
+		t.Fatal("near-miss point hit")
+	}
+	if _, _, _, ok := c.get("m", 1, p1[:1]); ok {
+		t.Fatal("prefix point hit")
+	}
+
+	// Isolated outcomes cache too.
+	c.put("m", 1, p2, 0, 0, psIsolated)
+	if _, _, st, ok := c.get("m", 1, p2); !ok || st != psIsolated {
+		t.Fatalf("isolated entry: %v %v", st, ok)
+	}
+
+	// The bound holds: insert far more than capacity, size stays capped.
+	for i := 0; i < 500; i++ {
+		c.put("m", 1, []float64{float64(i), 0}, float64(i), 0, psOK)
+	}
+	if n := c.len(); n > 32 {
+		t.Fatalf("cache grew to %d entries, cap 32", n)
+	}
+
+	// Overwrite in place keeps the newest value.
+	c.put("m", 3, p1, 1, 0, psOK)
+	c.put("m", 3, p1, 2, 0, psOK)
+	if v, _, _, ok := c.get("m", 3, p1); !ok || v != 2 {
+		t.Fatalf("overwrite: %v %v", v, ok)
+	}
+
+	var nilCache *predCache
+	if _, _, _, ok := nilCache.get("m", 1, p1); ok {
+		t.Fatal("nil cache hit")
+	}
+	nilCache.put("m", 1, p1, 0, 0, psOK) // must not panic
+	if nilCache.len() != 0 {
+		t.Fatal("nil cache len")
+	}
+	if newPredCache(0) != nil || newPredCache(-1) != nil {
+		t.Fatal("disabled cache not nil")
+	}
+}
+
+// TestServerCacheExactness drives the cache through the HTTP path: repeated
+// predictions hit the cache and stay bitwise-identical to the first
+// (computed) response, hot-swapping the model invalidates by version, and
+// the expvar counters move.
+func TestServerCacheExactness(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	x, y, labeled := testData(53, 100, 4, 30)
+	fitOverHTTP(t, ts.URL, "c", x, y, labeled, 1.3)
+
+	qs := [][]float64{x[labeled[0]], {0.1, 0.2, 0.3, 0.4}, {1, 0, -1, 0.5}}
+	predict := func() predictResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "c", Points: qs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: %d %s", resp.StatusCode, body)
+		}
+		var pr predictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	hits0, miss0 := srvCacheHits.Value(), srvCacheMisses.Value()
+	first := predict()
+	if srvCacheMisses.Value()-miss0 != int64(len(qs)) {
+		t.Fatalf("cold misses = %d, want %d", srvCacheMisses.Value()-miss0, len(qs))
+	}
+	second := predict()
+	if srvCacheHits.Value()-hits0 != int64(len(qs)) {
+		t.Fatalf("warm hits = %d, want %d", srvCacheHits.Value()-hits0, len(qs))
+	}
+	for i := range first.Scores {
+		if math.Float64bits(first.Scores[i]) != math.Float64bits(second.Scores[i]) {
+			t.Fatalf("point %d: cached %v != computed %v", i, second.Scores[i], first.Scores[i])
+		}
+	}
+
+	// Hot swap: the version bump makes every old entry unreachable; the same
+	// query misses, recomputes, and (same data, same hyperparameters) agrees.
+	fitOverHTTP(t, ts.URL, "c", x, y, labeled, 1.3)
+	miss1 := srvCacheMisses.Value()
+	third := predict()
+	if third.Version != 2 {
+		t.Fatalf("version = %d after refit", third.Version)
+	}
+	if srvCacheMisses.Value()-miss1 != int64(len(qs)) {
+		t.Fatalf("post-swap misses = %d, want %d", srvCacheMisses.Value()-miss1, len(qs))
+	}
+	for i := range first.Scores {
+		if math.Float64bits(first.Scores[i]) != math.Float64bits(third.Scores[i]) {
+			t.Fatalf("point %d: post-swap %v != %v", i, third.Scores[i], first.Scores[i])
+		}
+	}
+
+	// Mixed hit/miss requests scatter correctly: one cached point plus one
+	// fresh point in a single request.
+	mixed := [][]float64{qs[0], {2, 2, 2, 2}}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "c", Points: mixed})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(pr.Scores[0]) != math.Float64bits(third.Scores[0]) {
+		t.Fatalf("mixed point 0: %v != %v", pr.Scores[0], third.Scores[0])
+	}
+}
+
+// TestServerShedQueue forces the queue-wait estimate over the limit and
+// checks the 429 + counter. White-box: the EWMA and depth are seeded
+// directly so the test is deterministic.
+func TestServerShedQueue(t *testing.T) {
+	srv, ts := testServer(t, Config{MaxQueueWait: time.Millisecond, QueueDepth: 1 << 20})
+	x, y, labeled := testData(59, 60, 3, 20)
+	fitOverHTTP(t, ts.URL, "q", x, y, labeled, 1.2)
+
+	// Seed: 1µs/point EWMA at depth 100000 => 100ms estimated wait >> 1ms.
+	srv.batcher.perPointNs.Store(math.Float64bits(1000))
+	srv.batcher.depth.Add(100000)
+	defer srv.batcher.depth.Add(-100000)
+
+	shed0 := srvShedQueue.Value()
+	resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "q", Points: [][]float64{{9, 9, 9}}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overloaded queue: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if srvShedQueue.Value() != shed0+1 {
+		t.Fatal("shed_queue counter did not move")
+	}
+
+	// A fully cached request bypasses shedding: warm one point with the
+	// queue healthy, then re-request it with the queue saturated.
+	srv.batcher.depth.Add(-100000)
+	warm := [][]float64{x[0]}
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "q", Points: warm})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warmup: %d", resp.StatusCode)
+	}
+	srv.batcher.depth.Add(100000)
+	resp, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "q", Points: warm})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached request shed: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestServerShedBudget checks the per-model point budget: one request with
+// more uncached points than the model's budget is rejected, cached points
+// do not count against it, and other models are unaffected.
+func TestServerShedBudget(t *testing.T) {
+	_, ts := testServer(t, Config{ModelBudget: 2, NoBatch: true})
+	x, y, labeled := testData(61, 60, 3, 20)
+	fitOverHTTP(t, ts.URL, "b1", x, y, labeled, 1.2)
+	fitOverHTTP(t, ts.URL, "b2", x, y, labeled, 1.2)
+
+	big := [][]float64{{1, 1, 1}, {2, 2, 2}, {3, 3, 3}}
+	shed0 := srvShedBudget.Value()
+	resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "b1", Points: big})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over budget: %d %s", resp.StatusCode, body)
+	}
+	if srvShedBudget.Value() != shed0+1 {
+		t.Fatal("shed_budget counter did not move")
+	}
+
+	// Within budget succeeds, fills the cache, and releases its points.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "b1", Points: big[:2]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("within budget: %d", resp.StatusCode)
+	}
+	// The same 3 points now carry 2 cached + 1 uncached: under budget.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "b1", Points: big})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached points counted against budget: %d", resp.StatusCode)
+	}
+	// Budgets are per model.
+	resp, _ = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "b2", Points: big[:2]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other model: %d", resp.StatusCode)
+	}
+}
+
+// TestServerTopM exercises top-m truncation end to end: the fit response
+// reports the knn lookup path, predictions carry a nonzero residual bound,
+// and combining top_m with a knn fit is rejected.
+func TestServerTopM(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	x, y, labeled := testData(67, 120, 4, 60)
+
+	resp, body := postJSON(t, ts.URL+"/v1/models/t", fitRequest{
+		X: x, Y: y, Labeled: labeled, Bandwidth: 1.5, TopM: 7,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fit top_m: %d %s", resp.StatusCode, body)
+	}
+	var fr fitResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	if fr.Info.TopM != 7 || fr.Info.Pruning != "knn" {
+		t.Fatalf("info: %+v", fr.Info)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "t", Points: [][]float64{{0.3, -0.2, 0.8, 0.1}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !(pr.ResidualBound > 0 && pr.ResidualBound < 1) {
+		t.Fatalf("residual_bound = %v, want (0,1)", pr.ResidualBound)
+	}
+	prunedBefore := srvAnchorsPruned.Value()
+	if prunedBefore <= 0 {
+		t.Fatal("anchors_pruned counter never moved")
+	}
+
+	// Untruncated models report no residual bound on the wire.
+	fitOverHTTP(t, ts.URL, "exact", x, y, labeled, 1.5)
+	resp, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "exact", Points: [][]float64{{0.3, -0.2, 0.8, 0.1}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact predict: %d", resp.StatusCode)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, present := raw["residual_bound"]; present {
+		t.Fatalf("exact model leaked residual_bound: %s", body)
+	}
+
+	// top_m on a knn-sparsified fit is contradictory.
+	resp, _ = postJSON(t, ts.URL+"/v1/models/bad", fitRequest{
+		X: x, Y: y, Labeled: labeled, Bandwidth: 1.5, KNN: 5, TopM: 7,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("knn+top_m fit: %d", resp.StatusCode)
+	}
+}
+
+// TestBatcherAdaptiveFlush pins the lone-client latency fix: with a long
+// flush window, a solitary request must still complete promptly because the
+// dispatcher flushes as soon as the queue is idle and nothing else is
+// admitted — it must not sit out the delay window.
+func TestBatcherAdaptiveFlush(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(64, 200*time.Millisecond, 1024, 1)
+	defer b.Close()
+	qs := [][]float64{make([]float64, m.Dim())}
+	// Warm one round trip, then time.
+	res, err := b.Do(context.Background(), m, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		res, err := b.Do(context.Background(), m, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("5 solo requests took %v with a 200ms window — adaptive flush broken", elapsed)
+	}
+	if b.EstimatedWait() != 0 {
+		t.Fatalf("EstimatedWait = %v with an empty queue", b.EstimatedWait())
+	}
+}
+
+// TestZeroAllocServe gates the serving hot path at zero heap allocations
+// per operation: the model's batch core and the batcher round trip (run by
+// the CI alloc gate).
+func TestZeroAllocServe(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under the race detector (sync.Pool drops puts)")
+	}
+	m := batchModel(t)
+	qs := make([][]float64, 8)
+	for i := range qs {
+		qs[i] = make([]float64, m.Dim())
+		for j := range qs[i] {
+			qs[i][j] = 0.05 * float64(i+j)
+		}
+	}
+	dst := make([]float64, len(qs))
+	st := make([]pointStatus, len(qs))
+	bounds := make([]float64, len(qs))
+
+	t.Run("predictInto", func(t *testing.T) {
+		m.predictInto(dst, st, bounds, qs, 1) // warm the pools
+		if n := testing.AllocsPerRun(100, func() {
+			m.predictInto(dst, st, bounds, qs, 1)
+		}); n != 0 {
+			t.Fatalf("predictInto: %v allocs/op", n)
+		}
+	})
+
+	t.Run("predictSerial", func(t *testing.T) {
+		m.predictSerial(dst, st, bounds, qs)
+		if n := testing.AllocsPerRun(100, func() {
+			m.predictSerial(dst, st, bounds, qs)
+		}); n != 0 {
+			t.Fatalf("predictSerial: %v allocs/op", n)
+		}
+	})
+
+	t.Run("batcherDo", func(t *testing.T) {
+		b := NewBatcher(64, 100*time.Millisecond, 1024, 1)
+		defer b.Close()
+		ctx := context.Background()
+		res, err := b.Do(ctx, m, qs) // warm job pool + dispatcher buffers
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Release()
+		if n := testing.AllocsPerRun(100, func() {
+			res, err := b.Do(ctx, m, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Release()
+		}); n != 0 {
+			t.Fatalf("batcher Do: %v allocs/op", n)
+		}
+	})
+}
+
+// TestModelPredictBounds checks PredictBatch parity after the bounds
+// refactor: public batch results equal the serial path bit for bit, and
+// malformed points still compact correctly around good ones.
+func TestModelPredictBounds(t *testing.T) {
+	x, y, labeled := testData(71, 90, 4, 40)
+	snap := fitSnapshot(t, x, y, labeled, graphssl.WithBandwidth(1.4))
+	m, err := NewModel(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := [][]float64{
+		x[labeled[0]],
+		{math.NaN(), 0, 0, 0},
+		{0.5, -0.5, 0.25, 0},
+		{0, 0}, // bad dim
+		{1, 1, 1, 1},
+	}
+	dst := make([]float64, len(qs))
+	st := make([]pointStatus, len(qs))
+	bounds := make([]float64, len(qs))
+	m.predictInto(dst, st, bounds, qs, 1)
+	if st[1] != psBadPoint || st[3] != psBadPoint {
+		t.Fatalf("statuses: %v", st)
+	}
+	sdst := make([]float64, len(qs))
+	sst := make([]pointStatus, len(qs))
+	sbounds := make([]float64, len(qs))
+	m.predictSerial(sdst, sst, sbounds, qs)
+	for i := range qs {
+		if st[i] != sst[i] {
+			t.Fatalf("point %d: batch status %d != serial %d", i, st[i], sst[i])
+		}
+		if math.Float64bits(dst[i]) != math.Float64bits(sdst[i]) {
+			t.Fatalf("point %d: batch %v != serial %v", i, dst[i], sdst[i])
+		}
+		if bounds[i] != sbounds[i] {
+			t.Fatalf("point %d: batch bound %v != serial %v", i, bounds[i], sbounds[i])
+		}
+		if bounds[i] != 0 {
+			t.Fatalf("point %d: exact model reported bound %v", i, bounds[i])
+		}
+	}
+}

@@ -19,6 +19,11 @@ var (
 	srvRejected      = expvar.NewInt("graphssl.serve.rejected_total")
 	srvBatches       = expvar.NewInt("graphssl.serve.batches_total")
 	srvBatchedPoints = expvar.NewInt("graphssl.serve.batched_points_total")
+	srvCacheHits     = expvar.NewInt("graphssl.serve.cache_hits")
+	srvCacheMisses   = expvar.NewInt("graphssl.serve.cache_misses")
+	srvShedQueue     = expvar.NewInt("graphssl.serve.shed_queue")
+	srvShedBudget    = expvar.NewInt("graphssl.serve.shed_budget")
+	srvAnchorsPruned = expvar.NewInt("graphssl.serve.anchors_pruned")
 	srvModelVersion  = expvar.NewMap("graphssl.serve.model_version")
 
 	// liveBatchers tracks every open Batcher so queue depth can be
@@ -72,6 +77,30 @@ func countBatch(jobs, points int) {
 	srvBatches.Add(1)
 	srvBatchedPoints.Add(int64(points))
 	_ = jobs
+}
+
+// countCache records the cache outcome split of one predict request.
+func countCache(hits, misses int) {
+	if hits > 0 {
+		srvCacheHits.Add(int64(hits))
+	}
+	if misses > 0 {
+		srvCacheMisses.Add(int64(misses))
+	}
+}
+
+// countShedQueue records one request shed by the queue-wait estimate.
+func countShedQueue() { srvShedQueue.Add(1) }
+
+// countShedBudget records one request shed by a per-model point budget.
+func countShedBudget() { srvShedBudget.Add(1) }
+
+// countPruned records anchors skipped without evaluation by the spatial
+// index or top-m truncation.
+func countPruned(n int64) {
+	if n > 0 {
+		srvAnchorsPruned.Add(n)
+	}
 }
 
 // setModelVersion publishes the current version of a named model.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	graphssl "repro"
 	"repro/internal/core"
@@ -43,6 +44,7 @@ type Model struct {
 	kind      kernel.Kind
 	bandwidth float64
 	knn       int
+	topM      int
 	lambda    float64
 	anchorSet AnchorSet
 	trainN    int
@@ -57,6 +59,7 @@ type ModelOption func(*modelConfig)
 type modelConfig struct {
 	anchorSet AnchorSet
 	workers   int
+	topM      int
 }
 
 // WithAnchorSet selects the anchor set (default AnchorLabeled).
@@ -69,6 +72,17 @@ func WithAnchorSet(a AnchorSet) ModelOption {
 // changes results.
 func WithWorkers(w int) ModelOption {
 	return func(c *modelConfig) { c.workers = w }
+}
+
+// WithTopM truncates every prediction to its m nearest anchors. Unlike the
+// exact compact-kernel pruning (which only skips anchors the kernel already
+// weighs zero), top-m is an approximation: each response carries a
+// residual-mass bound quantifying the kernel mass the truncation could have
+// dropped — see Result.Bounds and the per-point residual_bound in the HTTP
+// API. m <= 0 disables truncation (the default). Snapshots fitted with a
+// kNN graph are already truncated and reject the option.
+func WithTopM(m int) ModelOption {
+	return func(c *modelConfig) { c.topM = m }
 }
 
 // NewModel freezes a fitted snapshot into a servable model. The snapshot's
@@ -125,7 +139,14 @@ func NewModel(snap *graphssl.ModelSnapshot, opts ...ModelOption) (*Model, error)
 		anchors[p] = append([]float64(nil), snap.X[node]...)
 		values[p] = snap.Scores[node]
 	}
-	pred, err := core.NewNWPredictor(anchors, values, k, snap.KNN, cfg.workers)
+	knn := snap.KNN
+	if cfg.topM > 0 {
+		if snap.KNN > 0 {
+			return nil, fmt.Errorf("serve: top-m truncation on a kNN-fitted snapshot (knn=%d): %w", snap.KNN, ErrSnapshot)
+		}
+		knn = cfg.topM
+	}
+	pred, err := core.NewNWPredictor(anchors, values, k, knn, cfg.workers)
 	if err != nil {
 		return nil, fmt.Errorf("serve: snapshot predictor: %w", ErrSnapshot)
 	}
@@ -134,6 +155,7 @@ func NewModel(snap *graphssl.ModelSnapshot, opts ...ModelOption) (*Model, error)
 		kind:      snap.Kernel,
 		bandwidth: snap.Bandwidth,
 		knn:       snap.KNN,
+		topM:      cfg.topM,
 		lambda:    snap.Lambda,
 		anchorSet: cfg.anchorSet,
 		trainN:    len(snap.X),
@@ -155,11 +177,16 @@ type Info struct {
 	Kernel    string  `json:"kernel"`
 	Bandwidth float64 `json:"bandwidth"`
 	KNN       int     `json:"knn,omitempty"`
+	TopM      int     `json:"top_m,omitempty"`
 	Lambda    float64 `json:"lambda"`
 	AnchorSet string  `json:"anchor_set"`
 	Anchors   int     `json:"anchors"`
 	TrainN    int     `json:"train_n"`
 	LabeledN  int     `json:"labeled_n"`
+	// Pruning names the anchor-lookup path the predictor selected: "brute"
+	// (full SIMD scan), "grid" or "kdtree" (exact compact-kernel ball
+	// rejection), or "knn" (top-m truncation with residual bounds).
+	Pruning string `json:"pruning"`
 }
 
 // Info returns the model's hyperparameters and sizes.
@@ -169,11 +196,13 @@ func (m *Model) Info() Info {
 		Kernel:    m.kind.String(),
 		Bandwidth: m.bandwidth,
 		KNN:       m.knn,
+		TopM:      m.topM,
 		Lambda:    m.lambda,
 		AnchorSet: m.anchorSet.String(),
 		Anchors:   m.pred.NumAnchors(),
 		TrainN:    m.trainN,
 		LabeledN:  m.labeledN,
+		Pruning:   m.pred.Path(),
 	}
 }
 
@@ -233,7 +262,7 @@ func (m *Model) Predict(q []float64) (float64, error) {
 func (m *Model) PredictBatch(qs [][]float64) ([]float64, []error) {
 	dst := make([]float64, len(qs))
 	st := make([]pointStatus, len(qs))
-	m.predictInto(dst, st, qs, m.workers)
+	m.predictInto(dst, st, nil, qs, m.workers)
 	var errs []error
 	for i, s := range st {
 		if s != psOK {
@@ -246,68 +275,135 @@ func (m *Model) PredictBatch(qs [][]float64) ([]float64, []error) {
 	return dst, errs
 }
 
-// predictSerial evaluates qs one point at a time through the scalar
-// per-point path — the unbatched serving baseline. Results are
-// bitwise-identical to predictInto; only the throughput differs.
-func (m *Model) predictSerial(dst []float64, st []pointStatus, qs [][]float64) {
+// predictSerial evaluates qs one point at a time through the per-point
+// path — the unbatched serving baseline. Results are bitwise-identical to
+// predictInto; only the throughput differs. bounds may be nil.
+func (m *Model) predictSerial(dst []float64, st []pointStatus, bounds []float64, qs [][]float64) {
+	s := m.pred.GetScratch()
+	var pruned int64
 	for i, q := range qs {
+		dst[i] = 0
+		if bounds != nil {
+			bounds[i] = 0
+		}
+		st[i] = psOK
 		if !m.checkPoint(q) {
 			st[i] = psBadPoint
 			continue
 		}
-		v, err := m.pred.Predict(q, nil)
+		v, err := m.pred.Predict(q, s)
+		p, bound := s.LastStats()
+		pruned += int64(p)
 		if err != nil {
 			st[i] = psIsolated
 			continue
 		}
 		dst[i] = v
+		if bounds != nil {
+			bounds[i] = bound
+		}
+	}
+	m.pred.PutScratch(s)
+	countPruned(pruned)
+}
+
+// predictScratch holds the reusable buffers of one predictInto call; pooled
+// so the warm batch path stays allocation-free.
+type predictScratch struct {
+	cst     []core.NWStatus
+	good    [][]float64
+	pos     []int
+	gdst    []float64
+	gbounds []float64
+	// stats lives in the pooled scratch (not on the stack) because its
+	// address crosses into the predictor's worker closure, which would
+	// otherwise heap-allocate it per call.
+	stats core.NWBatchStats
+}
+
+var predictPool = sync.Pool{New: func() any { return new(predictScratch) }}
+
+func (ps *predictScratch) size(n int) {
+	if cap(ps.cst) < n {
+		ps.cst = make([]core.NWStatus, n)
+		ps.good = make([][]float64, n)
+		ps.pos = make([]int, n)
+		ps.gdst = make([]float64, n)
+		ps.gbounds = make([]float64, n)
 	}
 }
 
-// predictInto is the allocation-lean batch core used by the batcher: dst
-// and st are caller-owned slices sized len(qs). Malformed points are
-// screened before the compute pass and never reach the predictor.
-func (m *Model) predictInto(dst []float64, st []pointStatus, qs [][]float64, workers int) {
+// predictInto is the allocation-free batch core used by the batcher: dst,
+// st, and (optionally nil) bounds are caller-owned slices sized len(qs).
+// Malformed points are screened before the compute pass and never reach the
+// predictor. Every entry of dst/st/bounds is written, so callers may hand
+// in dirty pooled buffers.
+func (m *Model) predictInto(dst []float64, st []pointStatus, bounds []float64, qs [][]float64, workers int) {
+	n := len(qs)
+	ps := predictPool.Get().(*predictScratch)
+	ps.size(n)
+	ps.stats.AnchorsPruned = 0
 	bad := false
 	for i, q := range qs {
-		if !m.checkPoint(q) {
+		if m.checkPoint(q) {
+			st[i] = psOK
+		} else {
 			st[i] = psBadPoint
 			bad = true
 		}
 	}
-	n := len(qs)
 	if bad {
 		// Compact the good points so the tiled kernel sees a clean batch.
-		good := make([][]float64, 0, n)
-		pos := make([]int, 0, n)
+		good, pos := ps.good[:0], ps.pos[:0]
 		for i, q := range qs {
 			if st[i] == psOK {
 				good = append(good, q)
 				pos = append(pos, i)
 			}
 		}
-		if len(good) == 0 {
-			return
-		}
-		gdst := make([]float64, len(good))
-		gst := make([]core.NWStatus, len(good))
-		m.pred.PredictBatch(gdst, gst, good, workers)
-		for r, i := range pos {
-			switch gst[r] {
-			case core.NWOK:
-				dst[i] = gdst[r]
-			default:
-				st[i] = psIsolated
+		for i := range qs {
+			dst[i] = 0
+			if bounds != nil {
+				bounds[i] = 0
 			}
 		}
-		return
-	}
-	cst := make([]core.NWStatus, n)
-	m.pred.PredictBatch(dst, cst, qs, workers)
-	for i, s := range cst {
-		if s != core.NWOK {
-			st[i] = psIsolated
-			dst[i] = 0
+		if len(good) > 0 {
+			gdst, gst := ps.gdst[:len(good)], ps.cst[:len(good)]
+			var gbounds []float64
+			if bounds != nil {
+				gbounds = ps.gbounds[:len(good)]
+			}
+			m.pred.PredictBatchBounds(gdst, gst, gbounds, good, workers, &ps.stats)
+			for r, i := range pos {
+				switch gst[r] {
+				case core.NWOK:
+					dst[i] = gdst[r]
+					if bounds != nil {
+						bounds[i] = gbounds[r]
+					}
+				default:
+					st[i] = psIsolated
+				}
+			}
+		}
+		// Drop the caller's query references before pooling.
+		for i := range good {
+			good[i] = nil
+		}
+	} else {
+		cst := ps.cst[:n]
+		m.pred.PredictBatchBounds(dst, cst, bounds, qs, workers, &ps.stats)
+		for i, s := range cst {
+			if s != core.NWOK {
+				st[i] = psIsolated
+				dst[i] = 0
+				if bounds != nil {
+					bounds[i] = 0
+				}
+			}
 		}
 	}
+	pruned := ps.stats.AnchorsPruned
+	predictPool.Put(ps)
+	countPruned(pruned)
 }

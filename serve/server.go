@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,19 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxPoints bounds the points in one predict request (default 4096).
 	MaxPoints int
+	// CacheSize bounds the version-keyed prediction cache, in entries
+	// (default 8192; negative disables caching). A registry hot-swap bumps
+	// the model version, which invalidates its cached predictions
+	// implicitly.
+	CacheSize int
+	// ModelBudget bounds the uncached points one model may have in flight;
+	// requests beyond it get 429 (default 0 = unlimited).
+	ModelBudget int
+	// MaxQueueWait sheds predict requests when the batch queue's estimated
+	// drain time (depth x measured per-point service time) exceeds it
+	// (default PredictTimeout). Shedding early returns a cheap 429 instead
+	// of queueing work that would time out anyway.
+	MaxQueueWait time.Duration
 }
 
 func (c *Config) fillDefaults() {
@@ -67,6 +81,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxPoints <= 0 {
 		c.MaxPoints = 4096
 	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 8192
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = c.PredictTimeout
+	}
 }
 
 // Server is the HTTP serving layer: a model registry behind a JSON API with
@@ -78,6 +98,8 @@ type Server struct {
 	cfg      Config
 	registry *Registry
 	batcher  *Batcher
+	cache    *predCache
+	budgets  sync.Map // model name -> *atomic.Int64 in-flight uncached points
 	draining atomic.Bool
 	mux      *http.ServeMux
 }
@@ -85,7 +107,7 @@ type Server struct {
 // NewServer builds a server around an empty registry.
 func NewServer(cfg Config) *Server {
 	cfg.fillDefaults()
-	s := &Server{cfg: cfg, registry: &Registry{}}
+	s := &Server{cfg: cfg, registry: &Registry{}, cache: newPredCache(cfg.CacheSize)}
 	if !cfg.NoBatch {
 		s.batcher = NewBatcher(cfg.MaxBatch, cfg.BatchDelay, cfg.QueueDepth, cfg.Workers)
 	}
@@ -178,12 +200,54 @@ type predictRequest struct {
 }
 
 // predictResponse answers a predict request. Errors, when present, aligns
-// with Points; empty strings mark successes.
+// with Points; empty strings mark successes. ResidualBound, when present,
+// is the largest top-m truncation residual-mass bound over the request's
+// points: the fraction of total kernel mass the truncation could have
+// dropped (0 = every prediction exact; see Info.Pruning).
 type predictResponse struct {
-	Model   string    `json:"model"`
-	Version int64     `json:"version"`
-	Scores  []float64 `json:"scores"`
-	Errors  []string  `json:"errors,omitempty"`
+	Model         string    `json:"model"`
+	Version       int64     `json:"version"`
+	Scores        []float64 `json:"scores"`
+	ResidualBound float64   `json:"residual_bound,omitempty"`
+	Errors        []string  `json:"errors,omitempty"`
+}
+
+// reqScratch pools one predict request's working buffers — the
+// cache-scatter and miss-compaction state — so the warm request path does
+// not grow the heap per call.
+type reqScratch struct {
+	scores  []float64
+	bounds  []float64
+	st      []pointStatus
+	missPts [][]float64
+	missIdx []int
+	mdst    []float64
+	mbounds []float64
+	mst     []pointStatus
+}
+
+var reqPool = sync.Pool{New: func() any { return new(reqScratch) }}
+
+func (sc *reqScratch) size(n int) {
+	if cap(sc.scores) < n {
+		sc.scores = make([]float64, n)
+		sc.bounds = make([]float64, n)
+		sc.st = make([]pointStatus, n)
+		sc.missPts = make([][]float64, 0, n)
+		sc.missIdx = make([]int, 0, n)
+		sc.mdst = make([]float64, n)
+		sc.mbounds = make([]float64, n)
+		sc.mst = make([]pointStatus, n)
+	}
+}
+
+func (sc *reqScratch) release() {
+	// Query points belong to the request; drop the references.
+	for i := range sc.missPts {
+		sc.missPts[i] = nil
+	}
+	sc.missPts = sc.missPts[:0]
+	reqPool.Put(sc)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -193,12 +257,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	if len(req.Points) == 0 {
+	n := len(req.Points)
+	if n == 0 {
 		fail(w, fmt.Errorf("serve: no points: %w", ErrPoint))
 		return
 	}
-	if len(req.Points) > s.cfg.MaxPoints {
-		fail(w, fmt.Errorf("serve: %d points exceeds the per-request limit %d: %w", len(req.Points), s.cfg.MaxPoints, ErrPoint))
+	if n > s.cfg.MaxPoints {
+		fail(w, fmt.Errorf("serve: %d points exceeds the per-request limit %d: %w", n, s.cfg.MaxPoints, ErrPoint))
 		return
 	}
 	e, err := s.registry.Load(req.Model)
@@ -206,37 +271,95 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PredictTimeout)
-	defer cancel()
-	var (
-		dst []float64
-		st  []pointStatus
-	)
-	if s.batcher != nil {
-		dst, st, err = s.batcher.Do(ctx, e.Model, req.Points)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				err = fmt.Errorf("serve: request canceled: %w", err)
-			}
-			fail(w, err)
-			return
+	sc := reqPool.Get().(*reqScratch)
+	defer sc.release()
+	sc.size(n)
+	scores, bounds, st := sc.scores[:n], sc.bounds[:n], sc.st[:n]
+	missPts, missIdx := sc.missPts[:0], sc.missIdx[:0]
+	for i, pt := range req.Points {
+		if v, b, cst, ok := s.cache.get(e.Name, e.Version, pt); ok {
+			scores[i], bounds[i], st[i] = v, b, cst
+		} else {
+			missPts = append(missPts, pt)
+			missIdx = append(missIdx, i)
 		}
-	} else {
-		dst = make([]float64, len(req.Points))
-		st = make([]pointStatus, len(req.Points))
-		e.Model.predictSerial(dst, st, req.Points)
 	}
-	resp := predictResponse{Model: e.Name, Version: e.Version, Scores: dst}
+	sc.missPts = missPts // keep the grown slice pooled
+	countCache(n-len(missPts), len(missPts))
+
+	if len(missPts) > 0 {
+		// Admission control gates only uncached work: a full cache hit costs
+		// nothing worth shedding.
+		if s.batcher != nil {
+			if wait := s.batcher.EstimatedWait(); wait > s.cfg.MaxQueueWait {
+				countShedQueue()
+				fail(w, fmt.Errorf("serve: estimated queue wait %v exceeds %v: %w", wait.Round(time.Millisecond), s.cfg.MaxQueueWait, ErrOverloaded))
+				return
+			}
+		}
+		if s.cfg.ModelBudget > 0 {
+			ctr := s.modelCounter(e.Name)
+			if ctr.Add(int64(len(missPts))) > int64(s.cfg.ModelBudget) {
+				ctr.Add(-int64(len(missPts)))
+				countShedBudget()
+				fail(w, fmt.Errorf("serve: model %q exceeds its in-flight budget of %d points: %w", e.Name, s.cfg.ModelBudget, ErrOverloaded))
+				return
+			}
+			defer ctr.Add(-int64(len(missPts)))
+		}
+		mdst, mbounds, mst := sc.mdst[:len(missPts)], sc.mbounds[:len(missPts)], sc.mst[:len(missPts)]
+		if s.batcher != nil {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.PredictTimeout)
+			res, err := s.batcher.Do(ctx, e.Model, missPts)
+			cancel()
+			if err != nil {
+				if errors.Is(err, context.Canceled) {
+					err = fmt.Errorf("serve: request canceled: %w", err)
+				}
+				fail(w, err)
+				return
+			}
+			copy(mdst, res.Scores())
+			copy(mst, res.Status())
+			copy(mbounds, res.Bounds())
+			res.Release()
+		} else {
+			e.Model.predictSerial(mdst, mst, mbounds, missPts)
+		}
+		for k, i := range missIdx {
+			scores[i], bounds[i], st[i] = mdst[k], mbounds[k], mst[k]
+			// Bad points are request-shaped, not model-shaped; don't cache
+			// them.
+			if mst[k] != psBadPoint {
+				s.cache.put(e.Name, e.Version, missPts[k], mdst[k], mbounds[k], mst[k])
+			}
+		}
+	}
+
+	resp := predictResponse{Model: e.Name, Version: e.Version, Scores: scores}
 	for i, ps := range st {
 		if ps != psOK {
 			if resp.Errors == nil {
-				resp.Errors = make([]string, len(st))
+				resp.Errors = make([]string, n)
 			}
 			resp.Errors[i] = ps.err().Error()
 		}
+		if bounds[i] > resp.ResidualBound {
+			resp.ResidualBound = bounds[i]
+		}
 	}
-	countRequest(len(req.Points), time.Since(start))
+	countRequest(n, time.Since(start))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelCounter returns the in-flight point counter for a model name,
+// creating it on first use.
+func (s *Server) modelCounter(name string) *atomic.Int64 {
+	if c, ok := s.budgets.Load(name); ok {
+		return c.(*atomic.Int64)
+	}
+	c, _ := s.budgets.LoadOrStore(name, new(atomic.Int64))
+	return c.(*atomic.Int64)
 }
 
 // fitRequest is the body of POST /v1/models/{name}: training data plus the
@@ -253,6 +376,9 @@ type fitRequest struct {
 	Lambda    *float64 `json:"lambda,omitempty"`
 	// AnchorSet is "labeled" (default) or "all".
 	AnchorSet string `json:"anchor_set,omitempty"`
+	// TopM > 0 serves the model with top-m anchor truncation; responses
+	// then carry residual_bound. Incompatible with KNN > 0.
+	TopM int `json:"top_m,omitempty"`
 }
 
 // fitResponse answers a fit request.
@@ -323,7 +449,11 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		fail(w, fmt.Errorf("serve: snapshot: %v: %w", err, ErrPoint))
 		return
 	}
-	m, err := NewModel(snap, WithAnchorSet(anchorSet), WithWorkers(s.cfg.Workers))
+	mopts := []ModelOption{WithAnchorSet(anchorSet), WithWorkers(s.cfg.Workers)}
+	if req.TopM > 0 {
+		mopts = append(mopts, WithTopM(req.TopM))
+	}
+	m, err := NewModel(snap, mopts...)
 	if err != nil {
 		fail(w, err)
 		return
@@ -374,6 +504,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	clearModelVersion(name)
+	// Drop the budget counter; in-flight requests holding it keep their
+	// reference and still release correctly.
+	s.budgets.Delete(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 

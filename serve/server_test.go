@@ -334,6 +334,11 @@ func TestServerConcurrentClients(t *testing.T) {
 		"graphssl.serve.model_version",
 		"graphssl.serve.queue_depth",
 		"graphssl.serve.batch_occupancy",
+		"graphssl.serve.cache_hits",
+		"graphssl.serve.cache_misses",
+		"graphssl.serve.shed_queue",
+		"graphssl.serve.shed_budget",
+		"graphssl.serve.anchors_pruned",
 	} {
 		if !bytes.Contains(body, []byte(fmt.Sprintf("%q", key))) {
 			t.Fatalf("metric %s missing from /debug/vars", key)
