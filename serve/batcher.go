@@ -78,9 +78,16 @@ type Batcher struct {
 
 	depth atomic.Int64 // admitted points not yet completed
 
-	// perPointNs is an EWMA of batch-evaluation nanoseconds per point
-	// (float64 bits), maintained by the dispatcher and read lock-free by
-	// the server's queue-wait shedding estimate.
+	// inline counts admitted points currently being evaluated on their
+	// caller's goroutine (the solo fast path). Those never reach the queue,
+	// so the dispatcher's adaptive flush must not wait for them: depth minus
+	// inline is the work that can still arrive for coalescing.
+	inline atomic.Int64
+
+	// perPointNs is an EWMA of evaluation nanoseconds per point (float64
+	// bits), fed by both dispatcher batches and inline evaluations (hence
+	// CAS updates) and read lock-free by the server's queue-wait shedding
+	// estimate.
 	perPointNs atomic.Uint64
 
 	pool sync.Pool // *Result
@@ -208,8 +215,14 @@ func (b *Batcher) Do(ctx context.Context, m *Model, pts [][]float64) (*Result, e
 	}
 	if b.depth.Load() == n {
 		countBatch(1, len(pts))
+		b.inline.Add(n)
+		start := time.Now()
 		m.predictInto(j.dst, j.st, j.bounds, pts, b.workers)
+		b.observePerPoint(time.Since(start), len(pts))
 		j.state.Store(jobDelivered)
+		// Drop inline before depth so depth >= inline always holds for the
+		// dispatcher's queued-work estimate.
+		b.inline.Add(-n)
 		b.depth.Add(-n)
 		b.mu.RUnlock()
 		return j, nil
@@ -279,10 +292,11 @@ func (b *Batcher) dispatch() {
 				continue
 			default:
 			}
-			// Queue idle. If every admitted point is already in this batch,
-			// nothing can arrive that coalescing would help — flush now
-			// rather than taxing a lone client with the delay window.
-			if b.depth.Load() <= int64(points) {
+			// Queue idle. If every admitted point is either in this batch or
+			// being evaluated inline (and thus will never be queued), nothing
+			// can arrive that coalescing would help — flush now rather than
+			// taxing a lone client with the delay window.
+			if b.depth.Load()-b.inline.Load() <= int64(points) {
 				break fill
 			}
 			// Admitted-but-not-yet-queued work is in flight; wait for it,
@@ -313,6 +327,27 @@ func (b *Batcher) dispatch() {
 		// Drop job references so the pool, not the batch buffer, owns them.
 		for i := range b.batch {
 			b.batch[i] = nil
+		}
+	}
+}
+
+// observePerPoint folds one evaluation's per-point service time into the
+// EWMA behind EstimatedWait. Dispatcher batches and inline evaluations both
+// report samples concurrently, so the update is a CAS loop; the first sample
+// seeds the average directly.
+func (b *Batcher) observePerPoint(elapsed time.Duration, points int) {
+	if points <= 0 {
+		return
+	}
+	sample := float64(elapsed.Nanoseconds()) / float64(points)
+	for {
+		old := b.perPointNs.Load()
+		next := sample
+		if prev := math.Float64frombits(old); prev != 0 {
+			next = prev + 0.2*(sample-prev)
+		}
+		if b.perPointNs.CompareAndSwap(old, math.Float64bits(next)) {
+			return
 		}
 	}
 }
@@ -363,15 +398,7 @@ func (b *Batcher) run(batch []*Result, points int) {
 		}
 		lo = hi
 	}
-	if points > 0 {
-		sample := float64(time.Since(start).Nanoseconds()) / float64(points)
-		prev := math.Float64frombits(b.perPointNs.Load())
-		if prev == 0 {
-			prev = sample
-		}
-		// EWMA, dispatcher-only writer so a plain store suffices.
-		b.perPointNs.Store(math.Float64bits(prev + 0.2*(sample-prev)))
-	}
+	b.observePerPoint(time.Since(start), points)
 	for _, j := range batch {
 		if j.state.CompareAndSwap(jobPending, jobDelivered) {
 			j.done <- struct{}{}

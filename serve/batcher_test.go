@@ -227,3 +227,28 @@ func TestBatcherMixedModels(t *testing.T) {
 		t.Fatalf("model 2: %v != %v", r2[0], w2[0])
 	}
 }
+
+// TestBatcherInlineFeedsEWMA checks the solo fast path against the shedding
+// estimator: an inline evaluation must fold its per-point service time into
+// the EWMA behind EstimatedWait (otherwise purely-solo traffic leaves the
+// estimate stale at zero) and must leave no inline/depth points accounted
+// once it returns, so the dispatcher's adaptive flush never waits on it.
+func TestBatcherInlineFeedsEWMA(t *testing.T) {
+	m := batchModel(t)
+	b := NewBatcher(64, 500*time.Microsecond, 1024, 1)
+	defer b.Close()
+	if got := math.Float64frombits(b.perPointNs.Load()); got != 0 {
+		t.Fatalf("fresh EWMA = %v, want 0", got)
+	}
+	res, err := b.Do(context.Background(), m, [][]float64{make([]float64, m.Dim())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+	if got := math.Float64frombits(b.perPointNs.Load()); !(got > 0) {
+		t.Fatalf("EWMA after inline evaluation = %v, want > 0", got)
+	}
+	if in, d := b.inline.Load(), b.depth.Load(); in != 0 || d != 0 {
+		t.Fatalf("leftover accounting after inline evaluation: inline=%d depth=%d", in, d)
+	}
+}

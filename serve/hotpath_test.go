@@ -140,6 +140,98 @@ func TestServerCacheExactness(t *testing.T) {
 	}
 }
 
+// TestServerCacheDeleteRefit pins the stale-cache hazard: predictions cached
+// for a model must not be served after DELETE + refit under the same name.
+// The registry keeps per-name versions monotonic across deletion, so the
+// refit model's cache keys can never collide with the dead model's — a point
+// cached for the old "d" must recompute under the new "d" and agree bitwise
+// with a from-scratch evaluation of the new labels.
+func TestServerCacheDeleteRefit(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	x, y, labeled := testData(71, 90, 4, 30)
+	const h = 1.3
+
+	fitOverHTTP(t, ts.URL, "d", x, y, labeled, h)
+
+	// Query the in-sample unlabeled points so predictions are fully
+	// determined by the labels the model was fit on.
+	want1, unl, err := graphssl.NadarayaWatson(x, y, labeled, graphssl.WithBandwidth(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([][]float64, len(unl))
+	for i, u := range unl {
+		qs[i] = x[u]
+	}
+	predict := func() predictResponse {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "d", Points: qs})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict: %d %s", resp.StatusCode, body)
+		}
+		var pr predictResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatal(err)
+		}
+		return pr
+	}
+
+	// Populate the cache (first call computes, second hits it).
+	predict()
+	first := predict()
+	for i := range want1 {
+		if math.Float64bits(first.Scores[i]) != math.Float64bits(want1[i]) {
+			t.Fatalf("point %d: cached %v != baseline %v", i, first.Scores[i], want1[i])
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/d", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d", dresp.StatusCode)
+	}
+
+	// Refit the same name with inverted labels: same anchors, same query
+	// coordinates (so the cache keys match byte-for-byte if versions ever
+	// restarted), different predictions.
+	y2 := make([]float64, len(y))
+	for i := range y {
+		y2[i] = 2 - y[i]
+	}
+	fr := fitOverHTTP(t, ts.URL, "d", x, y2, labeled, h)
+	if fr.Version != 2 {
+		t.Fatalf("refit after delete: version = %d, want 2 (monotonic)", fr.Version)
+	}
+	want2, _, err := graphssl.NadarayaWatson(x, y2, labeled, graphssl.WithBandwidth(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := 0
+	for i := range want1 {
+		if math.Float64bits(want1[i]) != math.Float64bits(want2[i]) {
+			differ++
+		}
+	}
+	if differ == 0 {
+		t.Fatal("test is toothless: old and new models predict identically")
+	}
+
+	third := predict()
+	if third.Version != 2 {
+		t.Fatalf("post-refit predict version = %d", third.Version)
+	}
+	for i := range want2 {
+		if math.Float64bits(third.Scores[i]) != math.Float64bits(want2[i]) {
+			t.Fatalf("point %d: served %v != new model's %v (stale cache from deleted model)",
+				i, third.Scores[i], want2[i])
+		}
+	}
+}
+
 // TestServerShedQueue forces the queue-wait estimate over the limit and
 // checks the 429 + counter. White-box: the EWMA and depth are seeded
 // directly so the test is deterministic.

@@ -22,10 +22,17 @@ type Entry struct {
 // contention with writers. Internally the registry is copy-on-write: writers
 // serialize on a mutex, build a fresh map, and publish it atomically.
 //
+// Versions are monotonic per name for the registry's lifetime, surviving
+// Delete: re-storing a deleted name continues from the highest version ever
+// assigned to it, never back at 1. Anything keyed on (name, version) — the
+// server's prediction cache in particular — therefore can never confuse a
+// new model with a same-named predecessor.
+//
 // The zero Registry is ready to use.
 type Registry struct {
-	mu  sync.Mutex // serializes writers
-	cur atomic.Pointer[map[string]*Entry]
+	mu   sync.Mutex // serializes writers and guards last
+	cur  atomic.Pointer[map[string]*Entry]
+	last map[string]int64 // highest version ever assigned per name
 }
 
 // maxNameLen bounds model names (they appear in URLs and metrics).
@@ -70,7 +77,9 @@ func (r *Registry) Load(name string) (*Entry, error) {
 // Store publishes model under name, replacing any previous model atomically
 // (hot swap: concurrent Loads see either the old entry or the new one,
 // never a torn state). It returns the published entry; its Version is 1 for
-// a fresh name and previous+1 on replacement.
+// a never-before-seen name and highest-ever+1 otherwise — including after a
+// Delete, so a (name, version) pair uniquely identifies one stored model for
+// the registry's lifetime.
 func (r *Registry) Store(name string, m *Model) (*Entry, error) {
 	if !validName(name) {
 		return nil, fmt.Errorf("serve: model name %q: %w", name, ErrName)
@@ -85,10 +94,11 @@ func (r *Registry) Store(name string, m *Model) (*Entry, error) {
 	for k, v := range old {
 		next[k] = v
 	}
-	var version int64 = 1
-	if prev, ok := old[name]; ok {
-		version = prev.Version + 1
+	if r.last == nil {
+		r.last = make(map[string]int64)
 	}
+	version := r.last[name] + 1
+	r.last[name] = version
 	e := &Entry{Name: name, Version: version, Model: m}
 	next[name] = e
 	r.cur.Store(&next)
@@ -96,7 +106,9 @@ func (r *Registry) Store(name string, m *Model) (*Entry, error) {
 }
 
 // Delete removes the model published under name. In-flight requests that
-// already loaded the entry finish normally.
+// already loaded the entry finish normally. The name's version watermark is
+// retained, so a later Store under the same name continues the sequence
+// instead of restarting at 1.
 func (r *Registry) Delete(name string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

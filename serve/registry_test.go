@@ -73,6 +73,40 @@ func TestRegistryVersioning(t *testing.T) {
 	}
 }
 
+// TestRegistryVersionMonotonicAcrossDelete pins the property the prediction
+// cache depends on: a name's versions never restart after Delete, so one
+// (name, version) pair can never identify two different models.
+func TestRegistryVersionMonotonicAcrossDelete(t *testing.T) {
+	var r Registry
+	e, err := r.Store("a", smallModel(t))
+	if err != nil || e.Version != 1 {
+		t.Fatalf("store: %+v, %v", e, err)
+	}
+	if err := r.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	e, err = r.Store("a", smallModel(t))
+	if err != nil || e.Version != 2 {
+		t.Fatalf("store after delete: %+v, %v — version must not restart at 1", e, err)
+	}
+	if err := r.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	e, err = r.Store("a", smallModel(t))
+	if err != nil || e.Version != 3 {
+		t.Fatalf("second delete/store cycle: %+v, %v", e, err)
+	}
+	if err := r.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Delete("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
 func TestRegistryNameValidation(t *testing.T) {
 	var r Registry
 	m := smallModel(t)

@@ -505,7 +505,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	}
 	clearModelVersion(name)
 	// Drop the budget counter; in-flight requests holding it keep their
-	// reference and still release correctly.
+	// reference and still release correctly. Cached predictions need no
+	// purge: Registry versions are monotonic across Delete, so a refit under
+	// this name gets a fresh version and the dead entries can never match.
 	s.budgets.Delete(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
