@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench fuzz fuzz-smoke cover alloc-gate serve-smoke
+.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench cluster-bench fuzz fuzz-smoke cover alloc-gate serve-smoke cluster-smoke distributed-smoke
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -21,16 +21,18 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the concurrency-heavy packages (spatial indexes,
-# graph construction, parallel primitives), run twice to vary interleavings.
+# graph construction, parallel primitives, and the distributed cluster layer
+# with its fault-injection harness), run twice to vary interleavings.
 race-concurrency:
-	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/...
+	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/... ./internal/cluster/...
 
 # Allocation-regression gate: the warm PCG/CG solve path (pooled workspace
-# + held destination) and the serving predict hot path (pooled scratch,
-# pooled batcher jobs) must stay at exactly zero heap allocations per op.
+# + held destination), the serving predict hot path (pooled scratch, pooled
+# batcher jobs), and the steady-state distributed superstep (pooled message
+# and vector buffers) must stay at exactly zero heap allocations per op.
 alloc-gate:
 	$(GO) test -run 'TestZeroAllocSolve' -v ./internal/sparse/ ./internal/precond/
-	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/
+	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/ ./internal/cluster/
 
 # The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
 # targets separately.
@@ -68,14 +70,34 @@ perfbench:
 	$(GO) run ./cmd/perfbench -suite spatial -out results/BENCH_spatial.json
 	$(GO) run ./cmd/perfbench -suite robust -out results/BENCH_robust.json
 	$(GO) run ./cmd/perfbench -suite serve -out results/BENCH_serve.json
+	$(GO) run ./cmd/perfbench -suite cluster -repeats 1 -out results/BENCH_cluster.json
 
 # Refreshes just the serving-path load test (batched x cached grid over
 # 1/4/16/64 clients) after hot-path changes.
 serve-bench:
 	$(GO) run ./cmd/perfbench -suite serve -out results/BENCH_serve.json
 
+# Refreshes just the distributed suite: the n=1M sharded fit over 4 local
+# TCP workers (bitwise-asserted across shard counts 1/2/4/8) plus predict
+# load through the 3-replica consistent-hash router.
+cluster-bench:
+	$(GO) run ./cmd/perfbench -suite cluster -repeats 1 -out results/BENCH_cluster.json
+
 # End-to-end smoke of the serving subsystem: boots sslserve on a free port,
 # fits a model over HTTP, runs a batched predict, checks /readyz, and drains
 # on the SIGTERM path.
 serve-smoke:
 	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/sslserve/
+
+# End-to-end smoke of the distributed subsystem: the determinism and
+# fault-injection harnesses plus the replicated-fleet boot path (sslserve
+# -replicas 3 over HTTP) and the public cluster API surface.
+cluster-smoke:
+	$(GO) test -count=1 -run 'TestSolvePCG|TestCrash|TestSlow|TestDropped|TestDuplicate|TestAllWorkersCrash' -v ./internal/cluster/...
+	$(GO) test -count=1 -run TestFleetSmoke -v ./cmd/sslserve/
+	$(GO) test -count=1 -run 'TestFitWithClusterShards|TestFitDistributedTCPFleet|TestClusterRecovery|TestClusterFailureTyped' -v .
+
+# Runs the distributed example end to end: in-process and TCP fleets solving
+# the same problem, bitwise-identical across shard counts and transports.
+distributed-smoke:
+	$(GO) run ./examples/distributed

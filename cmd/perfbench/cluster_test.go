@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunClusterSuiteSmall runs the distributed suite end to end at a small
+// size: real TCP workers, all four shard counts, and the routed serve fleet,
+// asserting the report's structure and its bitwise-determinism claim.
+func TestRunClusterSuiteSmall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench_cluster.json")
+	runClusterSuite(out, clusterParams{
+		n: 2000, labelEvery: 50, degree: 3,
+		workers: 2, replicas: 2,
+		requests: 24, repeats: 1,
+	})
+
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report clusterReport
+	if err := json.Unmarshal(buf, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Benchmark != "cluster" {
+		t.Fatalf("benchmark = %q", report.Benchmark)
+	}
+	if !report.BitwiseIdentical {
+		t.Fatal("suite reported shard counts as not bitwise-identical")
+	}
+	if len(report.Fit) != 4 {
+		t.Fatalf("fit measurements = %d, want 4 (shards 1/2/4/8)", len(report.Fit))
+	}
+	for _, m := range report.Fit {
+		if m.Iterations <= 0 || m.Seconds <= 0 {
+			t.Fatalf("degenerate fit measurement: %+v", m)
+		}
+		if m.Iterations != report.Fit[0].Iterations {
+			t.Fatalf("iteration count differs across shard counts: %+v", report.Fit)
+		}
+		if m.Residual != report.Fit[0].Residual {
+			t.Fatalf("residual differs across shard counts: %+v", report.Fit)
+		}
+		if m.Restarts != 0 {
+			t.Fatalf("unexpected restarts in a healthy run: %+v", m)
+		}
+	}
+	// Edge cut and halo grow with shard count on the banded lattice, and a
+	// single shard has neither.
+	if report.Fit[0].EdgeCut != 0 || report.Fit[0].HaloTotal != 0 {
+		t.Fatalf("1-shard run must have zero edge cut and halo: %+v", report.Fit[0])
+	}
+	if report.Fit[3].EdgeCut <= report.Fit[1].EdgeCut {
+		t.Fatalf("edge cut did not grow with shards: %+v", report.Fit)
+	}
+	// Serve section: clients {1,4,16} x cache {off,on}, all with real load.
+	if len(report.Serve) != 6 {
+		t.Fatalf("serve measurements = %d, want 6", len(report.Serve))
+	}
+	for _, m := range report.Serve {
+		if m.RPS <= 0 || m.Requests != 24 {
+			t.Fatalf("degenerate serve measurement: %+v", m)
+		}
+	}
+}

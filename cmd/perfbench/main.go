@@ -143,7 +143,7 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), precond (CG vs Jacobi-PCG vs IC(0)-PCG), or serve (HTTP serving throughput, batched vs unbatched)")
+		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), precond (CG vs Jacobi-PCG vs IC(0)-PCG), serve (HTTP serving throughput, batched vs unbatched), or cluster (distributed fit over TCP workers + replicated serve fleet)")
 		out     = flag.String("out", "", "output JSON path (default results/BENCH_<suite>.json)")
 		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
 		d       = flag.Int("d", 50, "point dimension (parallel suite)")
@@ -158,6 +158,10 @@ func main() {
 		svAnch  = flag.Int("sva", 24000, "anchor count for the serve suite")
 		svD     = flag.Int("svd", 64, "point dimension for the serve suite")
 		svReqs  = flag.Int("svreqs", 256, "timed requests per serve configuration")
+		cn      = flag.Int("cn", 1_000_000, "graph node count for the cluster suite")
+		cLab    = flag.Int("clab", 50, "one labeled anchor per this many nodes (cluster suite)")
+		cWork   = flag.Int("cworkers", 4, "local TCP workers for the cluster suite")
+		cReps   = flag.Int("creplicas", 3, "serve replicas behind the router (cluster suite)")
 		repeats = flag.Int("repeats", 3, "timed repetitions per configuration (min is reported)")
 	)
 	flag.Parse()
@@ -209,8 +213,19 @@ func main() {
 		})
 		return
 	}
+	if *suite == "cluster" {
+		if *out == "" {
+			*out = "results/BENCH_cluster.json"
+		}
+		runClusterSuite(*out, clusterParams{
+			n: *cn, labelEvery: *cLab, degree: 3,
+			workers: *cWork, replicas: *cReps,
+			requests: *svReqs, repeats: *repeats,
+		})
+		return
+	}
 	if *suite != "parallel" {
-		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, precond, or serve)", *suite)
+		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, precond, serve, or cluster)", *suite)
 	}
 	if *out == "" {
 		*out = "results/BENCH_parallel.json"

@@ -212,13 +212,11 @@ func runServeLoad(base string, client *http.Client, p serveParams, clients int, 
 	return m
 }
 
-// runServeSuite benchmarks the HTTP serving path and writes the report.
-func runServeSuite(out string, p serveParams) {
-	model := benchModel(p)
-
-	// Pre-encoded single-point request bodies.
+// benchQueries pre-encodes `count` distinct single-point request bodies
+// against the "bench" model.
+func benchQueries(p serveParams, count int) [][]byte {
 	rng := randx.New(101)
-	queries := make([][]byte, 64)
+	queries := make([][]byte, count)
 	for i := range queries {
 		pt := make([]float64, p.d)
 		for j := range pt {
@@ -230,6 +228,13 @@ func runServeSuite(out string, p serveParams) {
 		}
 		queries[i] = body
 	}
+	return queries
+}
+
+// runServeSuite benchmarks the HTTP serving path and writes the report.
+func runServeSuite(out string, p serveParams) {
+	model := benchModel(p)
+	queries := benchQueries(p, 64)
 
 	report := serveReport{
 		Benchmark:  "serve",

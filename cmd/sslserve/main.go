@@ -4,10 +4,14 @@
 //
 // Usage:
 //
-//	sslserve [-addr :8080] [-max-batch 64] [-batch-delay 500us]
+//	sslserve [-addr :8080] [-replicas 1] [-max-batch 64] [-batch-delay 500us]
 //	         [-queue 1024] [-workers 1] [-no-batch]
 //	         [-cache-size 8192] [-model-budget 0] [-max-queue-wait 0]
 //	         [-predict-timeout 10s] [-fit-timeout 120s]
+//
+// With -replicas n > 1 the process serves a replicated fleet: n registries
+// behind a consistent-hash router, with fits run once on the leader and
+// published everywhere, plus a GET /v1/fleet topology endpoint.
 //
 // Endpoints:
 //
@@ -58,6 +62,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	fs.SetOutput(logw)
 	var (
 		addr           = fs.String("addr", ":8080", "listen address")
+		replicas       = fs.Int("replicas", 1, "serving replicas behind the consistent-hash router")
 		maxBatch       = fs.Int("max-batch", 64, "batch flush size in points")
 		batchDelay     = fs.Duration("batch-delay", 500*time.Microsecond, "max wait before a partial batch flushes")
 		queueDepth     = fs.Int("queue", 1024, "admission queue depth in points (excess gets 429)")
@@ -74,7 +79,7 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		return err
 	}
 
-	srv := serve.NewServer(serve.Config{
+	cfg := serve.Config{
 		MaxBatch:       *maxBatch,
 		BatchDelay:     *batchDelay,
 		QueueDepth:     *queueDepth,
@@ -85,16 +90,33 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		MaxQueueWait:   *maxQueueWait,
 		PredictTimeout: *predictTimeout,
 		FitTimeout:     *fitTimeout,
-	})
+	}
+	// A single replica serves the plain server; more get the replicated
+	// fleet behind the consistent-hash router. Both share the drain shape.
+	var (
+		handler http.Handler
+		drain   func()
+		stop    func()
+	)
+	if *replicas > 1 {
+		fleet, err := serve.NewFleet(*replicas, cfg)
+		if err != nil {
+			return err
+		}
+		handler, drain, stop = fleet.Handler(), fleet.BeginDrain, fleet.Close
+	} else {
+		srv := serve.NewServer(cfg)
+		handler, drain, stop = srv.Handler(), srv.BeginDrain, srv.Close
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
-	fmt.Fprintf(logw, "sslserve: listening on %s\n", ln.Addr())
+	fmt.Fprintf(logw, "sslserve: listening on %s (%d replica(s))\n", ln.Addr(), max(*replicas, 1))
 	if ready != nil {
 		ready(ln.Addr().String())
 	}
@@ -108,13 +130,13 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 	// Graceful drain: stop being ready, let in-flight handlers finish,
 	// then drain the batcher so no admitted work is dropped.
 	fmt.Fprintln(logw, "sslserve: draining")
-	srv.BeginDrain()
+	drain()
 	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	srv.Close()
+	stop()
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

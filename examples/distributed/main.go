@@ -1,7 +1,9 @@
-// Distributed propagation demo: the hard criterion solved three ways —
-// dense factorization, in-process block-partitioned propagation, and
-// real TCP workers coordinating Jacobi supersteps over net/rpc — all
-// agreeing on the same harmonic solution.
+// Distributed fit demo on the promoted public API: the hard criterion
+// solved three ways — the single-node direct solver, the sharded PCG
+// engine over an in-process fleet, and the same engine coordinating real
+// TCP workers started with StartClusterWorker — all agreeing on the same
+// harmonic solution, with the distributed runs bitwise-identical across
+// shard counts.
 //
 //	go run ./examples/distributed
 package main
@@ -11,63 +13,68 @@ import (
 	"log"
 	"math"
 
-	"repro/internal/cluster"
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/kernel"
-	"repro/internal/randx"
+	graphssl "repro"
 )
 
 func main() {
-	// A 400-node random geometric dataset with 80 labeled points.
-	rng := randx.New(17)
+	// A 400-node two-cluster dataset with 80 labeled points.
 	x := make([][]float64, 400)
-	for i := range x {
-		x[i] = []float64{rng.Norm(), rng.Norm()}
-	}
 	y := make([]float64, 80)
+	for i := range x {
+		side := float64(i%2)*4 - 2
+		x[i] = []float64{side + 0.4*math.Sin(float64(i)), 0.4 * math.Cos(float64(3*i))}
+	}
 	for i := range y {
-		y[i] = rng.Bernoulli(0.5)
+		y[i] = float64(i % 2)
 	}
 
-	k, err := kernel.New(kernel.Gaussian, 0.8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	builder, err := graph.NewBuilder(k, graph.WithKNN(12))
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := builder.Build(x)
-	if err != nil {
-		log.Fatal(err)
-	}
-	p, err := core.NewProblemLabeledFirst(g, y)
+	// 1. Single-node reference fit.
+	direct, err := graphssl.Fit(x, y, nil, graphssl.WithBandwidth(0.8), graphssl.WithKNN(12), graphssl.WithTolerance(1e-11))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 1. Serial dense solve (reference).
-	direct, err := core.SolveHard(p)
-	if err != nil {
-		log.Fatal(err)
+	maxDev := func(a []float64) float64 {
+		var d float64
+		for i := range a {
+			if dd := math.Abs(a[i] - direct.UnlabeledScores[i]); dd > d {
+				d = dd
+			}
+		}
+		return d
 	}
 
-	// 2. In-process partitioned propagation with 4 workers.
-	sys, err := core.BuildPropagationSystem(p)
-	if err != nil {
-		log.Fatal(err)
+	// 2. The sharded PCG engine over an in-process fleet, at several shard
+	// counts: the fitted scores must be bitwise-identical across all of
+	// them.
+	var first []float64
+	for _, shards := range []int{1, 2, 4} {
+		res, err := graphssl.Fit(x, y, nil,
+			graphssl.WithBandwidth(0.8), graphssl.WithKNN(12), graphssl.WithTolerance(1e-11),
+			graphssl.WithClusterShards(shards))
+		if err != nil {
+			log.Fatalf("shards=%d: %v", shards, err)
+		}
+		fmt.Printf("in-process fleet:  %d shard(s), %d iterations, residual %.2e, max dev vs direct %.2e\n",
+			shards, res.Iterations, res.Residual, maxDev(res.UnlabeledScores))
+		if first == nil {
+			first = res.UnlabeledScores
+			continue
+		}
+		for i := range first {
+			if res.UnlabeledScores[i] != first[i] {
+				log.Fatalf("shards=%d: scores not bitwise-identical to the 1-shard run", shards)
+			}
+		}
 	}
-	local, lres, err := cluster.SolveLocal(sys, cluster.LocalOptions{Workers: 4, Tol: 1e-11})
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Println("in-process runs bitwise-identical across shard counts")
 
-	// 3. Three real TCP workers on localhost.
+	// 3. Three real TCP workers on localhost, coordinated by
+	// FitDistributed, with crash recovery surfaced via diagnostics.
 	var addrs []string
-	var workers []*cluster.Worker
+	var workers []*graphssl.ClusterWorker
 	for i := 0; i < 3; i++ {
-		w, err := cluster.StartWorker("127.0.0.1:0")
+		w, err := graphssl.StartClusterWorker("127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,25 +88,19 @@ func main() {
 			}
 		}
 	}()
-	remote, rres, err := cluster.SolveRPC(sys, addrs, cluster.RPCOptions{Tol: 1e-11})
+	var rep graphssl.Report
+	remote, err := graphssl.FitDistributed(x, y, nil, addrs,
+		graphssl.WithBandwidth(0.8), graphssl.WithKNN(12), graphssl.WithTolerance(1e-11),
+		graphssl.WithDiagnostics(&rep))
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	maxDev := func(a []float64) float64 {
-		var d float64
-		for i := range a {
-			if dd := math.Abs(a[i] - direct.FUnlabeled[i]); dd > d {
-				d = dd
-			}
+	fmt.Printf("TCP fleet:         %d worker(s), solver %v, %d iterations, %d fallback(s), max dev vs direct %.2e\n",
+		len(addrs), remote.Solver, remote.Iterations, len(rep.Fallbacks), maxDev(remote.UnlabeledScores))
+	for i := range first {
+		if remote.UnlabeledScores[i] != first[i] {
+			log.Fatal("TCP fleet scores differ bitwise from the in-process fleet")
 		}
-		return d
 	}
-	fmt.Printf("nodes: %d (%d labeled, %d unlabeled), graph edges: %d\n",
-		g.N(), p.N(), p.M(), g.Summary().Edges)
-	fmt.Printf("in-process engine: %d workers, %d supersteps, max dev vs direct %.2e\n",
-		lres.Workers, lres.Supersteps, maxDev(local))
-	fmt.Printf("TCP engine:        %d workers, %d supersteps, max dev vs direct %.2e\n",
-		rres.Workers, rres.Supersteps, maxDev(remote))
-	fmt.Println("all three solvers agree on the harmonic solution")
+	fmt.Println("TCP fleet bitwise-identical to the in-process fleet; all solvers agree")
 }

@@ -1,0 +1,90 @@
+package cluster
+
+import "testing"
+
+// TestZeroAllocSuperstep gates the warm superstep loop: once the pooled
+// args, replies, and runner sessions are primed, a full halo-exchange
+// superstep (fill halos, dispatch the round, fold the replies) must not
+// allocate. Measured over the direct in-process transport — net/rpc's gob
+// codec allocates by design, so the TCP path is exercised for correctness
+// elsewhere while this pins the coordinator and worker hot paths.
+func TestZeroAllocSuperstep(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	_, sys := testSystem(t, 81, 48, 12)
+	plan, err := NewPlan(sys.W, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{"za0", "za1"}
+	p := newPool(addrs, InProcessDialer())
+	defer p.close()
+
+	n := len(plan.Shards)
+	done := make(chan *pcall, n)
+	calls := make([]*pcall, n)
+	for s := range plan.Shards {
+		blk := extractShard(sys, plan, s, false)
+		sh := &plan.Shards[s]
+		calls[s] = &pcall{
+			method: "Propagation.Setup",
+			args: &SetupArgs{
+				Shard: s, Epoch: 1, Lo: sh.Lo, Hi: sh.Hi, M: plan.M,
+				D: blk.d, B: blk.b, RowPtr: blk.rowptr, Cols: blk.cols, Vals: blk.vals,
+				Halo: sh.Halo,
+			},
+			reply: &SetupReply{},
+			shard: s,
+			addr:  addrs[s%len(addrs)],
+		}
+	}
+	if fails := p.round(calls, done, 0); len(fails) > 0 {
+		t.Fatalf("setup failed: %v", fails[0].err)
+	}
+
+	f := make([]float64, plan.M)
+	stepArgs := make([]*StepArgs, n)
+	stepReplies := make([]*StepReply, n)
+	for s := range plan.Shards {
+		stepArgs[s] = &StepArgs{Shard: s, Epoch: 1, Halo: make([]float64, len(plan.Shards[s].Halo))}
+		stepReplies[s] = &StepReply{}
+		calls[s].method = "Propagation.Step"
+		calls[s].args = stepArgs[s]
+		calls[s].reply = stepReplies[s]
+	}
+	seq := int64(0)
+	failed := false
+	superstep := func() {
+		seq++
+		for s := range plan.Shards {
+			a := stepArgs[s]
+			a.Seq = seq
+			for k, h := range plan.Shards[s].Halo {
+				a.Halo[k] = f[h]
+			}
+		}
+		if fails := p.round(calls, done, 0); len(fails) > 0 {
+			failed = true
+			return
+		}
+		for s := range plan.Shards {
+			sh := &plan.Shards[s]
+			copy(f[sh.Lo:sh.Hi], stepReplies[s].Values)
+		}
+	}
+	// Prime reply capacities and runner sessions.
+	for i := 0; i < 5; i++ {
+		superstep()
+	}
+	if failed {
+		t.Fatal("warm-up superstep failed")
+	}
+	avg := testing.AllocsPerRun(200, superstep)
+	if failed {
+		t.Fatal("measured superstep failed")
+	}
+	if avg != 0 {
+		t.Fatalf("warm superstep allocates %.1f objects/op, want 0", avg)
+	}
+}

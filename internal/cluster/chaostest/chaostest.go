@@ -1,0 +1,130 @@
+// Package chaostest injects transport faults into the cluster RPC layer so
+// tests can prove the distributed solvers never turn a partial failure into
+// a silent wrong answer. A fault Script decides, per worker address and
+// call ordinal, whether a call goes through, is dropped on the floor,
+// delayed, delivered twice, or has its connection torn down — the four
+// failure modes the coordinator must absorb (via round deadlines, sequence
+// idempotency, and rebind) or surface as a typed ErrWorker.
+package chaostest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Fault is one transport fault mode.
+type Fault int
+
+const (
+	// None passes the call through.
+	None Fault = iota
+	// Drop swallows the call: it blocks until the caller is closed (by the
+	// coordinator's round deadline) and then errors, like a packet lost on
+	// a connection that is never torn down.
+	Drop
+	// Delay sleeps the configured latency before executing the call,
+	// modelling a slow worker. A close during the sleep aborts the call.
+	Delay
+	// Duplicate executes the call twice with the same arguments, modelling
+	// at-least-once delivery; the solvers' sequence-number idempotency must
+	// make the second delivery harmless.
+	Duplicate
+	// Close tears the session down and fails the call, modelling a crashed
+	// worker connection.
+	Close
+)
+
+// Script decides the fault for the n-th call (1-based, counted per address
+// across redials) of method on addr.
+type Script func(addr, method string, n int) Fault
+
+// Dialer wraps base so every session it opens consults script on each call.
+// delay is the latency injected by Delay faults.
+func Dialer(base cluster.Dialer, script Script, delay time.Duration) cluster.Dialer {
+	inj := &injector{counts: map[string]int{}}
+	return func(addr string) (cluster.Caller, error) {
+		c, err := base(addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultCaller{
+			base:   c,
+			addr:   addr,
+			inj:    inj,
+			script: script,
+			delay:  delay,
+			closed: make(chan struct{}),
+		}, nil
+	}
+}
+
+// injector counts calls per address across all sessions of one Dialer.
+type injector struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (i *injector) next(addr string) int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[addr]++
+	return i.counts[addr]
+}
+
+type faultCaller struct {
+	base   cluster.Caller
+	addr   string
+	inj    *injector
+	script Script
+	delay  time.Duration
+
+	once   sync.Once
+	closed chan struct{}
+}
+
+var (
+	errDropped = errors.New("chaostest: call dropped")
+	errClosed  = errors.New("chaostest: connection closed by fault injection")
+)
+
+func (f *faultCaller) Call(method string, args, reply any) error {
+	n := f.inj.next(f.addr)
+	switch f.script(f.addr, method, n) {
+	case Drop:
+		// Hold the call until the coordinator gives up on this session.
+		<-f.closed
+		return errDropped
+	case Delay:
+		select {
+		case <-time.After(f.delay):
+		case <-f.closed:
+			return errClosed
+		}
+		return f.base.Call(method, args, reply)
+	case Duplicate:
+		if err := f.base.Call(method, args, reply); err != nil {
+			return err
+		}
+		return f.base.Call(method, args, reply)
+	case Close:
+		_ = f.Close()
+		return errClosed
+	default:
+		select {
+		case <-f.closed:
+			return errClosed
+		default:
+		}
+		return f.base.Call(method, args, reply)
+	}
+}
+
+// Close releases any Drop/Delay faults in flight and closes the underlying
+// session, honouring the cluster.Caller contract that Close unblocks Call.
+func (f *faultCaller) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return f.base.Close()
+}

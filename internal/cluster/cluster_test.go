@@ -224,7 +224,9 @@ func TestSolveRPCAgreesWithLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	fr, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-12})
+	// With the identity ordering the halo-exchange engine runs the exact
+	// arithmetic of the serial Jacobi sweep: bitwise equality.
+	fr, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-12, NoRCM: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,6 +236,14 @@ func TestSolveRPCAgreesWithLocal(t *testing.T) {
 	}
 	if !mat.VecEqual(fr, fl, 0) {
 		t.Fatal("RPC and local engines must agree bitwise (same schedule)")
+	}
+	// With RCM the summation order changes, so agreement is to tolerance.
+	frcm, _, err := SolveRPC(sys, []string{w.Addr()}, RPCOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.VecEqual(frcm, fl, 1e-8) {
+		t.Fatal("RCM-ordered RPC solve differs from local beyond tolerance")
 	}
 }
 
@@ -290,23 +300,30 @@ func TestWorkerFailureMidSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	blocks, err := Partition(sys.M(), 1)
+	plan, err := NewPlan(sys.W, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	args := extractBlock(sys, blocks[0])
-	if err := client.Call("Propagation.Setup", args, &struct{}{}); err != nil {
+	blk := extractShard(sys, plan, 0, false)
+	sh := &plan.Shards[0]
+	args := &SetupArgs{
+		Shard: 0, Epoch: 1, Lo: sh.Lo, Hi: sh.Hi, M: plan.M,
+		D: blk.d, B: blk.b, RowPtr: blk.rowptr, Cols: blk.cols, Vals: blk.vals, Halo: sh.Halo,
+	}
+	if err := client.Call("Propagation.Setup", args, &SetupReply{}); err != nil {
 		t.Fatal(err)
 	}
 	var reply StepReply
-	if err := client.Call("Propagation.Step", &StepArgs{F: make([]float64, sys.M())}, &reply); err != nil {
+	step := &StepArgs{Shard: 0, Epoch: 1, Seq: 1}
+	if err := client.Call("Propagation.Step", step, &reply); err != nil {
 		t.Fatalf("healthy step failed: %v", err)
 	}
 	// Kill the worker, including the live session.
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if err := client.Call("Propagation.Step", &StepArgs{F: make([]float64, sys.M())}, &reply); err == nil {
+	step.Seq = 2
+	if err := client.Call("Propagation.Step", step, &reply); err == nil {
 		t.Fatal("step after worker death must error")
 	}
 }
@@ -353,34 +370,62 @@ func TestWorkerNoGoroutineLeak(t *testing.T) {
 }
 
 func TestWorkerServiceValidation(t *testing.T) {
-	svc := &WorkerService{}
+	svc := NewWorkerService()
 	var reply StepReply
-	if err := svc.Step(&StepArgs{F: []float64{1}}, &reply); err == nil {
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 1, Seq: 1}, &reply); !errors.Is(err, ErrParam) {
 		t.Fatal("step before setup must error")
 	}
 	bad := &SetupArgs{Lo: 2, Hi: 1, M: 5}
-	if err := svc.Setup(bad, &struct{}{}); err == nil {
+	if err := svc.Setup(bad, &SetupReply{}); !errors.Is(err, ErrParam) {
 		t.Fatal("inverted block must error")
 	}
 	badLen := &SetupArgs{Lo: 0, Hi: 2, M: 5, D: []float64{1}, B: []float64{1, 2}, RowPtr: []int{0, 0, 0}}
-	if err := svc.Setup(badLen, &struct{}{}); err == nil {
+	if err := svc.Setup(badLen, &SetupReply{}); !errors.Is(err, ErrParam) {
 		t.Fatal("inconsistent lengths must error")
 	}
 	badDeg := &SetupArgs{Lo: 0, Hi: 1, M: 5, D: []float64{0}, B: []float64{1}, RowPtr: []int{0, 0}}
-	if err := svc.Setup(badDeg, &struct{}{}); err == nil {
+	if err := svc.Setup(badDeg, &SetupReply{}); !errors.Is(err, ErrParam) {
 		t.Fatal("zero degree must error")
 	}
-	good := &SetupArgs{Lo: 0, Hi: 1, M: 2, D: []float64{1}, B: []float64{1}, RowPtr: []int{0, 0}}
-	if err := svc.Setup(good, &struct{}{}); err != nil {
+	badCSR := &SetupArgs{Lo: 0, Hi: 1, M: 5, D: []float64{1}, B: []float64{1}, RowPtr: []int{0, 1}, Cols: []int{7}, Vals: []float64{1}}
+	if err := svc.Setup(badCSR, &SetupReply{}); !errors.Is(err, ErrParam) {
+		t.Fatal("out-of-range local column must error")
+	}
+	badHalo := &SetupArgs{Lo: 0, Hi: 1, M: 5, D: []float64{1}, B: []float64{1}, RowPtr: []int{0, 0}, Halo: []int{0}}
+	if err := svc.Setup(badHalo, &SetupReply{}); !errors.Is(err, ErrParam) {
+		t.Fatal("halo index inside the block must error")
+	}
+	good := &SetupArgs{Shard: 0, Epoch: 5, Lo: 0, Hi: 1, M: 2, D: []float64{1}, B: []float64{1}, RowPtr: []int{0, 0}}
+	if err := svc.Setup(good, &SetupReply{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.Step(&StepArgs{F: []float64{0}}, &reply); err == nil {
-		t.Fatal("wrong F length must error")
+	// A stale rebind (older epoch) must be fenced off.
+	stale := *good
+	stale.Epoch = 3
+	if err := svc.Setup(&stale, &SetupReply{}); !errors.Is(err, ErrStale) {
+		t.Fatalf("stale rebind: got %v", err)
 	}
-	if err := svc.Step(&StepArgs{F: []float64{0, 0}}, &reply); err != nil {
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 4, Seq: 1}, &reply); !errors.Is(err, ErrStale) {
+		t.Fatal("step at an old epoch must be stale")
+	}
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 5, Seq: 1, Halo: []float64{9}}, &reply); !errors.Is(err, ErrParam) {
+		t.Fatal("wrong halo length must error")
+	}
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 5, Seq: 3}, &reply); !errors.Is(err, ErrStale) {
+		t.Fatal("out-of-order seq must be stale")
+	}
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 5, Seq: 1}, &reply); err != nil {
 		t.Fatal(err)
 	}
 	if reply.Values[0] != 1 { // (B + 0)/D = 1
 		t.Fatalf("step value = %v, want 1", reply.Values[0])
+	}
+	// Duplicate delivery of the same step replays the cached reply.
+	var dup StepReply
+	if err := svc.Step(&StepArgs{Shard: 0, Epoch: 5, Seq: 1}, &dup); err != nil {
+		t.Fatal(err)
+	}
+	if dup.Values[0] != reply.Values[0] || dup.MaxDelta != reply.MaxDelta {
+		t.Fatal("duplicate step reply differs from original")
 	}
 }

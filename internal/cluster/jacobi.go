@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// entryKV is one matrix entry during block extraction.
+type entryKV struct {
+	col int
+	val float64
+}
+
+// sortEntries orders entries by column. Rows are short (graph degree), so
+// insertion sort beats sort.Slice and allocates nothing.
+func sortEntries(e []entryKV) {
+	for i := 1; i < len(e); i++ {
+		for j := i; j > 0 && e[j].col < e[j-1].col; j-- {
+			e[j], e[j-1] = e[j-1], e[j]
+		}
+	}
+}
+
+// shardBlock is the extracted, locally-indexed slice of a system for one
+// shard: rows [Lo, Hi) in the plan's permuted order, each row's entries
+// sorted by global permuted column — so row sums run in a
+// shard-count-independent order, which is half of the bitwise-determinism
+// argument — and columns translated to local indexing (own entries in
+// [0, rows), halo reads at rows+haloPos).
+type shardBlock struct {
+	rowptr []int
+	cols   []int
+	vals   []float64
+	d, b   []float64
+}
+
+// extractShard builds shard s's block. With minusW the entries encode
+// A = D − W (the PCG operator, diagonal merged); otherwise they encode W
+// with the degree kept separate (the Jacobi sweep).
+func extractShard(sys *core.PropagationSystem, plan *Plan, s int, minusW bool) *shardBlock {
+	sh := &plan.Shards[s]
+	rows := sh.Len()
+	blk := &shardBlock{
+		rowptr: make([]int, rows+1),
+		d:      make([]float64, rows),
+		b:      make([]float64, rows),
+	}
+	var scratch []entryKV
+	for nr := sh.Lo; nr < sh.Hi; nr++ {
+		orig := plan.Perm[nr]
+		colsW, valsW := sys.W.RowNNZ(orig)
+		scratch = scratch[:0]
+		diag := sys.D[orig]
+		for c, j := range colsW {
+			nj := plan.Inv[j]
+			if minusW {
+				if nj == nr {
+					diag -= valsW[c]
+					continue
+				}
+				scratch = append(scratch, entryKV{col: nj, val: -valsW[c]})
+			} else {
+				scratch = append(scratch, entryKV{col: nj, val: valsW[c]})
+			}
+		}
+		if minusW {
+			scratch = append(scratch, entryKV{col: nr, val: diag})
+		}
+		sortEntries(scratch)
+		for _, e := range scratch {
+			var lc int
+			if e.col >= sh.Lo && e.col < sh.Hi {
+				lc = e.col - sh.Lo
+			} else {
+				lc = rows + sort.SearchInts(sh.Halo, e.col)
+			}
+			blk.cols = append(blk.cols, lc)
+			blk.vals = append(blk.vals, e.val)
+		}
+		r := nr - sh.Lo
+		blk.d[r] = sys.D[orig]
+		blk.b[r] = sys.B[orig]
+		blk.rowptr[r+1] = len(blk.cols)
+	}
+	return blk
+}
+
+// RPCOptions configures the networked Jacobi engine.
+type RPCOptions struct {
+	// Tol is the relative update tolerance; default 1e-10.
+	Tol float64
+	// MaxSupersteps caps the iteration count; default 100000.
+	MaxSupersteps int
+	// Dialer opens worker sessions; default DialTCP. Tests substitute
+	// InProcessDialer or a chaostest wrapper.
+	Dialer Dialer
+	// StepTimeout bounds each synchronized round; 0 means no deadline.
+	StepTimeout time.Duration
+	// NoRCM disables the reverse Cuthill–McKee locality ordering.
+	NoRCM bool
+}
+
+func (o *RPCOptions) fill() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxSupersteps <= 0 {
+		o.MaxSupersteps = 100000
+	}
+	if o.Dialer == nil {
+		o.Dialer = DialTCP
+	}
+}
+
+// SolveRPC runs halo-exchange Jacobi propagation across the workers at
+// addrs: the system is cut by an edge-cut-aware Plan (one shard per
+// address), each worker holds its block and its block of the iterate, and
+// every superstep ships only the halo entries a block actually reads —
+// never the full iterate. The schedule is a synchronous Jacobi sweep over a
+// shard-count-independent row ordering, so the returned solution is
+// bitwise-identical for any worker count over the same system. A worker
+// failure fails the solve with ErrWorker; SolvePCG is the engine with
+// failure recovery.
+func SolveRPC(sys *core.PropagationSystem, addrs []string, opts RPCOptions) ([]float64, Result, error) {
+	if sys == nil || sys.M() == 0 {
+		return nil, Result{}, fmt.Errorf("cluster: empty system: %w", ErrParam)
+	}
+	if len(addrs) == 0 {
+		return nil, Result{}, fmt.Errorf("cluster: no worker addresses: %w", ErrParam)
+	}
+	opts.fill()
+	plan, err := NewPlan(sys.W, len(addrs), !opts.NoRCM)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	p := newPool(addrs, opts.Dialer)
+	defer p.close()
+
+	n := len(plan.Shards)
+	res := Result{
+		Workers:   n,
+		Shards:    n,
+		EdgeCut:   plan.Stats.EdgeCut,
+		HaloTotal: plan.Stats.HaloTotal,
+	}
+	done := make(chan *pcall, n)
+	calls := make([]*pcall, n)
+
+	for s := range plan.Shards {
+		blk := extractShard(sys, plan, s, false)
+		sh := &plan.Shards[s]
+		args := &SetupArgs{
+			Shard:  s,
+			Epoch:  1,
+			Lo:     sh.Lo,
+			Hi:     sh.Hi,
+			M:      plan.M,
+			D:      blk.d,
+			B:      blk.b,
+			RowPtr: blk.rowptr,
+			Cols:   blk.cols,
+			Vals:   blk.vals,
+			Halo:   sh.Halo,
+		}
+		calls[s] = &pcall{method: "Propagation.Setup", args: args, reply: &SetupReply{}, shard: s, addr: addrs[s%len(addrs)]}
+	}
+	if fails := p.round(calls, done, opts.StepTimeout); len(fails) > 0 {
+		return nil, res, roundFailErr("setup", fails)
+	}
+
+	// Pooled superstep state: the args, replies, and call records are
+	// allocated once here; the warm loop below only refills them.
+	m := plan.M
+	f := make([]float64, m) // permuted iterate, assembled from step replies
+	stepArgs := make([]*StepArgs, n)
+	stepReplies := make([]*StepReply, n)
+	for s := range plan.Shards {
+		stepArgs[s] = &StepArgs{Shard: s, Epoch: 1, Halo: make([]float64, len(plan.Shards[s].Halo))}
+		stepReplies[s] = &StepReply{}
+		calls[s].method = "Propagation.Step"
+		calls[s].args = stepArgs[s]
+		calls[s].reply = stepReplies[s]
+	}
+	for step := 1; step <= opts.MaxSupersteps; step++ {
+		for s := range plan.Shards {
+			a := stepArgs[s]
+			a.Seq = int64(step)
+			for k, h := range plan.Shards[s].Halo {
+				a.Halo[k] = f[h]
+			}
+		}
+		if fails := p.round(calls, done, opts.StepTimeout); len(fails) > 0 {
+			return nil, res, roundFailErr("superstep", fails)
+		}
+		var maxDelta float64
+		for s := range plan.Shards {
+			sh := &plan.Shards[s]
+			if len(stepReplies[s].Values) != sh.Len() {
+				return nil, res, fmt.Errorf("cluster: shard %d returned %d values for %d rows: %w",
+					s, len(stepReplies[s].Values), sh.Len(), ErrWorker)
+			}
+			copy(f[sh.Lo:sh.Hi], stepReplies[s].Values)
+			if stepReplies[s].MaxDelta > maxDelta {
+				maxDelta = stepReplies[s].MaxDelta
+			}
+		}
+		var scale float64
+		for _, v := range f {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		res.Supersteps = step
+		res.MaxDelta = maxDelta
+		if maxDelta <= opts.Tol*(1+scale) {
+			out := make([]float64, m)
+			for i, v := range f {
+				out[plan.Perm[i]] = v
+			}
+			return out, res, nil
+		}
+	}
+	return nil, res, ErrNotConverged
+}
+
+// roundFailErr folds a round's failures into one typed worker error.
+func roundFailErr(stage string, fails []roundErr) error {
+	return fmt.Errorf("cluster: %s round: %d failure(s), first on %s (shard %d): %w: %v",
+		stage, len(fails), fails[0].addr, fails[0].shard, ErrWorker, fails[0].err)
+}

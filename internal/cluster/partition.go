@@ -24,6 +24,10 @@ var (
 	ErrNotConverged = errors.New("cluster: propagation did not converge")
 	// ErrWorker is returned when a worker fails mid-computation.
 	ErrWorker = errors.New("cluster: worker failure")
+	// ErrStale is returned by a worker that receives traffic from a
+	// superseded epoch or an out-of-order sequence number — the guard that
+	// keeps a rebound shard from being driven by its previous incarnation.
+	ErrStale = errors.New("cluster: stale epoch or sequence")
 )
 
 // Block is a contiguous index range [Lo, Hi) assigned to one worker.
@@ -60,10 +64,27 @@ func Partition(m, p int) ([]Block, error) {
 
 // Result summarizes a distributed solve.
 type Result struct {
-	// Supersteps is the number of synchronized iterations executed.
+	// Supersteps is the number of synchronized iterations executed
+	// (propagation engines); PCG reports Iterations instead.
 	Supersteps int
 	// MaxDelta is the final superstep's largest componentwise update.
 	MaxDelta float64
 	// Workers is the number of participating workers.
 	Workers int
+	// Shards is the number of blocks the system was cut into (SolvePCG and
+	// the halo-exchange SolveRPC; equals Workers for SolveLocal).
+	Shards int
+	// Iterations is the PCG iteration count.
+	Iterations int
+	// Residual is the verified relative residual ‖B−(D−W)f‖₂/‖B‖₂ of the
+	// returned solution, recomputed by the coordinator from the original
+	// system (so a recovered run can never silently return a wrong answer).
+	Residual float64
+	// Restarts counts solver restarts after worker failures; Rebinds counts
+	// shard blocks reassigned to a surviving worker across those restarts.
+	Restarts int
+	Rebinds  int
+	// EdgeCut and HaloTotal echo the partition quality (see PlanStats).
+	EdgeCut   int
+	HaloTotal int
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports that this binary was built with the race detector,
+// whose instrumentation makes allocation counts meaningless; the zero-alloc
+// gates skip under it.
+const raceEnabled = true

@@ -28,6 +28,11 @@ const (
 	// MethodPropagation uses the classic iterative harmonic update
 	// f ← D22⁻¹ (W21 Y + W22 f), i.e. label propagation.
 	MethodPropagation
+	// MethodCluster identifies the sharded distributed PCG engine. The
+	// engine lives above core (internal/cluster, driven by the graphssl
+	// cluster options), so core only names it for reporting; selecting it
+	// via WithMethod is an error.
+	MethodCluster
 )
 
 // String returns the method name.
@@ -43,6 +48,8 @@ func (m Method) String() string {
 		return "cg"
 	case MethodPropagation:
 		return "propagation"
+	case MethodCluster:
+		return "cluster"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -295,6 +302,8 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 		fu, res, cgOut, err = solveCG(cfg.ctx, sys.a, sys.b, cfg, 0)
 	case MethodPropagation:
 		fu, res, err = propagate(cfg.ctx, sys, cfg.tol, cfg.maxIter, cfg.workers)
+	case MethodCluster:
+		return nil, fmt.Errorf("core: the cluster backend is driven by the distributed fit options, not WithMethod: %w", ErrParam)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"expvar"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -25,6 +26,7 @@ var (
 	srvShedBudget    = expvar.NewInt("graphssl.serve.shed_budget")
 	srvAnchorsPruned = expvar.NewInt("graphssl.serve.anchors_pruned")
 	srvModelVersion  = expvar.NewMap("graphssl.serve.model_version")
+	srvFleetRoutes   = expvar.NewMap("graphssl.serve.fleet_routes")
 
 	// liveBatchers tracks every open Batcher so queue depth can be
 	// reported as a live gauge.
@@ -101,6 +103,11 @@ func countPruned(n int64) {
 	if n > 0 {
 		srvAnchorsPruned.Add(n)
 	}
+}
+
+// countFleetRoute records one predict request routed to a fleet replica.
+func countFleetRoute(replica int) {
+	srvFleetRoutes.Add(fmt.Sprintf("replica-%d", replica), 1)
 }
 
 // setModelVersion publishes the current version of a named model.

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+)
+
+// defaultVnodes is the virtual-node count per replica: enough to keep the
+// key-space share of each replica within a few percent of uniform without
+// making ring construction or lookup noticeably slower.
+const defaultVnodes = 64
+
+// Ring is a consistent-hash router over replica indices. Each replica owns
+// vnodes points on a 64-bit FNV-1a hash circle; a key routes to the replica
+// owning the first point at or clockwise of the key's hash. Routing is a
+// pure function of (key, replica count, vnodes): the same request body
+// always lands on the same replica — the cache-affinity property the fleet's
+// predict path is built on — and resizing the fleet moves only ~1/n of the
+// key space.
+//
+// A Ring is immutable after NewRing and safe for unbounded concurrent
+// lookups.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// NewRing builds a ring over n replicas with the given virtual-node count
+// per replica (vnodes <= 0 selects the default).
+func NewRing(n, vnodes int) (*Ring, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("serve: ring needs at least one replica, got %d: %w", n, ErrFleet)
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, n*vnodes), n: n}
+	var label [32]byte
+	for rep := 0; rep < n; rep++ {
+		for v := 0; v < vnodes; v++ {
+			key := label[:0]
+			key = appendUint(key, uint64(rep))
+			key = append(key, ':')
+			key = appendUint(key, uint64(v))
+			r.points = append(r.points, ringPoint{hash: fnv64a(key), replica: rep})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].replica < r.points[b].replica
+	})
+	return r, nil
+}
+
+// Replicas returns the replica count the ring was built over.
+func (r *Ring) Replicas() int { return r.n }
+
+// Lookup routes a key to its owning replica index. It never allocates.
+func (r *Ring) Lookup(key []byte) int {
+	return r.lookupHash(fnv64a(key))
+}
+
+// LookupString routes a string key; see Lookup.
+func (r *Ring) LookupString(key string) int {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * fnvPrime
+	}
+	return r.lookupHash(h)
+}
+
+// lookupHash finds the first ring point at or clockwise of h, wrapping to
+// the start of the circle.
+func (r *Ring) lookupHash(h uint64) int {
+	lo, hi := 0, len(r.points)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.points[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(r.points) {
+		lo = 0
+	}
+	return r.points[lo].replica
+}
+
+// fnv64a is FNV-1a 64-bit over a byte slice (constants shared with the
+// prediction cache), inlined so the predict hot path hashes request bodies
+// without the hash.Hash allocation.
+func fnv64a(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}
+
+// appendUint appends the decimal digits of v.
+func appendUint(b []byte, v uint64) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}

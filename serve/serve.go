@@ -49,4 +49,6 @@ var (
 	ErrOverloaded = errors.New("serve: prediction queue full")
 	// ErrDraining is returned for work submitted after shutdown began.
 	ErrDraining = errors.New("serve: server draining")
+	// ErrFleet is returned for invalid fleet or ring configuration.
+	ErrFleet = errors.New("serve: invalid fleet configuration")
 )

@@ -390,11 +390,36 @@ type fitResponse struct {
 }
 
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
+	name, m, start, ok := s.buildModel(w, r)
+	if !ok {
+		return
+	}
+	e, err := s.registry.Store(name, m)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	setModelVersion(e.Name, e.Version)
+	writeJSON(w, http.StatusOK, fitResponse{
+		Model:   e.Name,
+		Version: e.Version,
+		Info:    m.Info(),
+		Seconds: time.Since(start).Seconds(),
+	})
+}
+
+// buildModel runs the fit pipeline of POST /v1/models/{name} — validation,
+// the transductive fit, the snapshot, and the inductive model build — up to
+// but not including registry publication, so single servers and replicated
+// fleets share one fit path (a fleet fits once on the leader and publishes
+// the immutable model to every replica). On failure the error response has
+// been written and ok is false.
+func (s *Server) buildModel(w http.ResponseWriter, r *http.Request) (name string, m *Model, start time.Time, ok bool) {
 	if s.draining.Load() {
 		fail(w, ErrDraining)
 		return
 	}
-	name := r.PathValue("name")
+	name = r.PathValue("name")
 	if !validName(name) {
 		fail(w, fmt.Errorf("serve: model name %q: %w", name, ErrName))
 		return
@@ -434,7 +459,7 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if req.Lambda != nil {
 		opts = append(opts, graphssl.WithLambda(*req.Lambda))
 	}
-	start := time.Now()
+	start = time.Now()
 	res, err := graphssl.Fit(req.X, req.Y, req.Labeled, opts...)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -453,23 +478,12 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 	if req.TopM > 0 {
 		mopts = append(mopts, WithTopM(req.TopM))
 	}
-	m, err := NewModel(snap, mopts...)
+	m, err = NewModel(snap, mopts...)
 	if err != nil {
 		fail(w, err)
 		return
 	}
-	e, err := s.registry.Store(name, m)
-	if err != nil {
-		fail(w, err)
-		return
-	}
-	setModelVersion(e.Name, e.Version)
-	writeJSON(w, http.StatusOK, fitResponse{
-		Model:   e.Name,
-		Version: e.Version,
-		Info:    m.Info(),
-		Seconds: time.Since(start).Seconds(),
-	})
+	return name, m, start, true
 }
 
 // modelEntry lists one registry entry.
