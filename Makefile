@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench cluster-bench fuzz fuzz-smoke cover alloc-gate serve-smoke cluster-smoke distributed-smoke
+.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench cluster-bench largen-bench fuzz fuzz-smoke cover alloc-gate serve-smoke cluster-smoke distributed-smoke largen-smoke
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -21,18 +21,20 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the concurrency-heavy packages (spatial indexes,
-# graph construction, parallel primitives, and the distributed cluster layer
-# with its fault-injection harness), run twice to vary interleavings.
+# graph construction, parallel primitives, the distributed cluster layer
+# with its fault-injection harness, and the approximate engine's worker
+# paths), run twice to vary interleavings.
 race-concurrency:
-	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/... ./internal/cluster/...
+	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/... ./internal/cluster/... ./internal/approx/...
 
 # Allocation-regression gate: the warm PCG/CG solve path (pooled workspace
 # + held destination), the serving predict hot path (pooled scratch, pooled
-# batcher jobs), and the steady-state distributed superstep (pooled message
-# and vector buffers) must stay at exactly zero heap allocations per op.
+# batcher jobs), the steady-state distributed superstep (pooled message
+# and vector buffers), and the approximate engine's warm certificate
+# evaluation must stay at exactly zero heap allocations per op.
 alloc-gate:
 	$(GO) test -run 'TestZeroAllocSolve' -v ./internal/sparse/ ./internal/precond/
-	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/ ./internal/cluster/
+	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/ ./internal/cluster/ ./internal/approx/
 
 # The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
 # targets separately.
@@ -82,6 +84,17 @@ serve-bench:
 # load through the 3-replica consistent-hash router.
 cluster-bench:
 	$(GO) run ./cmd/perfbench -suite cluster -repeats 1 -out results/BENCH_cluster.json
+
+# Refreshes the approximate large-n suite: bound-vs-actual at exact-comparable
+# sizes (the suite aborts if the certified bound ever falls below the measured
+# error) plus the headline n=5M single-machine fit+serve.
+largen-bench:
+	$(GO) run ./cmd/perfbench -suite largen -repeats 1 -out results/BENCH_largen.json
+
+# CI-sized largen run: same pipeline and bound assertion, small enough for a
+# shared runner (no 5M headline case; lcmp ladder only).
+largen-smoke:
+	$(GO) run ./cmd/perfbench -suite largen -ln 0 -lcmp 40000 -llab 200 -lknn 8 -repeats 1 -out /tmp/BENCH_largen_smoke.json
 
 # End-to-end smoke of the serving subsystem: boots sslserve on a free port,
 # fits a model over HTTP, runs a batched predict, checks /readyz, and drains

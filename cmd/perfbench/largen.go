@@ -1,0 +1,272 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"time"
+
+	graphssl "repro"
+	"repro/internal/randx"
+	"repro/serve"
+)
+
+// The largen suite measures the approximate large-n engine end to end:
+//
+//  1. At sizes where the exact solver still runs, it fits the same data
+//     both ways and records the certified error bound next to the measured
+//     sup-norm error against the exact scores — the bound must dominate on
+//     every case — plus the solve-stage speedup.
+//  2. At the headline size (default n = 5,000,000) it runs the Nyström fit
+//     alone — the size class the exact path cannot touch on one machine —
+//     snapshots the model, and measures serving throughput on top of it.
+//
+// Everything is deterministic: fixtures come from the repo's seeded RNG
+// and every fitted number is a pure function of the parameters.
+
+type largenParams struct {
+	n          int     // approx-only headline size
+	compareN   int     // largest size fitted both exactly and approximately
+	labelEvery int     // one labeled point per this many nodes
+	knn        int     // k-NN sparsification of the full graph
+	tol        float64 // acceptance tolerance (0 = accept any certified bound)
+	repeats    int
+}
+
+// largenCase is one row of the largen report.
+type largenCase struct {
+	N       int `json:"n"`
+	Labeled int `json:"labeled"`
+	// Anchors is the reduced system size of the accepted Nyström fit.
+	Anchors int `json:"anchors,omitempty"`
+	Levels  int `json:"levels,omitempty"`
+	// Fit wall times (full pipeline) and solve-stage wall times. The graph
+	// build is shared by both paths, so the solve-stage ratio is the
+	// engine's true speedup.
+	ExactFitNs    int64   `json:"exact_fit_ns,omitempty"`
+	ApproxFitNs   int64   `json:"approx_fit_ns"`
+	ExactSolveNs  int64   `json:"exact_solve_ns,omitempty"`
+	ApproxSolveNs int64   `json:"approx_solve_ns"`
+	SolveSpeedup  float64 `json:"solve_speedup_exact_vs_approx,omitempty"`
+	// Stage split of the approximate solve: spatial coarsening, reduced
+	// build+solve, NW extension (with Jacobi polish), barrier certificate.
+	TreeNs    int64 `json:"approx_tree_ns,omitempty"`
+	ReducedNs int64 `json:"approx_reduced_ns,omitempty"`
+	ExtendNs  int64 `json:"approx_extend_ns,omitempty"`
+	CertifyNs int64 `json:"approx_certify_ns,omitempty"`
+	// ScoresNs is the solve time up to the point where the approximate
+	// scores are final (tree + reduced + extend); the certificate stage
+	// after it verifies the already-final answer. NystromSpeedup compares
+	// it against the exact solve stage.
+	ScoresNs       int64   `json:"approx_scores_ns,omitempty"`
+	NystromSpeedup float64 `json:"nystrom_speedup_exact_vs_scores,omitempty"`
+	// Bound is the certified sup-norm error bound; ActualSupErr the
+	// measured distance to the exact scores (only at compare sizes).
+	// BoundHolds records Bound >= ActualSupErr, the suite's acceptance
+	// invariant.
+	Bound        float64 `json:"bound"`
+	ActualSupErr float64 `json:"actual_sup_err,omitempty"`
+	BoundHolds   bool    `json:"bound_holds,omitempty"`
+	// Serving throughput over the snapshotted approximate model
+	// (headline size only).
+	ServeNsPerQuery int64   `json:"serve_ns_per_query,omitempty"`
+	ServeQPS        float64 `json:"serve_qps,omitempty"`
+}
+
+type largenReport struct {
+	Benchmark  string         `json:"benchmark"`
+	Generated  string         `json:"generated"`
+	GoVersion  string         `json:"go_version"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Params     map[string]int `json:"params"`
+	Cases      []largenCase   `json:"cases"`
+	Notes      string         `json:"notes"`
+}
+
+// largenFixture builds the planar fixture: n uniform points in the unit
+// square, one labeled point per labelEvery with a smooth response. The
+// coordinate rows share one backing array so generation stays cheap at
+// n in the millions.
+func largenFixture(n, labelEvery int, seed int64) (x [][]float64, y []float64, labeled []int) {
+	rng := randx.New(seed)
+	backing := make([]float64, 2*n)
+	for i := range backing {
+		backing[i] = rng.Float64()
+	}
+	x = make([][]float64, n)
+	for i := range x {
+		x[i] = backing[2*i : 2*i+2 : 2*i+2]
+	}
+	for i := 0; i < n; i += labelEvery {
+		labeled = append(labeled, i)
+		y = append(y, math.Sin(4*x[i][0])*math.Cos(3*x[i][1]))
+	}
+	return x, y, labeled
+}
+
+// largenBandwidth is the fixed compact-kernel bandwidth of the suite,
+// chosen so anchor spacings at every benchmarked size stay inside the
+// kernel support.
+const largenBandwidth = 0.05
+
+func solveStageNs(rep *graphssl.Report) int64 {
+	for _, s := range rep.Stages {
+		if s.Name == "solve" {
+			return s.Duration.Nanoseconds()
+		}
+	}
+	return 0
+}
+
+// runLargenSuite executes the suite and writes the JSON report.
+func runLargenSuite(out string, p largenParams) {
+	tol := p.tol
+	if tol <= 0 {
+		tol = 1e18 // accept any finite certified bound; the report records it
+	}
+	base := []graphssl.Option{
+		graphssl.WithKernel(graphssl.Epanechnikov),
+		graphssl.WithBandwidth(largenBandwidth),
+		graphssl.WithKNN(p.knn),
+	}
+
+	report := largenReport{
+		Benchmark:  "approx-largen",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Params: map[string]int{
+			"n": p.n, "compare_n": p.compareN, "label_every": p.labelEvery,
+			"knn": p.knn, "repeats": p.repeats,
+		},
+		Notes: "bound is the a-posteriori M-matrix barrier certificate: " +
+			"sup-norm distance to the exact solution of the same system is " +
+			"provably <= bound. actual_sup_err is measured against the exact " +
+			"fit where one runs; bound_holds must be true on every such case. " +
+			"solve_speedup compares solve-stage wall time (the graph build is " +
+			"shared by both paths). The Nystrom scores are final after the " +
+			"tree+reduced+extend stages; the certificate stage only verifies " +
+			"that already-final answer, so nystrom_speedup (exact solve vs " +
+			"approx_scores_ns) is the speed of the approximation itself and " +
+			"solve_speedup the speed including its verification. The headline " +
+			"case is approx-only: the exact path cannot fit it on this machine.",
+	}
+
+	// Phase 1: bound-vs-actual ladder at sizes the exact solver can run.
+	for _, n := range []int{p.compareN / 4, p.compareN} {
+		if n < 2048 {
+			continue
+		}
+		x, y, labeled := largenFixture(n, p.labelEvery, 1031)
+		var exactRep graphssl.Report
+		var exact *graphssl.Result
+		var err error
+		exactNs := timeIt(p.repeats, func() {
+			exact, err = graphssl.Fit(x, y, labeled, append([]graphssl.Option{graphssl.WithDiagnostics(&exactRep)}, base...)...)
+			if err != nil {
+				log.Fatalf("largen n=%d exact fit: %v", n, err)
+			}
+		})
+		var approxRep graphssl.Report
+		var approx *graphssl.Result
+		approxNs := timeIt(p.repeats, func() {
+			approx, err = graphssl.Fit(x, y, labeled,
+				append([]graphssl.Option{graphssl.WithApprox(tol), graphssl.WithDiagnostics(&approxRep)}, base...)...)
+			if err != nil {
+				log.Fatalf("largen n=%d approx fit: %v", n, err)
+			}
+		})
+		if approx.Solver != graphssl.SolverNystrom {
+			log.Fatalf("largen n=%d: approximate answer rejected (report: %+v)", n, approxRep.Approx)
+		}
+		var actual float64
+		for i := range approx.Scores {
+			if d := math.Abs(approx.Scores[i] - exact.Scores[i]); d > actual {
+				actual = d
+			}
+		}
+		c := largenCase{
+			N: n, Labeled: len(labeled),
+			Anchors: approx.ApproxAnchors, Levels: approxRep.Approx.Levels,
+			ExactFitNs: exactNs, ApproxFitNs: approxNs,
+			ExactSolveNs: solveStageNs(&exactRep), ApproxSolveNs: solveStageNs(&approxRep),
+			Bound: approx.ApproxBound, ActualSupErr: actual,
+			BoundHolds: approx.ApproxBound >= actual,
+		}
+		if c.ApproxSolveNs > 0 {
+			c.SolveSpeedup = float64(c.ExactSolveNs) / float64(c.ApproxSolveNs)
+		}
+		if ai := approxRep.Approx; ai != nil {
+			c.TreeNs, c.ReducedNs, c.ExtendNs, c.CertifyNs = ai.TreeNs, ai.ReducedNs, ai.ExtendNs, ai.CertifyNs
+		}
+		if c.ScoresNs = c.ApproxSolveNs - c.CertifyNs; c.ScoresNs > 0 {
+			c.NystromSpeedup = float64(c.ExactSolveNs) / float64(c.ScoresNs)
+		}
+		report.Cases = append(report.Cases, c)
+		fmt.Printf("n=%-8d exact %8.2fs (solve %8.2fs)  approx %8.2fs (solve %8.2fs, %5.1fx)  bound %.4g  actual %.4g  holds %v\n",
+			n, float64(exactNs)/1e9, float64(c.ExactSolveNs)/1e9,
+			float64(approxNs)/1e9, float64(c.ApproxSolveNs)/1e9, c.SolveSpeedup,
+			c.Bound, actual, c.BoundHolds)
+		fmt.Printf("            approx stages: tree %.2fs  reduced %.2fs  extend %.2fs  certify %.2fs  (scores ready %.2fs, %.1fx vs exact solve)\n",
+			float64(c.TreeNs)/1e9, float64(c.ReducedNs)/1e9, float64(c.ExtendNs)/1e9, float64(c.CertifyNs)/1e9,
+			float64(c.ScoresNs)/1e9, c.NystromSpeedup)
+		if !c.BoundHolds {
+			log.Fatalf("largen n=%d: certified bound %g below measured error %g — certificate violated", n, c.Bound, actual)
+		}
+	}
+
+	// Phase 2: the headline approx-only fit + serve.
+	if p.n > p.compareN {
+		x, y, labeled := largenFixture(p.n, p.labelEvery, 2063)
+		var rep graphssl.Report
+		start := time.Now()
+		res, err := graphssl.Fit(x, y, labeled,
+			append([]graphssl.Option{graphssl.WithApprox(tol), graphssl.WithDiagnostics(&rep)}, base...)...)
+		if err != nil {
+			log.Fatalf("largen n=%d approx fit: %v", p.n, err)
+		}
+		fitNs := time.Since(start).Nanoseconds()
+		if res.Solver != graphssl.SolverNystrom {
+			log.Fatalf("largen n=%d: approximate answer rejected (report: %+v)", p.n, rep.Approx)
+		}
+		c := largenCase{
+			N: p.n, Labeled: len(labeled),
+			Anchors: res.ApproxAnchors, Levels: rep.Approx.Levels,
+			ApproxFitNs: fitNs, ApproxSolveNs: solveStageNs(&rep),
+			Bound: res.ApproxBound,
+		}
+		if ai := rep.Approx; ai != nil {
+			c.TreeNs, c.ReducedNs, c.ExtendNs, c.CertifyNs = ai.TreeNs, ai.ReducedNs, ai.ExtendNs, ai.CertifyNs
+		}
+		c.ScoresNs = c.ApproxSolveNs - c.CertifyNs
+
+		snap, err := res.Snapshot(x, y)
+		if err != nil {
+			log.Fatalf("largen snapshot: %v", err)
+		}
+		model, err := serve.NewModel(snap, serve.WithWorkers(1))
+		if err != nil {
+			log.Fatalf("largen serve model: %v", err)
+		}
+		const nq = 20000
+		qrng := randx.New(77)
+		qs := make([][]float64, nq)
+		for i := range qs {
+			qs[i] = []float64{qrng.Float64(), qrng.Float64()}
+		}
+		model.PredictBatch(qs) // warm
+		serveNs := timeIt(p.repeats, func() { model.PredictBatch(qs) })
+		c.ServeNsPerQuery = serveNs / nq
+		if c.ServeNsPerQuery > 0 {
+			c.ServeQPS = 1e9 / float64(c.ServeNsPerQuery)
+		}
+		report.Cases = append(report.Cases, c)
+		fmt.Printf("n=%-8d approx-only fit %8.2fs (solve %8.2fs)  anchors %d  bound %.4g  serve %.0f qps\n",
+			p.n, float64(fitNs)/1e9, float64(c.ApproxSolveNs)/1e9, c.Anchors, c.Bound, c.ServeQPS)
+	}
+
+	writeReportAny(out, report)
+}

@@ -143,11 +143,12 @@ func workerCounts() []int {
 
 func main() {
 	var (
-		suite   = flag.String("suite", "parallel", "benchmark suite: parallel (worker scaling), spatial (index vs brute construction), robust (pathological-input pipeline), precond (CG vs Jacobi-PCG vs IC(0)-PCG), serve (HTTP serving throughput, batched vs unbatched), or cluster (distributed fit over TCP workers + replicated serve fleet)")
+		suite   = flag.String("suite", "parallel", "benchmark suite to run; -list prints the registry")
+		list    = flag.Bool("list", false, "list the registered suites with their default output paths and exit")
 		out     = flag.String("out", "", "output JSON path (default results/BENCH_<suite>.json)")
 		n       = flag.Int("n", 2000, "point count for the distance/graph benches (parallel suite)")
 		d       = flag.Int("d", 50, "point dimension (parallel suite)")
-		knn     = flag.Int("k", 10, "neighbour count for the k-NN benches (both suites)")
+		knn     = flag.Int("k", 10, "neighbour count for the k-NN benches (parallel/spatial suites)")
 		cgN     = flag.Int("cgn", 300, "labeled count for the CG/mulvec bench")
 		cgM     = flag.Int("cgm", 1200, "unlabeled count for the CG/mulvec bench")
 		sn      = flag.Int("sn", 20000, "point count for the spatial suite")
@@ -162,79 +163,66 @@ func main() {
 		cLab    = flag.Int("clab", 50, "one labeled anchor per this many nodes (cluster suite)")
 		cWork   = flag.Int("cworkers", 4, "local TCP workers for the cluster suite")
 		cReps   = flag.Int("creplicas", 3, "serve replicas behind the router (cluster suite)")
+		ln      = flag.Int("ln", 5_000_000, "point count of the approx-only large-n fit (largen suite)")
+		lcmp    = flag.Int("lcmp", 2_000_000, "largest point count fitted both exactly and approximately (largen suite)")
+		llab    = flag.Int("llab", 2000, "one labeled point per this many nodes (largen suite; sparse labels are the paper's asymptotic regime and the exact solver's hard case)")
+		lknn    = flag.Int("lknn", 12, "k-NN sparsification of the largen graphs")
+		ltol    = flag.Float64("ltol", 0, "WithApprox acceptance tolerance for the largen suite (0 = accept any certified bound)")
 		repeats = flag.Int("repeats", 3, "timed repetitions per configuration (min is reported)")
 	)
 	flag.Parse()
 
-	if *suite == "spatial" {
-		if *out == "" {
-			*out = "results/BENCH_spatial.json"
-		}
-		p := spatialParams{
-			n: *sn, d: *sd, knn: *knn,
-			radius: *sradius, nwLab: *snwLab, nwH: *snwH,
-			repeats: *repeats,
-		}
-		report := spatialReport(p)
-		record := func(m Measurement) {
-			report.Results = append(report.Results, m)
-			fmt.Printf("%-16s baseline %12d ns", m.Name, m.BaselineNs)
-			for _, w := range workerCounts() {
-				fmt.Printf("  w%d %12d ns", w, m.WorkersNs[fmt.Sprint(w)])
-			}
-			fmt.Printf("  speedup@4 %.2fx  alloc %d -> %d B\n",
-				m.SpeedupAt4, m.BaselineAllocBytes, m.IndexedAllocBytes)
-		}
-		runSpatialSuite(p, record)
-		writeReport(*out, report)
+	if *list {
+		listSuites(os.Stdout)
 		return
 	}
-	if *suite == "robust" {
-		if *out == "" {
-			*out = "results/BENCH_robust.json"
-		}
-		runRobustSuite(*out)
-		return
-	}
-	if *suite == "precond" {
-		if *out == "" {
-			*out = "results/BENCH_precond.json"
-		}
-		runPrecondSuite(*out, *repeats)
-		return
-	}
-	if *suite == "serve" {
-		if *out == "" {
-			*out = "results/BENCH_serve.json"
-		}
-		runServeSuite(*out, serveParams{
-			anchors: *svAnch, d: *svD,
-			requests: *svReqs, warmup: *svReqs / 4,
-		})
-		return
-	}
-	if *suite == "cluster" {
-		if *out == "" {
-			*out = "results/BENCH_cluster.json"
-		}
-		runClusterSuite(*out, clusterParams{
-			n: *cn, labelEvery: *cLab, degree: 3,
-			workers: *cWork, replicas: *cReps,
-			requests: *svReqs, repeats: *repeats,
-		})
-		return
-	}
-	if *suite != "parallel" {
-		log.Fatalf("unknown -suite %q (want parallel, spatial, robust, precond, serve, or cluster)", *suite)
+	def := findSuite(*suite)
+	if def == nil {
+		log.Fatalf("unknown -suite %q (registered: %v; run -list for details)", *suite, suiteNames())
 	}
 	if *out == "" {
-		*out = "results/BENCH_parallel.json"
+		*out = def.DefaultOut
 	}
+	def.Run(*out, suiteArgs{
+		n: *n, d: *d, knn: *knn, cgN: *cgN, cgM: *cgM,
+		sn: *sn, sd: *sd, sradius: *sradius, snwH: *snwH, snwLab: *snwLab,
+		svAnch: *svAnch, svD: *svD, svReqs: *svReqs,
+		cn: *cn, cLab: *cLab, cWork: *cWork, cReps: *cReps,
+		ln: *ln, lcmp: *lcmp, llab: *llab, lknn: *lknn, ltol: *ltol,
+		repeats: *repeats,
+	})
+}
+
+// runSpatialCmd adapts the spatial suite to the registry's runner shape.
+func runSpatialCmd(out string, a suiteArgs) {
+	p := spatialParams{
+		n: a.sn, d: a.sd, knn: a.knn,
+		radius: a.sradius, nwLab: a.snwLab, nwH: a.snwH,
+		repeats: a.repeats,
+	}
+	report := spatialReport(p)
+	record := func(m Measurement) {
+		report.Results = append(report.Results, m)
+		fmt.Printf("%-16s baseline %12d ns", m.Name, m.BaselineNs)
+		for _, w := range workerCounts() {
+			fmt.Printf("  w%d %12d ns", w, m.WorkersNs[fmt.Sprint(w)])
+		}
+		fmt.Printf("  speedup@4 %.2fx  alloc %d -> %d B\n",
+			m.SpeedupAt4, m.BaselineAllocBytes, m.IndexedAllocBytes)
+	}
+	runSpatialSuite(p, record)
+	writeReport(out, report)
+}
+
+// runParallelSuite is the original perfbench body: the parallel compute
+// layer against the pre-parallel serial baselines.
+func runParallelSuite(out string, a suiteArgs) {
+	n, d, knn, cgN, cgM, repeats := a.n, a.d, a.knn, a.cgN, a.cgM, a.repeats
 
 	rng := randx.New(71)
-	x := make([][]float64, *n)
+	x := make([][]float64, n)
 	for i := range x {
-		x[i] = make([]float64, *d)
+		x[i] = make([]float64, d)
 		for j := range x[i] {
 			x[i][j] = rng.Norm()
 		}
@@ -247,8 +235,8 @@ func main() {
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
-		Params:     map[string]int{"n": *n, "d": *d, "knn": *knn, "cg_n": *cgN, "cg_m": *cgM},
-		Repeats:    *repeats,
+		Params:     map[string]int{"n": n, "d": d, "knn": knn, "cg_n": cgN, "cg_m": cgM},
+		Repeats:    repeats,
 		Notes: "baseline_ns re-times the pre-parallel serial implementations " +
 			"(single-accumulator distance loop; full-sort + map-dedup kNN; serial SpMV). " +
 			"workers_ns times the parallel layer at fixed worker counts. On a " +
@@ -269,10 +257,10 @@ func main() {
 	// --- Pairwise distances -------------------------------------------------
 	var sink []float64
 	m := Measurement{Name: "pairwise_dist2", WorkersNs: map[string]int64{}}
-	m.BaselineNs = timeIt(*repeats, func() { sink = baselinePairwiseDist2(x) })
+	m.BaselineNs = timeIt(repeats, func() { sink = baselinePairwiseDist2(x) })
 	for _, w := range workerCounts() {
 		w := w
-		m.WorkersNs[fmt.Sprint(w)] = timeIt(*repeats, func() {
+		m.WorkersNs[fmt.Sprint(w)] = timeIt(repeats, func() {
 			var err error
 			sink, err = kernel.PairwiseDist2Workers(x, w)
 			if err != nil {
@@ -287,14 +275,14 @@ func main() {
 	// --- kNN graph construction --------------------------------------------
 	m = Measurement{Name: "knn_build", WorkersNs: map[string]int64{}}
 	var csrSink *sparse.CSR
-	m.BaselineNs = timeIt(*repeats, func() { csrSink = baselineKNNBuild(*n, d2, *knn, kern) })
+	m.BaselineNs = timeIt(repeats, func() { csrSink = baselineKNNBuild(n, d2, knn, kern) })
 	for _, w := range workerCounts() {
-		builder, err := graph.NewBuilder(kern, graph.WithKNN(*knn), graph.WithWorkers(w))
+		builder, err := graph.NewBuilder(kern, graph.WithKNN(knn), graph.WithWorkers(w))
 		if err != nil {
 			log.Fatal(err)
 		}
-		m.WorkersNs[fmt.Sprint(w)] = timeIt(*repeats, func() {
-			g, err := builder.BuildFromDist2(*n, d2)
+		m.WorkersNs[fmt.Sprint(w)] = timeIt(repeats, func() {
+			g, err := builder.BuildFromDist2(n, d2)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -306,11 +294,11 @@ func main() {
 	_ = csrSink
 
 	// --- SpMV / CG ----------------------------------------------------------
-	ds, err := synth.Generate(randx.New(73), synth.Model1, *cgN, *cgM)
+	ds, err := synth.Generate(randx.New(73), synth.Model1, cgN, cgM)
 	if err != nil {
 		log.Fatal(err)
 	}
-	h, err := kernel.PaperBandwidth(*cgN, synth.Dim)
+	h, err := kernel.PaperBandwidth(cgN, synth.Dim)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -339,7 +327,7 @@ func main() {
 	// does not dominate.
 	const spmvBatch = 200
 	m = Measurement{Name: "cg_mulvec", WorkersNs: map[string]int64{}}
-	m.BaselineNs = timeIt(*repeats, func() {
+	m.BaselineNs = timeIt(repeats, func() {
 		for r := 0; r < spmvBatch; r++ {
 			if err := sys.W.MulVecTo(dst, xv); err != nil {
 				log.Fatal(err)
@@ -348,7 +336,7 @@ func main() {
 	})
 	for _, w := range workerCounts() {
 		w := w
-		m.WorkersNs[fmt.Sprint(w)] = timeIt(*repeats, func() {
+		m.WorkersNs[fmt.Sprint(w)] = timeIt(repeats, func() {
 			for r := 0; r < spmvBatch; r++ {
 				if err := sys.W.MulVecToWorkers(dst, xv, w); err != nil {
 					log.Fatal(err)
@@ -359,7 +347,7 @@ func main() {
 	m.SpeedupAt4 = float64(m.BaselineNs) / float64(m.WorkersNs["4"])
 	record(m)
 
-	writeReport(*out, report)
+	writeReport(out, report)
 }
 
 // writeReport marshals the report as indented JSON to path.

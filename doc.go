@@ -20,11 +20,53 @@
 //
 // Fit defaults to the hard criterion with a Gaussian kernel whose bandwidth
 // comes from the median heuristic; options select the soft criterion's λ,
-// other kernels and bandwidth rules, k-NN sparsification, and the solver
-// backend (dense factorizations, conjugate gradient, or distributed label
-// propagation). The Nadaraya–Watson kernel-regression baseline from the
-// paper's analysis is also exported.
+// other kernels and bandwidth rules, and k-NN sparsification. The
+// Nadaraya–Watson kernel-regression baseline from the paper's analysis is
+// also exported.
+//
+// # Solvers and parallelism
+//
+// WithSolver picks the linear-system backend: dense Cholesky/LU, sparse
+// conjugate gradient, or iterative label propagation. The default
+// (SolverAuto) plans a deterministic escalation chain from a pre-solve
+// health probe — preconditioned CG first on large systems, with a
+// multilevel (aggregation V-cycle) retry and dense fallbacks behind it.
+// WithPreconditioner selects the CG preconditioner (Jacobi, zero-fill incomplete
+// Cholesky with RCM reordering, or the multilevel hierarchy) when the
+// automatic choice is not wanted. WithWorkers bounds the worker goroutines
+// used by graph construction, SpMV, and batch prediction; results are
+// bitwise identical for every worker count. WithDiagnostics fills a Report
+// with stage timings, the solver trace, and any fallbacks taken.
+//
+// # Approximate large-n engine
+//
+// WithApprox(tol) admits a Nyström-style approximate fit for the hard
+// criterion: the engine coarsens the point set to m ≪ n anchors, solves
+// the reduced harmonic system, extends by Nadaraya–Watson estimation, and
+// certifies the result with a computable sup-norm error bound (an M-matrix
+// barrier certificate). The approximate answer is kept only when the
+// certified bound is at most tol — otherwise the fit transparently falls
+// back to the exact path and records the rejection in the Report. Every
+// accepted fit carries its bound in Result.ApproxBound and serves it
+// through ModelSnapshot. WithApprox(0), the default, disables the engine
+// and is bitwise identical to the exact path.
+//
+// # Serving
+//
+// Result.Snapshot freezes a fit (scores, kernel, bandwidth, anchors, and
+// any approximation certificate) into a ModelSnapshot; the serve
+// subpackage turns snapshots into HTTP prediction services with SIMD
+// batch scoring, anchor pruning, a prediction cache, and load shedding.
+//
+// # Distributed fits
+//
+// WithDistributed(p) runs label propagation across p in-process partitions.
+// FitDistributed with WithClusterShards(s) shards graph construction and
+// the solve across TCP worker processes, for fits that exceed one machine;
+// the serve package's Fleet replicates the resulting snapshots behind a
+// router.
 //
 // The experiment harnesses that regenerate the paper's figures live in
-// internal/experiments and are driven by cmd/sslrepro.
+// internal/experiments and are driven by cmd/sslrepro; cmd/perfbench
+// benchmarks the hot paths (run it with -list for the suite registry).
 package graphssl

@@ -1,0 +1,65 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/kernel"
+)
+
+// BenchmarkSolveHard times the full approximate pipeline (tree, anchors,
+// reduced solve, NW extension, certificate) on the planar sparse-label
+// fixture at sizes where the engine is the intended path. The full-graph
+// build is excluded: it is shared with the exact path. Use -cpuprofile to
+// see the stage split.
+func BenchmarkSolveHard(b *testing.B) {
+	for _, n := range []int{50000, 200000, 1000000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			k, err := kernel.New(kernel.Epanechnikov, 0.05)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			x := make([][]float64, n)
+			for i := range x {
+				x[i] = []float64{rng.Float64(), rng.Float64()}
+			}
+			gb, err := graph.NewBuilder(k, graph.WithKNN(8))
+			if err != nil {
+				b.Fatal(err)
+			}
+			g, err := gb.Build(x)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var labeled []int
+			var y []float64
+			for i := 0; i < n; i += 1000 {
+				labeled = append(labeled, i)
+				y = append(y, math.Sin(4*x[i][0])*math.Cos(3*x[i][1]))
+			}
+			p, err := core.NewProblem(g, labeled, y)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *Result
+			for i := 0; i < b.N; i++ {
+				res, err = SolveHard(p, x, Options{Kernel: k, Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.TreeNs)/1e9, "tree-s")
+			b.ReportMetric(float64(res.ReducedNs)/1e9, "reduced-s")
+			b.ReportMetric(float64(res.ExtendNs)/1e9, "extend-s")
+			b.ReportMetric(float64(res.CertifyNs)/1e9, "certify-s")
+			b.ReportMetric(float64(res.BarrierIterations), "barrier-iters")
+			b.ReportMetric(float64(res.ReducedIterations), "reduced-iters")
+		})
+	}
+}

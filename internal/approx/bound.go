@@ -1,0 +1,288 @@
+package approx
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/precond"
+	"repro/internal/sparse"
+)
+
+// barrierMargins is the pointwise acceptance ladder of the barrier solve.
+// The barrier needs no correct digits at all: the bound uses the exact
+// Ag (one SpMV), so a sloppy g merely loosens the certificate, it cannot
+// invalidate it — and with right-hand side 1, any iterate whose pointwise
+// residual stays below margin m satisfies Ag = 1 − r ≥ 1 − m > 0. The
+// barrier PCG is the engine's single full-system solve and by far its
+// dominant cost at large n, so instead of driving a 2-norm tolerance far
+// past what the certificate needs, each rung stops PCG at the FIRST
+// iterate whose recursion residual meets the margin (PCGOptions.Stop).
+// freeze then re-validates against the exact Ag; recursion drift or a
+// singular system fails that check and the next rung resumes warm, so a
+// retry pays only the marginal iterations. The leading margin 0.75 keeps
+// min(Ag) ≥ 0.25, costing at most 4x bound tightness versus an exact
+// barrier — the certificate stays orders of magnitude away from vacuous
+// while the barrier stops several PCG iterations sooner.
+var barrierMargins = [...]float64{0.75, 0.5, 0.25}
+
+// barrierMaxIter caps barrier PCG iterations per ladder rung; exhausting
+// the ladder degrades to an infinite bound (exact fallback), never a
+// wrong one. barrierTol is the 2-norm backstop under the pointwise stop.
+const (
+	barrierMaxIter = 1000
+	barrierTol     = 1e-3
+)
+
+// system is the hard-criterion linear system A f_U = b with A = D − W22,
+// assembled in one O(nnz) pass directly from the graph's CSR rows — no
+// intermediate COO sort, which dominates assembly time at n in the
+// millions. Unlabeled node indices are ascending, so the position map is
+// monotone and every mapped row stays column-sorted.
+type system struct {
+	a *sparse.CSR
+	b []float64
+	// unlabeled maps row k back to its node index.
+	unlabeled []int
+}
+
+// assembleSystem extracts A and b from the problem. It checks positive
+// degrees (the estimator is undefined on isolated nodes) but not component
+// coverage: a label-free component makes A singular, which the barrier
+// certificate detects a posteriori (infinite bound) at no extra cost.
+func assembleSystem(p *core.Problem) (*system, error) {
+	w := p.Graph().Weights()
+	unlabeled := p.Unlabeled()
+	labeled := p.Labeled()
+	y := p.Y()
+	m := len(unlabeled)
+
+	pos := make([]int32, p.Graph().N())
+	for i := range pos {
+		pos[i] = -1
+	}
+	for k, u := range unlabeled {
+		pos[u] = int32(k)
+	}
+	yAt := make([]float64, len(pos))
+	for k, l := range labeled {
+		yAt[l] = y[k]
+	}
+
+	// Pass 1: exact row counts. Row k of A holds the diagonal plus one
+	// entry per unlabeled neighbour (self-loops fold into the diagonal).
+	indptr := make([]int, m+1)
+	for k, u := range unlabeled {
+		cols, _ := w.RowNNZ(u)
+		cnt := 1
+		for _, j := range cols {
+			if pos[j] >= 0 && j != u {
+				cnt++
+			}
+		}
+		indptr[k+1] = indptr[k] + cnt
+	}
+
+	// Pass 2: fill. deg is accumulated per row on the fly (identical
+	// left-to-right order as CSR.RowSums, so degrees are bitwise-stable).
+	indices := make([]int, indptr[m])
+	data := make([]float64, indptr[m])
+	b := make([]float64, m)
+	for k, u := range unlabeled {
+		cols, vals := w.RowNNZ(u)
+		var deg, self float64
+		for c, j := range cols {
+			deg += vals[c]
+			switch {
+			case j == u:
+				self += vals[c]
+			case pos[j] < 0:
+				b[k] += vals[c] * yAt[j]
+			}
+		}
+		if deg == 0 {
+			return nil, core.ErrIsolated
+		}
+		at := indptr[k]
+		diagDone := false
+		diag := deg - self
+		for c, j := range cols {
+			if j == u || pos[j] < 0 {
+				continue
+			}
+			if !diagDone && int(pos[j]) > k {
+				indices[at] = k
+				data[at] = diag
+				at++
+				diagDone = true
+			}
+			indices[at] = int(pos[j])
+			data[at] = -vals[c]
+			at++
+		}
+		if !diagDone {
+			indices[at] = k
+			data[at] = diag
+		}
+	}
+	a, err := sparse.NewCSR(m, m, indptr, indices, data)
+	if err != nil {
+		return nil, err
+	}
+	return &system{a: a, b: b, unlabeled: unlabeled}, nil
+}
+
+// smooth polishes candidate unlabeled scores in place with damped-Jacobi
+// sweeps f ← f + ωD⁻¹(b − Af). The result is bitwise-stable across worker
+// counts (the SpMV is, and the update is a fixed serial loop). Sweeps on
+// the hard system's M-matrix with ω ≤ 1 are non-expansive, so they can
+// only move f toward the exact solution.
+func (s *system) smooth(f []float64, sweeps int, omega float64, workers int) {
+	m := s.a.Rows()
+	diag := make([]float64, m)
+	for k := 0; k < m; k++ {
+		cols, vals := s.a.RowNNZ(k)
+		for c, j := range cols {
+			if j == k {
+				diag[k] = vals[c]
+				break
+			}
+		}
+	}
+	work := make([]float64, m)
+	for sw := 0; sw < sweeps; sw++ {
+		if s.a.MulVecToWorkers(work, f, workers) != nil {
+			return
+		}
+		for i := range f {
+			if diag[i] > 0 {
+				f[i] += omega * (s.b[i] - work[i]) / diag[i]
+			}
+		}
+	}
+}
+
+// Bounder certifies approximate solutions of one hard-criterion system with
+// a computable sup-norm error bound. A = D − W22 is a symmetric M-matrix
+// (SPD with non-positive off-diagonals), so A⁻¹ ≥ 0 elementwise; for any
+// barrier vector g with s = Ag strictly positive,
+//
+//	‖f̃ − f*‖∞ ≤ ‖b − A f̃‖∞ · ‖g‖∞ / min(Ag),
+//
+// because |f*−f̃| = |A⁻¹ r| ≤ ‖r‖∞ · A⁻¹1 ≤ ‖r‖∞ · A⁻¹(Ag)/min(Ag).
+// The bound needs one SpMV per evaluation and holds for ANY g — solver
+// inaccuracy in the barrier loosens it but never falsifies it. When no
+// valid barrier exists (singular or non-covered system) Bound returns +Inf
+// and the caller falls back to the exact path.
+type Bounder struct {
+	sys *system
+	// g is the barrier; nil when the barrier solve failed.
+	g []float64
+	// gInf is ‖g‖∞; c is min(Ag), computed with an exact SpMV.
+	gInf, c float64
+	// work is the SpMV scratch, reused across Bound calls.
+	work []float64
+	// BarrierIterations reports the PCG work of the barrier solve.
+	BarrierIterations int
+	workers           int
+}
+
+// newBounder solves A g = 1 to loose tolerance, preconditioned by the
+// multilevel hierarchy when one is available (h may be nil), and freezes
+// the certificate constants.
+func newBounder(sys *system, h *hierarchy, workers int) *Bounder {
+	m := sys.a.Rows()
+	bd := &Bounder{sys: sys, work: make([]float64, m), workers: workers}
+	ones := make([]float64, m)
+	for i := range ones {
+		ones[i] = 1
+	}
+	var pc sparse.Preconditioner
+	if h != nil && len(h.assign) > 0 {
+		if ml, err := precond.NewMLAssigned(sys.a, h.assign); err == nil {
+			pc = ml
+		}
+	}
+	if pc == nil {
+		if p, err := precond.Auto(sys.a); err == nil {
+			pc = p
+		}
+	}
+	var warm []float64
+	for _, margin := range barrierMargins {
+		g, res, err := sparse.PCG(sys.a, ones, sparse.PCGOptions{
+			CGOptions: sparse.CGOptions{Tol: barrierTol, MaxIter: barrierMaxIter, Workers: workers, X0: warm},
+			M:         pc,
+			Stop: func(_, r []float64) bool {
+				for _, ri := range r {
+					if ri > margin || ri < -margin {
+						return false
+					}
+				}
+				return true
+			},
+		})
+		bd.BarrierIterations += res.Iterations
+		if err != nil || g == nil {
+			return bd // no barrier: Bound reports +Inf, caller goes exact
+		}
+		warm = g
+		if bd.freeze(g, workers) {
+			return bd
+		}
+	}
+	return bd // ladder exhausted: Bound reports +Inf, caller goes exact
+}
+
+// freeze validates candidate barrier g against the exact Ag (one SpMV,
+// never the solver's residual estimate) and locks in the certificate
+// constants on success.
+func (bd *Bounder) freeze(g []float64, workers int) bool {
+	if bd.sys.a.MulVecToWorkers(bd.work, g, workers) != nil {
+		return false
+	}
+	c := math.Inf(1)
+	var gInf float64
+	for i, gi := range g {
+		if !(gi > 0) {
+			return false // barrier must be strictly positive
+		}
+		if gi > gInf {
+			gInf = gi
+		}
+		if bd.work[i] < c {
+			c = bd.work[i]
+		}
+	}
+	if !(c > 0) || math.IsInf(gInf, 1) {
+		return false
+	}
+	bd.g, bd.gInf, bd.c = g, gInf, c
+	return true
+}
+
+// Bound evaluates the certificate for the candidate unlabeled scores f
+// (aligned with the system's unlabeled positions): one SpMV plus one
+// sweep, allocation-free on the warm path. It returns +Inf when no valid
+// barrier exists or f is not finite.
+func (bd *Bounder) Bound(f []float64) float64 {
+	if bd.g == nil || len(f) != len(bd.work) {
+		return math.Inf(1)
+	}
+	if bd.sys.a.MulVecToWorkers(bd.work, f, bd.workers) != nil {
+		return math.Inf(1)
+	}
+	var rInf float64
+	for i := range bd.work {
+		r := bd.sys.b[i] - bd.work[i]
+		if r < 0 {
+			r = -r
+		}
+		if r > rInf {
+			rInf = r
+		}
+	}
+	if math.IsNaN(rInf) || math.IsInf(rInf, 0) {
+		return math.Inf(1)
+	}
+	return rInf * bd.gInf / bd.c
+}

@@ -1,0 +1,84 @@
+// Package approx is the approximate large-n engine: a Nyström /
+// anchor-subset solver for the hard criterion (Eq. 5) that solves a
+// reduced system over m ≪ n anchor points chosen by hierarchical
+// coarsening of a KD-tree, extends the solution to all n points with the
+// Nadaraya–Watson form (Eq. 6, the Delalleau-style evaluation the serve
+// package already uses), and certifies the result with a computable
+// a-posteriori sup-norm error bound. Every answer either carries a finite
+// bound or the caller falls back to the exact path — the engine never
+// silently degrades accuracy.
+package approx
+
+import (
+	"repro/internal/spatial"
+)
+
+// hierarchy holds the nested aggregate structure of the unlabeled system:
+// level 0 maps each unlabeled position to its finest spatial aggregate,
+// level l maps level-l aggregates to level-(l+1) aggregates. The same
+// structure feeds both the Nyström anchor choice (level-0 representatives)
+// and the multilevel preconditioner of the barrier solve, so one KD
+// coarsening pays for both.
+type hierarchy struct {
+	// assign[l] maps a level-l unit to its level-(l+1) aggregate, with
+	// dense ids; assign[0] has one entry per unlabeled position.
+	assign [][]int32
+}
+
+const (
+	// coarsenBase is the first KD cut threshold of the hierarchy —
+	// leaf-scale aggregates, so the finest preconditioner level keeps a
+	// healthy (single-digit) reduction ratio.
+	coarsenBase = 8
+	// coarsenFactor grows the KD cut threshold between hierarchy levels.
+	coarsenFactor = 4
+	// coarsestMax stops the hierarchy once a level has at most this many
+	// aggregates (the multilevel preconditioner factors such levels
+	// densely anyway).
+	coarsestMax = 256
+	// maxLevels caps the hierarchy depth.
+	maxLevels = 10
+)
+
+// buildHierarchy derives the nested unlabeled-system aggregation from
+// successive KD coarsenings at geometrically growing size thresholds.
+// unlabeled lists the node indices of the system rows. Determinism: the
+// tree layout, the cut, and the first-appearance renumbering are all pure
+// functions of the input.
+func buildHierarchy(tree *spatial.KDTree, unlabeled []int) *hierarchy {
+	h := &hierarchy{}
+	// nodeOf[j] is a member node index of unit j at the current level; for
+	// level 0 the units are the unlabeled positions themselves. Nesting of
+	// the KD cuts guarantees any member represents its aggregate.
+	nodeOf := make([]int32, len(unlabeled))
+	for k, u := range unlabeled {
+		nodeOf[k] = int32(u)
+	}
+	size := coarsenBase
+	for level := 0; level < maxLevels && len(nodeOf) > coarsestMax; level++ {
+		c := tree.Coarsen(size)
+		// Dense renumbering in first-appearance order over the current
+		// units (aggregates holding no current unit get no id).
+		dense := make(map[int32]int32, len(nodeOf)/coarsenFactor+1)
+		cur := make([]int32, len(nodeOf))
+		var nextNode []int32
+		for j, node := range nodeOf {
+			raw := c.Assign[node]
+			id, ok := dense[raw]
+			if !ok {
+				id = int32(len(nextNode))
+				dense[raw] = id
+				nextNode = append(nextNode, node)
+			}
+			cur[j] = id
+		}
+		if len(nextNode) >= len(nodeOf) {
+			size *= coarsenFactor
+			continue // no reduction at this threshold; try a coarser cut
+		}
+		h.assign = append(h.assign, cur)
+		nodeOf = nextNode
+		size *= coarsenFactor
+	}
+	return h
+}

@@ -33,6 +33,12 @@ const (
 	// cluster options), so core only names it for reporting; selecting it
 	// via WithMethod is an error.
 	MethodCluster
+	// MethodNystrom identifies the approximate anchor-subset (Nyström)
+	// engine. Like MethodCluster it lives above core (internal/approx,
+	// driven by the graphssl WithApprox option, since the anchor coarsening
+	// needs the raw points), so core only names it for reporting; selecting
+	// it via WithMethod is an error.
+	MethodNystrom
 )
 
 // String returns the method name.
@@ -50,6 +56,8 @@ func (m Method) String() string {
 		return "propagation"
 	case MethodCluster:
 		return "cluster"
+	case MethodNystrom:
+		return "nystrom"
 	default:
 		return fmt.Sprintf("Method(%d)", int(m))
 	}
@@ -72,6 +80,13 @@ const (
 	PrecondIC0
 	// PrecondNone runs unpreconditioned CG.
 	PrecondNone
+	// PrecondML applies the aggregation-multilevel V-cycle: coarse-grid
+	// corrections make PCG iteration counts nearly size-independent on
+	// large-diameter graphs where even IC(0) degrades. Falls back to the
+	// IC(0) path when the matrix graph has no usable hierarchy. The auto
+	// chain also tries it as the escalation tier between a failed IC(0)-CG
+	// attempt and the dense backends on large systems.
+	PrecondML
 )
 
 // String returns the preconditioner name.
@@ -85,6 +100,8 @@ func (p Precond) String() string {
 		return "ic0"
 	case PrecondNone:
 		return "none"
+	case PrecondML:
+		return "ml"
 	default:
 		return fmt.Sprintf("Precond(%d)", int(p))
 	}
@@ -304,6 +321,8 @@ func SolveHard(p *Problem, opts ...SolveOption) (*Solution, error) {
 		fu, res, err = propagate(cfg.ctx, sys, cfg.tol, cfg.maxIter, cfg.workers)
 	case MethodCluster:
 		return nil, fmt.Errorf("core: the cluster backend is driven by the distributed fit options, not WithMethod: %w", ErrParam)
+	case MethodNystrom:
+		return nil, fmt.Errorf("core: the Nyström backend is driven by the WithApprox fit option, not WithMethod: %w", ErrParam)
 	default:
 		return nil, fmt.Errorf("core: unknown method %d: %w", int(cfg.method), ErrParam)
 	}

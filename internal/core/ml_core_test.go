@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// shiftedGridCSR builds the side×side 5-point grid Laplacian plus a small
+// diagonal shift: the classic large-diameter SPD system where single-level
+// preconditioners degrade and the multilevel V-cycle shines.
+func shiftedGridCSR(t *testing.T, side int, shift float64) *sparse.CSR {
+	t.Helper()
+	n := side * side
+	coo := sparse.NewCOO(n, n)
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			i := r*side + c
+			d := shift
+			if c+1 < side {
+				if err := coo.AddSym(i, i+1, -1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if r+1 < side {
+				if err := coo.AddSym(i, i+side, -1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if c > 0 {
+				d++
+			}
+			if c+1 < side {
+				d++
+			}
+			if r > 0 {
+				d++
+			}
+			if r+1 < side {
+				d++
+			}
+			if err := coo.Add(i, i, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// TestPrecondMLSolvesAndReports: forcing the multilevel preconditioner on a
+// CG solve must agree with the dense reference and identify itself.
+func TestPrecondMLSolvesAndReports(t *testing.T) {
+	p := gaussProblem(t, 13, 12, 60)
+	ref, err := SolveHard(p, WithMethod(MethodCholesky))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveHard(p, WithMethod(MethodCG), WithPreconditioner(PrecondML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Precond != "ml" {
+		t.Fatalf("solution reports precond %q, want ml", sol.Precond)
+	}
+	closeVecs(t, "ml", sol.F, ref.F, 1e-6)
+}
+
+// TestAutoChainArmsMLRetryOnLargeSystems: at and above mlEscalateMin the
+// CG-first plan carries a second MethodCG entry — the multilevel retry —
+// between the IC(0) head and the dense backends; below it the plan is
+// exactly the historical three-entry chain.
+func TestAutoChainArmsMLRetryOnLargeSystems(t *testing.T) {
+	a := shiftedGridCSR(t, 70, 1.0) // 4900 unknowns, well conditioned
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	cfg := solveConfig{method: MethodAuto, tol: 1e-10, autoCutoff: 1}
+	x, _, m, tr, err := runChain(nil, a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodCG {
+		t.Fatalf("settled on %v, want cg", m)
+	}
+	if len(tr.Plan) != 4 || tr.Plan[0] != MethodCG || tr.Plan[1] != MethodCG ||
+		tr.Plan[2] != MethodCholesky || tr.Plan[3] != MethodLU {
+		t.Fatalf("plan = %v, want [cg cg cholesky lu]", tr.Plan)
+	}
+	if len(tr.Attempts) != 1 || tr.Attempts[0].Precond != "ic0+rcm" {
+		t.Fatalf("attempts = %+v: healthy system should stop at the IC(0) head", tr.Attempts)
+	}
+	if len(x) != a.Rows() {
+		t.Fatalf("solution length %d", len(x))
+	}
+
+	// A forced non-auto preconditioner disarms the retry (the user's choice
+	// is honored verbatim, and small-system plans never change).
+	cfgJac := cfg
+	cfgJac.precond = PrecondJacobi
+	_, _, _, trJac, err := runChain(nil, a, b, cfgJac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trJac.Plan) != 3 {
+		t.Fatalf("forced-Jacobi plan = %v, want the 3-entry chain", trJac.Plan)
+	}
+}
+
+// TestAutoChainEscalatesThroughML: on the barely shifted grid the IC(0)-CG
+// head stagnates short of tolerance while one multilevel V-cycle per
+// iteration converges — the chain must record the CG→CG escalation and
+// settle on the ML attempt instead of paying for an O(n³) dense solve.
+func TestAutoChainEscalatesThroughML(t *testing.T) {
+	a := shiftedGridCSR(t, 75, 1e-6) // 5625 unknowns, condition ~ side²/shift
+	b := make([]float64, a.Rows())
+	for i := range b {
+		b[i] = float64(i%7) - 3
+	}
+	cfg := solveConfig{method: MethodAuto, tol: 1e-10, autoCutoff: 1}
+	x, res, m, tr, err := runChain(nil, a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != MethodCG {
+		t.Fatalf("settled on %v, want cg (the ML retry)", m)
+	}
+	if len(tr.Attempts) != 2 || tr.Attempts[0].Precond != "ic0+rcm" || tr.Attempts[1].Precond != "ml" {
+		t.Fatalf("attempts = %+v, want ic0+rcm then ml", tr.Attempts)
+	}
+	if tr.Attempts[0].Err == "" || tr.Attempts[1].Err != "" {
+		t.Fatalf("attempt errors = %q, %q", tr.Attempts[0].Err, tr.Attempts[1].Err)
+	}
+	if len(tr.Fallbacks) != 1 || tr.Fallbacks[0].From != MethodCG || tr.Fallbacks[0].To != MethodCG {
+		t.Fatalf("fallbacks = %+v, want one CG→CG escalation", tr.Fallbacks)
+	}
+	// Verify the answer through the residual.
+	ax := make([]float64, len(b))
+	if err := a.MulVecTo(ax, x); err != nil {
+		t.Fatal(err)
+	}
+	var rn, bn float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	if rn > 1e-16*bn {
+		t.Fatalf("relative residual² %g after ML escalation (reported %g)", rn/bn, res.Residual)
+	}
+
+	// Determinism: the whole escalation is a pure function of the input.
+	x2, _, m2, tr2, err := runChain(nil, a, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m || len(tr2.Fallbacks) != len(tr.Fallbacks) {
+		t.Fatal("escalation not reproducible")
+	}
+	for i := range x {
+		if x[i] != x2[i] {
+			t.Fatalf("scores differ at %d across reruns", i)
+		}
+	}
+}

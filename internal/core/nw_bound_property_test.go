@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestKNNResidualBoundProperty is the property test for the top-m
+// truncation certificate of the k-NN predictor path: across random anchor
+// sets, random anchor values, and every compact kernel profile, the
+// reported residual-mass bound must satisfy
+//
+//	|f_trunc − f_full| ≤ bound · max_j |v_j − f_trunc|
+//
+// against the exact (untruncated) estimator on the same anchors — the
+// inequality the serving tier's top-m mode relies on. The bound must also
+// stay in [0, 1] (it is a mass fraction).
+func TestKNNResidualBoundProperty(t *testing.T) {
+	kinds := []kernel.Kind{kernel.Uniform, kernel.Epanechnikov, kernel.Triangular, kernel.Tricube}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(kind)*97 + 5))
+			checked := 0
+			for trial := 0; trial < 12; trial++ {
+				nA := 100 + rng.Intn(150)
+				dim := 2 + rng.Intn(2)
+				anchors := make([][]float64, nA)
+				values := make([]float64, nA)
+				for i := range anchors {
+					pt := make([]float64, dim)
+					for d := range pt {
+						pt[d] = rng.Float64()
+					}
+					anchors[i] = pt
+					values[i] = rng.Float64()*2 - 1
+				}
+				// Bandwidth wide enough that most queries keep kernel mass,
+				// narrow enough that truncation actually discards some.
+				k, err := kernel.New(kind, 0.5+rng.Float64())
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := 1 + rng.Intn(16)
+				exact, err := NewNWPredictor(anchors, values, k, 0, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				trunc, err := NewNWPredictor(anchors, values, k, m, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nQ := 40
+				qs := make([][]float64, nQ)
+				for i := range qs {
+					pt := make([]float64, dim)
+					for d := range pt {
+						pt[d] = rng.Float64()
+					}
+					qs[i] = pt
+				}
+				fullV := make([]float64, nQ)
+				fullS := make([]NWStatus, nQ)
+				exact.PredictBatch(fullV, fullS, qs, 1)
+				truncV := make([]float64, nQ)
+				truncS := make([]NWStatus, nQ)
+				bounds := make([]float64, nQ)
+				trunc.PredictBatchBounds(truncV, truncS, bounds, qs, 1, nil)
+				for i := range qs {
+					if truncS[i] != NWOK || fullS[i] != NWOK {
+						continue
+					}
+					b := bounds[i]
+					if b < 0 || b > 1 || math.IsNaN(b) {
+						t.Fatalf("trial %d query %d: bound %v outside [0,1]", trial, i, b)
+					}
+					var maxDev float64
+					for _, v := range values {
+						if d := math.Abs(v - truncV[i]); d > maxDev {
+							maxDev = d
+						}
+					}
+					gap := math.Abs(truncV[i] - fullV[i])
+					if gap > b*maxDev+1e-12 {
+						t.Fatalf("trial %d query %d (m=%d, nA=%d): |trunc−full| = %g exceeds bound·maxdev = %g·%g = %g",
+							trial, i, m, nA, gap, b, maxDev, b*maxDev)
+					}
+					checked++
+				}
+			}
+			if checked < 100 {
+				t.Fatalf("only %d query checks ran; fixture too isolated to exercise the property", checked)
+			}
+		})
+	}
+}

@@ -1,0 +1,156 @@
+package spatial
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestCoarsenPartition: every point lands in exactly one aggregate, sizes
+// add up, representatives are members, and no aggregate exceeds
+// max(maxSize, leaf capacity).
+func TestCoarsenPartition(t *testing.T) {
+	x := randomPoints(11, 700, 3)
+	tr, err := NewKDTree(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, maxSize := range []int{1, 8, 32, 128, 1000} {
+		c := tr.Coarsen(maxSize)
+		if len(c.Assign) != len(x) {
+			t.Fatalf("maxSize=%d: assign length %d", maxSize, len(c.Assign))
+		}
+		if len(c.Reps) != len(c.Sizes) {
+			t.Fatalf("maxSize=%d: %d reps vs %d sizes", maxSize, len(c.Reps), len(c.Sizes))
+		}
+		counts := make([]int32, len(c.Reps))
+		for p, id := range c.Assign {
+			if id < 0 || int(id) >= len(c.Reps) {
+				t.Fatalf("maxSize=%d: point %d assigned out-of-range aggregate %d", maxSize, p, id)
+			}
+			counts[id]++
+		}
+		cap := int32(maxSize)
+		if cap < kdLeafSize {
+			cap = kdLeafSize
+		}
+		var total int32
+		for id, sz := range c.Sizes {
+			if sz != counts[id] {
+				t.Fatalf("maxSize=%d: aggregate %d claims size %d, assignment says %d", maxSize, id, sz, counts[id])
+			}
+			if sz < 1 || sz > cap {
+				t.Fatalf("maxSize=%d: aggregate %d has size %d, want 1..%d", maxSize, id, sz, cap)
+			}
+			if c.Assign[c.Reps[id]] != int32(id) {
+				t.Fatalf("maxSize=%d: rep %d of aggregate %d is not a member", maxSize, c.Reps[id], id)
+			}
+			total += sz
+		}
+		if int(total) != len(x) {
+			t.Fatalf("maxSize=%d: sizes sum to %d, want %d", maxSize, total, len(x))
+		}
+	}
+}
+
+// TestCoarsenNests: the partitions at growing thresholds must nest — each
+// fine aggregate lies inside exactly one coarse aggregate. The multilevel
+// hierarchy and the anchor pipeline both rely on this.
+func TestCoarsenNests(t *testing.T) {
+	x := randomPoints(7, 1200, 2)
+	tr, err := NewKDTree(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := tr.Coarsen(4)
+	for _, maxSize := range []int{16, 64, 256} {
+		cur := tr.Coarsen(maxSize)
+		// Map each fine aggregate to the coarse aggregate of its first seen
+		// member; every other member must agree.
+		owner := make([]int32, len(prev.Reps))
+		for i := range owner {
+			owner[i] = -1
+		}
+		for p, fine := range prev.Assign {
+			coarse := cur.Assign[p]
+			if owner[fine] < 0 {
+				owner[fine] = coarse
+				continue
+			}
+			if owner[fine] != coarse {
+				t.Fatalf("maxSize=%d: fine aggregate %d straddles coarse aggregates %d and %d",
+					maxSize, fine, owner[fine], coarse)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestCoarsenDeterministicAcrossWorkers: the tree layout is worker-count
+// independent, so the coarsening must be too.
+func TestCoarsenDeterministicAcrossWorkers(t *testing.T) {
+	x := randomPoints(3, 9000, 3) // above kdParallelMin so workers matter
+	var ref *Coarsening
+	for _, w := range []int{1, 2, 8} {
+		tr, err := NewKDTree(x, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := tr.Coarsen(64)
+		if ref == nil {
+			ref = c
+			continue
+		}
+		if len(c.Reps) != len(ref.Reps) {
+			t.Fatalf("workers=%d: %d aggregates vs %d", w, len(c.Reps), len(ref.Reps))
+		}
+		for i := range c.Assign {
+			if c.Assign[i] != ref.Assign[i] {
+				t.Fatalf("workers=%d: assignment differs at point %d", w, i)
+			}
+		}
+		for i := range c.Reps {
+			if c.Reps[i] != ref.Reps[i] {
+				t.Fatalf("workers=%d: representative differs for aggregate %d", w, i)
+			}
+		}
+	}
+}
+
+// TestCoarsenCentroidRep: the representative is the member closest to the
+// aggregate centroid under the strict (d², index) order — checked by brute
+// force.
+func TestCoarsenCentroidRep(t *testing.T) {
+	x := randomPoints(19, 400, 2)
+	tr, err := NewKDTree(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tr.Coarsen(32)
+	dim := len(x[0])
+	for id := range c.Reps {
+		cen := make([]float64, dim)
+		var members []int32
+		for p, a := range c.Assign {
+			if a == int32(id) {
+				members = append(members, int32(p))
+				for j, v := range x[p] {
+					cen[j] += v
+				}
+			}
+		}
+		for j := range cen {
+			cen[j] /= float64(len(members))
+		}
+		best := members[0]
+		bestD2 := kernel.Dist2(cen, x[best])
+		for _, p := range members[1:] {
+			if d2 := kernel.Dist2(cen, x[p]); d2 < bestD2 || (d2 == bestD2 && p < best) {
+				best, bestD2 = p, d2
+			}
+		}
+		if c.Reps[id] != best {
+			t.Fatalf("aggregate %d: rep %d, brute-force centroid-closest %d", id, c.Reps[id], best)
+		}
+	}
+}
