@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench cluster-bench largen-bench fuzz fuzz-smoke cover alloc-gate serve-smoke cluster-smoke distributed-smoke largen-smoke
+.PHONY: all build test race race-concurrency vet ci bench perfbench serve-bench cluster-bench largen-bench stream-bench fuzz fuzz-stream fuzz-smoke cover alloc-gate serve-smoke cluster-smoke distributed-smoke largen-smoke stream-smoke
 
 # Coverage ratchet: global statement coverage must not fall below this floor
 # (current coverage minus a 1% buffer). Raise it as coverage grows.
@@ -22,19 +22,23 @@ race:
 
 # Focused race pass over the concurrency-heavy packages (spatial indexes,
 # graph construction, parallel primitives, the distributed cluster layer
-# with its fault-injection harness, and the approximate engine's worker
-# paths), run twice to vary interleavings.
+# with its fault-injection harness, the approximate engine's worker paths,
+# and the streaming ingest subsystem), run twice to vary interleavings.
+# The second line exercises the serve-side ingest worker: concurrent
+# predicts against delta-snapshot hot swaps.
 race-concurrency:
-	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/... ./internal/cluster/... ./internal/approx/...
+	$(GO) test -race -count=2 ./internal/spatial/... ./internal/graph/... ./internal/parallel/... ./internal/cluster/... ./internal/approx/... ./stream/...
+	$(GO) test -race -count=2 -run 'TestIngest|TestRegistryRollForward' ./serve/
 
 # Allocation-regression gate: the warm PCG/CG solve path (pooled workspace
 # + held destination), the serving predict hot path (pooled scratch, pooled
 # batcher jobs), the steady-state distributed superstep (pooled message
-# and vector buffers), and the approximate engine's warm certificate
-# evaluation must stay at exactly zero heap allocations per op.
+# and vector buffers), the approximate engine's warm certificate
+# evaluation, and the streaming warm label-refresh path must stay at
+# exactly zero heap allocations per op.
 alloc-gate:
 	$(GO) test -run 'TestZeroAllocSolve' -v ./internal/sparse/ ./internal/precond/
-	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/ ./internal/cluster/ ./internal/approx/
+	$(GO) test -run 'TestZeroAlloc' -v ./internal/core/ ./serve/ ./internal/cluster/ ./internal/approx/ ./stream/
 
 # The gate run by CI's test job; the fuzz-smoke and coverage jobs run their
 # targets separately.
@@ -46,11 +50,20 @@ FUZZTIME ?= 5m
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzFit -fuzztime $(FUZZTIME) .
 
-# Short deterministic-budget fuzz pass for CI: replays the checked-in corpus
-# and fuzzes briefly.
+# Full fuzz campaign for the streaming equivalence contract: random edit
+# scripts (insert / delete / relabel / refresh / compact) asserted bitwise
+# against a from-scratch fit; crashers land in
+# stream/testdata/fuzz/FuzzStreamEquivalence/.
+fuzz-stream:
+	$(GO) test -run xxx -fuzz FuzzStreamEquivalence -fuzztime $(FUZZTIME) ./stream/
+
+# Short deterministic-budget fuzz pass for CI: replays the checked-in
+# corpora (including the pinned streaming crashers) and fuzzes briefly.
 fuzz-smoke:
 	$(GO) test -run FuzzFit .
 	$(GO) test -run xxx -fuzz FuzzFit -fuzztime 15s .
+	$(GO) test -run FuzzStreamEquivalence ./stream/
+	$(GO) test -run xxx -fuzz FuzzStreamEquivalence -fuzztime 15s ./stream/
 
 # Global statement coverage with the ratcheted floor check.
 cover:
@@ -91,6 +104,12 @@ cluster-bench:
 largen-bench:
 	$(GO) run ./cmd/perfbench -suite largen -repeats 1 -out results/BENCH_largen.json
 
+# Refreshes the streaming suite: the real-time 1k points/sec trickle with
+# p50/p99 label-to-servable staleness, plus the incremental-refresh vs
+# full-refit comparison (bitwise-asserted on every scenario).
+stream-bench:
+	$(GO) run ./cmd/perfbench -suite stream -stsecs 5 -out results/BENCH_stream.json
+
 # CI-sized largen run: same pipeline and bound assertion, small enough for a
 # shared runner (no 5M headline case; lcmp ladder only).
 largen-smoke:
@@ -109,6 +128,15 @@ cluster-smoke:
 	$(GO) test -count=1 -run 'TestSolvePCG|TestCrash|TestSlow|TestDropped|TestDuplicate|TestAllWorkersCrash' -v ./internal/cluster/...
 	$(GO) test -count=1 -run TestFleetSmoke -v ./cmd/sslserve/
 	$(GO) test -count=1 -run 'TestFitWithClusterShards|TestFitDistributedTCPFleet|TestClusterRecovery|TestClusterFailureTyped' -v .
+
+# End-to-end smoke of the streaming ingest subsystem: the incremental
+# equivalence and escalation-ladder tests in stream/, the delta snapshot
+# roll-forward math, the HTTP /v1/ingest path (fit with "stream": true,
+# ingest, version bump, cache invalidation, backpressure), and the
+# registry hot-swap-under-load test.
+stream-smoke:
+	$(GO) test -count=1 -run 'TestStream|TestZeroAllocStream' -v ./stream/
+	$(GO) test -count=1 -run 'TestIngest|TestModelApplyDelta|TestRegistryRollForward' -v ./serve/
 
 # Runs the distributed example end to end: in-process and TCP fleets solving
 # the same problem, bitwise-identical across shard counts and transports.

@@ -168,6 +168,11 @@ func main() {
 		llab    = flag.Int("llab", 2000, "one labeled point per this many nodes (largen suite; sparse labels are the paper's asymptotic regime and the exact solver's hard case)")
 		lknn    = flag.Int("lknn", 12, "k-NN sparsification of the largen graphs")
 		ltol    = flag.Float64("ltol", 0, "WithApprox acceptance tolerance for the largen suite (0 = accept any certified bound)")
+		stn     = flag.Int("stn", 20000, "base point count for the stream suite")
+		strate  = flag.Int("strate", 1000, "arrival rate in points/sec for the stream trickle")
+		stsecs  = flag.Int("stsecs", 3, "trickle duration in seconds (stream suite)")
+		stbatch = flag.Int("stbatch", 512, "points folded per refresh cycle (stream suite)")
+		stdelta = flag.Float64("stdelta", 0.01, "labeled-delta fraction for the stream refresh-vs-refit case")
 		repeats = flag.Int("repeats", 3, "timed repetitions per configuration (min is reported)")
 	)
 	flag.Parse()
@@ -189,6 +194,7 @@ func main() {
 		svAnch: *svAnch, svD: *svD, svReqs: *svReqs,
 		cn: *cn, cLab: *cLab, cWork: *cWork, cReps: *cReps,
 		ln: *ln, lcmp: *lcmp, llab: *llab, lknn: *lknn, ltol: *ltol,
+		stn: *stn, strate: *strate, stsecs: *stsecs, stbatch: *stbatch, stdelta: *stdelta,
 		repeats: *repeats,
 	})
 }

@@ -11,9 +11,9 @@ type suiteArgs struct {
 	// parallel suite
 	n, d, knn, cgN, cgM int
 	// spatial suite
-	sn, sd         int
-	sradius, snwH  float64
-	snwLab         int
+	sn, sd        int
+	sradius, snwH float64
+	snwLab        int
 	// serve suite
 	svAnch, svD, svReqs int
 	// cluster suite
@@ -21,6 +21,9 @@ type suiteArgs struct {
 	// largen suite
 	ln, lcmp, llab, lknn int
 	ltol                 float64
+	// stream suite
+	stn, strate, stsecs, stbatch int
+	stdelta                      float64
 	// shared
 	repeats int
 }
@@ -93,6 +96,17 @@ var suiteRegistry = []suiteDef{
 			runLargenSuite(out, largenParams{
 				n: a.ln, compareN: a.lcmp, labelEvery: a.llab,
 				knn: a.lknn, tol: a.ltol, repeats: a.repeats,
+			})
+		},
+	},
+	{
+		Name:       "stream",
+		DefaultOut: "results/BENCH_stream.json",
+		Desc:       "streaming ingest: real-time trickle staleness plus incremental refresh vs full refit",
+		Run: func(out string, a suiteArgs) {
+			runStreamSuite(out, streamParams{
+				n: a.stn, rate: a.strate, seconds: a.stsecs,
+				batch: a.stbatch, delta: a.stdelta, repeats: a.repeats,
 			})
 		},
 	},

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStreamSuiteSmall runs the stream suite end to end at CI scale: a
+// one-second real-time trickle over a tiny base plus both
+// refresh-vs-refit scenarios, through the same runner the bench uses.
+// The runner itself asserts the streaming determinism contract (it
+// aborts unless the incremental scores match the from-scratch fit
+// bitwise), so this is a correctness smoke as much as a coverage one.
+func TestStreamSuiteSmall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_stream.json")
+	p := streamParams{n: 400, rate: 200, seconds: 1, batch: 100, delta: 0.01, repeats: 1}
+	runStreamSuite(out, p)
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep streamReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not valid JSON: %v", err)
+	}
+	if got, want := rep.Trickle.Points, p.rate*p.seconds; got != want {
+		t.Fatalf("trickle points = %d, want %d", got, want)
+	}
+	if rep.Trickle.StalenessP99Ns <= 0 {
+		t.Fatalf("staleness p99 = %d, want > 0", rep.Trickle.StalenessP99Ns)
+	}
+	if rep.Trickle.DeltaRolls+rep.Trickle.FullRolls != rep.Trickle.Batches {
+		t.Fatalf("rolls %d+%d do not account for %d batches",
+			rep.Trickle.DeltaRolls, rep.Trickle.FullRolls, rep.Trickle.Batches)
+	}
+	if len(rep.Refresh) != 2 {
+		t.Fatalf("refresh scenarios = %d, want 2", len(rep.Refresh))
+	}
+	for _, rc := range rep.Refresh {
+		if !rc.BitwiseMatched {
+			t.Fatalf("scenario %q not bitwise-matched", rc.Scenario)
+		}
+		if rc.RefreshNs <= 0 || rc.FullRefitNs <= 0 {
+			t.Fatalf("scenario %q has non-positive timings: %+v", rc.Scenario, rc)
+		}
+	}
+}

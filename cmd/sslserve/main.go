@@ -71,6 +71,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		cacheSize      = fs.Int("cache-size", 8192, "prediction cache entries (negative disables)")
 		modelBudget    = fs.Int("model-budget", 0, "max in-flight uncached points per model (0 = unlimited)")
 		maxQueueWait   = fs.Duration("max-queue-wait", 0, "shed when estimated queue drain exceeds this (0 = predict timeout)")
+		ingestQueue    = fs.Int("ingest-queue", 4096, "max in-flight streaming ingest points per model (excess gets 429)")
+		ingestBatch    = fs.Int("ingest-batch", 256, "points folded per streaming refresh cycle")
 		predictTimeout = fs.Duration("predict-timeout", 10*time.Second, "per-request predict timeout")
 		fitTimeout     = fs.Duration("fit-timeout", 120*time.Second, "per-request fit timeout")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain budget")
@@ -88,6 +90,8 @@ func run(ctx context.Context, args []string, logw io.Writer, ready func(addr str
 		CacheSize:      *cacheSize,
 		ModelBudget:    *modelBudget,
 		MaxQueueWait:   *maxQueueWait,
+		IngestQueue:    *ingestQueue,
+		IngestBatch:    *ingestBatch,
 		PredictTimeout: *predictTimeout,
 		FitTimeout:     *fitTimeout,
 	}

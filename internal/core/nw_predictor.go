@@ -150,6 +150,27 @@ func NewNWPredictor(anchors [][]float64, values []float64, k *kernel.K, knn, wor
 	return p, nil
 }
 
+// AppendAnchors returns a new predictor extending this one with extra
+// anchors (and aligned values) at the end of the accumulation order. The
+// receiver is unchanged and remains valid; the two predictors share the
+// existing anchor storage, and the result is exactly what NewNWPredictor
+// would build from the concatenated slices — same kernel, same knn, same
+// lookup-path resolution — so predictions match that from-scratch build
+// bitwise. The extra slices are retained, not copied.
+func (p *NWPredictor) AppendAnchors(extra [][]float64, values []float64, workers int) (*NWPredictor, error) {
+	if len(extra) == 0 {
+		return p, nil
+	}
+	if len(values) != len(extra) {
+		return nil, fmt.Errorf("core: %d extra anchors but %d values: %w", len(extra), len(values), ErrParam)
+	}
+	x := make([][]float64, 0, len(p.x)+len(extra))
+	x = append(append(x, p.x...), extra...)
+	v := make([]float64, 0, len(p.v)+len(values))
+	v = append(append(v, p.v...), values...)
+	return NewNWPredictor(x, v, p.k, p.knn, workers)
+}
+
 // Dim returns the input dimension queries must have.
 func (p *NWPredictor) Dim() int { return p.dim }
 

@@ -1,0 +1,537 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/sparse"
+)
+
+// RefreshKind identifies which rung of the online-refresh ladder produced
+// an updated solution.
+type RefreshKind int
+
+const (
+	// RefreshLabelValues re-solved after changing the response values of
+	// already-labeled nodes: the system matrix is untouched, only the
+	// right-hand side moves, and PCG restarts from the previous solution.
+	RefreshLabelValues RefreshKind = iota + 1
+	// RefreshWoodbury applied the low-rank principal-submatrix identity
+	// for a small batch of newly labeled nodes: k extra unit solves
+	// against the unchanged matrix plus a k×k dense solve, no solve of
+	// the new system at all.
+	RefreshWoodbury
+	// RefreshWarmPCG solved the new system with PCG warm-started from the
+	// previous solution (mapped through any renumbering).
+	RefreshWarmPCG
+	// RefreshFull means the caller fell back to an exact from-scratch
+	// refit (the escalation terminal; core itself never performs it).
+	RefreshFull
+)
+
+// String returns the rung name.
+func (k RefreshKind) String() string {
+	switch k {
+	case RefreshLabelValues:
+		return "label-values"
+	case RefreshWoodbury:
+		return "woodbury"
+	case RefreshWarmPCG:
+		return "warm-pcg"
+	case RefreshFull:
+		return "full-refit"
+	default:
+		return fmt.Sprintf("RefreshKind(%d)", int(k))
+	}
+}
+
+// RefreshStats documents one online refresh: the ladder rung taken, the
+// iterative work spent, the verified relative residual of the accepted
+// solution, and whether a cheaper rung was abandoned mid-flight.
+type RefreshStats struct {
+	Kind       RefreshKind
+	Solves     int
+	Iterations int
+	Residual   float64
+	Escalated  bool
+	Reason     string
+}
+
+// Refresher maintains a hard-criterion solution under streaming label and
+// structure deltas without refitting from scratch. It owns the assembled
+// block system of the current problem, the current solution, and the
+// warm-start buffers (a held workspace plus an in-place destination
+// vector), so repeated small refreshes reuse all solver scratch.
+//
+// The ladder, cheapest first:
+//
+//  1. UpdateLabelValues — only b changes; warm PCG from the old solution.
+//     Allocation-free once warm.
+//  2. AddLabels with k ≤ woodburyMax — the new system matrix is a
+//     principal submatrix of the old one, so the new solution comes from
+//     the identity (A′)⁻¹ = P′ − P_J (P_JJ)⁻¹ P_Jᵀ evaluated with k unit
+//     solves against the *old* matrix (whose preconditioner and spectrum
+//     the solver has already paid for).
+//  3. AddLabels with larger k, and Rebase after structural edits — warm
+//     PCG on the new system seeded from the previous solution.
+//
+// Every rung ends with an explicit residual check of the accepted
+// solution against the *new* system; a miss escalates to the next rung,
+// and the caller is expected to fall back to an exact refit (RefreshFull)
+// when the ladder is exhausted. After any returned error the refresher
+// state is unspecified and must be rebuilt from a fresh solve.
+//
+// A Refresher is not safe for concurrent use.
+type Refresher struct {
+	p   *Problem
+	sys *hardSystem
+
+	f      []float64 // full solution over all nodes
+	fu     []float64 // reduced solution, aligned with p.unlabeled
+	labIdx []int     // node → index into p.labeled, -1 otherwise
+
+	ws      *sparse.Workspace
+	scratch []float64 // residual-verification buffer, len M
+
+	tol        float64
+	refreshTol float64
+	maxIter    int
+	workers    int
+}
+
+// NewRefresher adopts an existing solution of p (its full score vector,
+// as produced by SolveHard) and prepares the incremental machinery.
+// tol is the inner PCG tolerance, refreshTol the acceptance threshold on
+// the verified relative residual ‖b − A f‖/‖b‖ of a refreshed solution
+// (≤ 0 selects 1e-8). maxIter ≤ 0 lets PCG choose its default cap.
+func NewRefresher(p *Problem, f []float64, tol, refreshTol float64, maxIter, workers int) (*Refresher, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil problem: %w", ErrParam)
+	}
+	if len(f) != p.g.N() {
+		return nil, fmt.Errorf("core: solution length %d, want %d: %w", len(f), p.g.N(), ErrParam)
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if refreshTol <= 0 {
+		refreshTol = 1e-8
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	sys, err := buildHardSystem(p)
+	if err != nil {
+		return nil, err
+	}
+	r := &Refresher{
+		ws:         sparse.NewWorkspace(),
+		tol:        tol,
+		refreshTol: refreshTol,
+		maxIter:    maxIter,
+		workers:    workers,
+	}
+	r.commit(p, sys, nil)
+	copy(r.f, f)
+	for k, u := range p.unlabeled {
+		r.fu[k] = f[u]
+	}
+	return r, nil
+}
+
+// F returns the current full score vector, aliased: callers must not
+// mutate it, and it is overwritten by the next refresh.
+func (r *Refresher) F() []float64 { return r.f }
+
+// Problem returns the current problem.
+func (r *Refresher) Problem() *Problem { return r.p }
+
+// Residual recomputes the true relative residual ‖b − A f_U‖/‖b‖ of the
+// current solution (one SpMV; the barrier-style accumulated-perturbation
+// check callers use to decide whether to escalate to a full refit).
+func (r *Refresher) Residual() float64 {
+	return r.relResidual(r.sys, r.fu)
+}
+
+// commit installs a new problem/system pair and (re)sizes the solution
+// and index buffers. fu2, when non-nil, becomes the reduced solution.
+func (r *Refresher) commit(p *Problem, sys *hardSystem, fu2 []float64) {
+	r.p, r.sys = p, sys
+	n := p.g.N()
+	m := len(sys.b)
+	if cap(r.f) < n {
+		r.f = make([]float64, n)
+	}
+	r.f = r.f[:n]
+	if fu2 != nil {
+		r.fu = fu2
+	} else {
+		if cap(r.fu) < m {
+			r.fu = make([]float64, m)
+		}
+		r.fu = r.fu[:m]
+	}
+	if cap(r.scratch) < m {
+		r.scratch = make([]float64, m)
+	}
+	r.scratch = r.scratch[:m]
+	if cap(r.labIdx) < n {
+		r.labIdx = make([]int, n)
+	}
+	r.labIdx = r.labIdx[:n]
+	for i := range r.labIdx {
+		r.labIdx[i] = -1
+	}
+	for k, l := range p.labeled {
+		r.labIdx[l] = k
+	}
+	// Rebuild the full vector from labels + reduced solution.
+	for k, l := range p.labeled {
+		r.f[l] = p.y[k]
+	}
+	for k, u := range p.unlabeled {
+		r.f[u] = r.fu[k]
+	}
+}
+
+// relResidual returns ‖b − A x‖/‖b‖ for the given system.
+func (r *Refresher) relResidual(sys *hardSystem, x []float64) float64 {
+	if cap(r.scratch) < len(x) {
+		r.scratch = make([]float64, len(x))
+	}
+	s := r.scratch[:len(x)]
+	if err := sys.a.MulVecToWorkers(s, x, r.workers); err != nil {
+		return math.Inf(1)
+	}
+	for i := range s {
+		s[i] = sys.b[i] - s[i]
+	}
+	bn := mat.Norm2(sys.b)
+	if bn == 0 {
+		bn = 1
+	}
+	return mat.Norm2(s) / bn
+}
+
+// warmOpts assembles the held-buffer PCG options for a warm solve into
+// dst (which doubles as the starting guess).
+func (r *Refresher) warmOpts(dst []float64) sparse.PCGOptions {
+	return sparse.PCGOptions{
+		CGOptions: sparse.CGOptions{
+			Tol:          r.tol,
+			MaxIter:      r.maxIter,
+			Precondition: true,
+			X0:           dst,
+			Workers:      r.workers,
+		},
+		Dst: dst,
+		Ws:  r.ws,
+	}
+}
+
+// UpdateLabelValues changes the responses of already-labeled nodes and
+// re-solves. The system matrix is unchanged — only the right-hand side
+// entries next to the touched labels move — so the solve warm-starts from
+// the previous solution and typically converges in a handful of
+// iterations. Allocation-free once the held buffers are warm.
+func (r *Refresher) UpdateLabelValues(nodes []int, vals []float64) (RefreshStats, error) {
+	var st RefreshStats
+	st.Kind = RefreshLabelValues
+	if len(nodes) != len(vals) {
+		return st, fmt.Errorf("core: %d nodes, %d values: %w", len(nodes), len(vals), ErrParam)
+	}
+	w := r.p.g.Weights()
+	for i, node := range nodes {
+		v := vals[i]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return st, fmt.Errorf("core: non-finite label value: %w", ErrParam)
+		}
+		li := -1
+		if node >= 0 && node < len(r.labIdx) {
+			li = r.labIdx[node]
+		}
+		if li < 0 {
+			return st, fmt.Errorf("core: node %d is not labeled: %w", node, ErrParam)
+		}
+		dy := v - r.p.y[li]
+		if dy == 0 {
+			continue
+		}
+		cols, ws := w.RowNNZ(node)
+		for c, j := range cols {
+			if k := r.sys.pos[j]; k >= 0 {
+				r.sys.b[k] += ws[c] * dy
+			}
+		}
+		r.p.y[li] = v
+		r.f[node] = v
+	}
+	_, res, err := sparse.PCG(r.sys.a, r.sys.b, r.warmOpts(r.fu))
+	st.Solves, st.Iterations = 1, res.Iterations
+	if err != nil {
+		return st, fmt.Errorf("core: label-value refresh: %w: %w", ErrSolver, err)
+	}
+	for k, u := range r.p.unlabeled {
+		r.f[u] = r.fu[k]
+	}
+	st.Residual = res.Residual
+	return st, nil
+}
+
+// AddLabels moves currently-unlabeled nodes into the labeled set with the
+// given responses; the graph is unchanged. Batches of at most woodburyMax
+// take the low-rank rung; larger batches (or a Woodbury residual miss)
+// take a warm PCG solve of the new system.
+func (r *Refresher) AddLabels(nodes []int, vals []float64, woodburyMax int) (RefreshStats, error) {
+	var st RefreshStats
+	if len(nodes) == 0 {
+		st.Kind = RefreshLabelValues
+		return st, nil
+	}
+	if len(nodes) != len(vals) {
+		return st, fmt.Errorf("core: %d nodes, %d values: %w", len(nodes), len(vals), ErrParam)
+	}
+	seen := make(map[int]bool, len(nodes))
+	for i, node := range nodes {
+		if node < 0 || node >= r.p.g.N() || r.p.isLabeled[node] {
+			return st, fmt.Errorf("core: node %d is not an unlabeled node: %w", node, ErrParam)
+		}
+		if seen[node] {
+			return st, fmt.Errorf("core: duplicate node %d: %w", node, ErrParam)
+		}
+		seen[node] = true
+		if v := vals[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return st, fmt.Errorf("core: non-finite label value: %w", ErrParam)
+		}
+	}
+	labeled2 := make([]int, 0, len(r.p.labeled)+len(nodes))
+	labeled2 = append(labeled2, r.p.labeled...)
+	labeled2 = append(labeled2, nodes...)
+	y2 := make([]float64, 0, len(labeled2))
+	y2 = append(y2, r.p.y...)
+	y2 = append(y2, vals...)
+	p2, err := NewProblem(r.p.g, labeled2, y2)
+	if err != nil {
+		return st, err
+	}
+
+	if len(nodes) <= woodburyMax {
+		ok, wst, werr := r.woodbury(p2, nodes, vals)
+		if werr != nil {
+			return wst, werr
+		}
+		if ok {
+			return wst, nil
+		}
+		st = wst // carry the escalation note and spent work into the warm rung
+	}
+
+	sys2, err := buildHardSystem(p2)
+	if err != nil {
+		return st, err
+	}
+	// Seed from the old full solution: every new unknown was an unknown
+	// before, at the same node index (the graph is unchanged).
+	fu2 := make([]float64, len(sys2.b))
+	for k, u := range p2.unlabeled {
+		fu2[k] = r.f[u]
+	}
+	_, res, err := sparse.PCG(sys2.a, sys2.b, r.warmOpts(fu2))
+	st.Kind = RefreshWarmPCG
+	st.Solves++
+	st.Iterations += res.Iterations
+	if err != nil {
+		return st, fmt.Errorf("core: add-labels refresh: %w: %w", ErrSolver, err)
+	}
+	st.Residual = res.Residual
+	r.commit(p2, sys2, fu2)
+	return st, nil
+}
+
+// woodbury applies the principal-submatrix inverse identity for a small
+// batch J of newly labeled nodes. With P = A⁻¹ and A′ the old matrix
+// restricted to the remaining unknowns,
+//
+//	(A′)⁻¹ = P_{U′U′} − P_{U′J} (P_{JJ})⁻¹ P_{JU′},
+//
+// so the new solution needs only the k columns P e_j (k unit solves
+// against the old, already-warm system) and a k×k dense solve. Linearity
+// removes even the solve against the new right-hand side: with
+// r_j = (b − A z)_j and z the labels extended by zero,
+// A⁻¹(b − A z − Σ r_j e_j) = f_old − z − Σ r_j P e_j.
+//
+// Returns ok=false (with stats carrying the spent work and the reason)
+// when the verified residual of the candidate misses refreshTol; the
+// caller then escalates to the warm-PCG rung.
+func (r *Refresher) woodbury(p2 *Problem, nodes []int, vals []float64) (bool, RefreshStats, error) {
+	var st RefreshStats
+	st.Kind = RefreshWoodbury
+	m := len(r.sys.b)
+	k := len(nodes)
+
+	z := make([]float64, m)
+	for i, node := range nodes {
+		z[r.sys.pos[node]] = vals[i]
+	}
+	az := make([]float64, m)
+	if err := r.sys.a.MulVecToWorkers(az, z, r.workers); err != nil {
+		return false, st, err
+	}
+
+	// Unit solves t_j = P e_{pos(j)} against the old matrix.
+	t := make([][]float64, k)
+	e := make([]float64, m)
+	for j, node := range nodes {
+		pj := r.sys.pos[node]
+		e[pj] = 1
+		tj := make([]float64, m)
+		_, res, err := sparse.PCG(r.sys.a, e, sparse.PCGOptions{
+			CGOptions: sparse.CGOptions{
+				Tol:          r.tol,
+				MaxIter:      r.maxIter,
+				Precondition: true,
+				Workers:      r.workers,
+			},
+			Dst: tj,
+			Ws:  r.ws,
+		})
+		e[pj] = 0
+		st.Solves++
+		st.Iterations += res.Iterations
+		if err != nil {
+			return false, st, fmt.Errorf("core: woodbury unit solve: %w: %w", ErrSolver, err)
+		}
+		t[j] = tj
+	}
+
+	// h = f_old − z − Σ_j r_j t_j on the old unknowns.
+	h := make([]float64, m)
+	copy(h, r.fu)
+	for i := range h {
+		h[i] -= z[i]
+	}
+	for j, node := range nodes {
+		rj := r.sys.b[r.sys.pos[node]] - az[r.sys.pos[node]]
+		tj := t[j]
+		for i := range h {
+			h[i] -= rj * tj[i]
+		}
+	}
+
+	// Capacitance P_{JJ} and correction μ = (P_{JJ})⁻¹ h_J.
+	pjj := make([]float64, k*k)
+	hj := make([]float64, k)
+	for a, na := range nodes {
+		pa := r.sys.pos[na]
+		hj[a] = h[pa]
+		for b := 0; b < k; b++ {
+			pjj[a*k+b] = t[b][pa]
+		}
+	}
+	capM, err := mat.NewDenseData(k, k, pjj)
+	if err != nil {
+		return false, st, err
+	}
+	mu, err := mat.SolveLU(capM, hj)
+	if err != nil {
+		return false, st, fmt.Errorf("core: woodbury capacitance solve: %w: %w", ErrSolver, err)
+	}
+	for j := 0; j < k; j++ {
+		tj := t[j]
+		mj := mu[j]
+		for i := range h {
+			h[i] -= mj * tj[i]
+		}
+	}
+
+	// Assemble the candidate on the new unknowns and verify it against
+	// the freshly built new system.
+	sys2, err := buildHardSystem(p2)
+	if err != nil {
+		return false, st, err
+	}
+	fu2 := make([]float64, len(sys2.b))
+	for k2, u := range p2.unlabeled {
+		fu2[k2] = h[r.sys.pos[u]]
+	}
+	resid := r.relResidual(sys2, fu2)
+	st.Residual = resid
+	if resid > r.refreshTol {
+		st.Escalated = true
+		st.Reason = fmt.Sprintf("woodbury residual %.3g above tolerance %.3g", resid, r.refreshTol)
+		return false, st, nil
+	}
+	r.commit(p2, sys2, fu2)
+	return true, st, nil
+}
+
+// Rebase replaces the problem after structural edits (point inserts,
+// deletes, graph rebuilds) and re-solves with a warm start mapped through
+// the renumbering: oldNode[u] is the previous node index of new node u,
+// or -1 for nodes that did not exist. Brand-new unknowns are seeded with
+// the degree-weighted average of their already-seeded neighbours (labels
+// and surviving old values), a deterministic single pass in node order.
+func (r *Refresher) Rebase(p2 *Problem, oldNode []int) (RefreshStats, error) {
+	var st RefreshStats
+	st.Kind = RefreshWarmPCG
+	if p2 == nil {
+		return st, fmt.Errorf("core: nil problem: %w", ErrParam)
+	}
+	n2 := p2.g.N()
+	if len(oldNode) != n2 {
+		return st, fmt.Errorf("core: oldNode length %d, want %d: %w", len(oldNode), n2, ErrParam)
+	}
+	sys2, err := buildHardSystem(p2)
+	if err != nil {
+		return st, err
+	}
+
+	// Full seed vector over the new nodes: labels exactly, surviving
+	// nodes from the old solution, new nodes by neighbour average.
+	seed := make([]float64, n2)
+	known := make([]bool, n2)
+	for k2, l := range p2.labeled {
+		seed[l] = p2.y[k2]
+		known[l] = true
+	}
+	for u := 0; u < n2; u++ {
+		if known[u] {
+			continue
+		}
+		if o := oldNode[u]; o >= 0 && o < len(r.f) {
+			seed[u] = r.f[o]
+			known[u] = true
+		}
+	}
+	w2 := p2.g.Weights()
+	for u := 0; u < n2; u++ {
+		if known[u] {
+			continue
+		}
+		cols, vals := w2.RowNNZ(u)
+		var num, den float64
+		for c, j := range cols {
+			if known[j] {
+				num += vals[c] * seed[j]
+				den += vals[c]
+			}
+		}
+		if den > 0 {
+			seed[u] = num / den
+		}
+	}
+
+	fu2 := make([]float64, len(sys2.b))
+	for k2, u := range p2.unlabeled {
+		fu2[k2] = seed[u]
+	}
+	_, res, err := sparse.PCG(sys2.a, sys2.b, r.warmOpts(fu2))
+	st.Solves, st.Iterations = 1, res.Iterations
+	if err != nil {
+		return st, fmt.Errorf("core: rebase refresh: %w: %w", ErrSolver, err)
+	}
+	st.Residual = res.Residual
+	r.commit(p2, sys2, fu2)
+	return st, nil
+}

@@ -77,6 +77,25 @@ type Health struct {
 	ConditionProxy float64
 }
 
+// RefreshInfo documents one streaming refresh (see the stream package):
+// which rung of the escalation ladder produced the accepted solution and
+// how much work it took.
+type RefreshInfo struct {
+	// Kind is the accepted rung: "none", "label-values", "woodbury",
+	// "warm-pcg", or "full-refit".
+	Kind string
+	// Solves and Iterations report the iterative work spent.
+	Solves, Iterations int
+	// Residual is the verified relative residual of the accepted solution
+	// (0 for an exact refit).
+	Residual float64
+	// Escalated reports that a cheaper rung was abandoned; Reason says why.
+	Escalated bool
+	Reason    string
+	// Applied edit counts since the previous refresh.
+	Inserts, Deletes, NewLabels, ValueChanges int
+}
+
 // Report documents how a fit ran: per-stage wall clock, the backend chain
 // and any fallbacks taken, iterative work, and the numerical-health
 // warnings raised by the pre-solve probe. Request one with
@@ -113,6 +132,9 @@ type Report struct {
 	// Health is the pre-solve probe of the solved system (nil when the
 	// plan did not need it and diagnostics did not force it).
 	Health *Health
+	// Refresh documents the streaming refresh that produced the current
+	// solution (nil for batch fits; see the stream package).
+	Refresh *RefreshInfo
 	// Warnings are human-readable numerical-health flags.
 	Warnings []string
 	// Err is the terminal error message, empty on success.

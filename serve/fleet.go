@@ -44,7 +44,11 @@ func NewFleet(n int, cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{ring: ring}
 	for i := 0; i < n; i++ {
-		f.replicas = append(f.replicas, NewServer(cfg))
+		s := NewServer(cfg)
+		// Streaming ingest mutates per-server state a fleet cannot
+		// replicate; fleet fits reject "stream": true.
+		s.inFleet = true
+		f.replicas = append(f.replicas, s)
 	}
 	leader := f.replicas[0]
 	mux := http.NewServeMux()
@@ -93,7 +97,7 @@ func (f *Fleet) Close() {
 // write goes through the fleet.
 func (f *Fleet) handleFit(w http.ResponseWriter, r *http.Request) {
 	leader := f.replicas[0]
-	name, m, start, ok := leader.buildModel(w, r)
+	name, m, _, start, ok := leader.buildModel(w, r)
 	if !ok {
 		return
 	}

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/stream"
+)
+
+// Streaming ingest: a model fitted with "stream": true keeps a live
+// stream.Ingestor behind the served snapshot. POST /v1/ingest enqueues
+// labeled (or unlabeled) points; a single background worker per model
+// drains the queue in batches, refreshes the transductive solution
+// through the incremental ladder, and rolls the served model forward —
+// via Model.ApplyDelta when the new labels are purely appendable, via a
+// full snapshot republish otherwise. Every roll-forward goes through
+// Registry.Store, so the version bumps and cached predictions of the
+// old model can never be confused with the new one.
+//
+// Ingest is a single-server feature: a Fleet replicates immutable
+// models from its leader and has no channel for continuous deltas, so
+// fleet fits reject "stream": true.
+
+// Ingest metrics, alongside the serving counters in metrics.go.
+var (
+	ingPoints    = expvar.NewInt("graphssl.serve.ingest.points_total")
+	ingRejected  = expvar.NewInt("graphssl.serve.ingest.rejected_total")
+	ingErrors    = expvar.NewInt("graphssl.serve.ingest.errors_total")
+	ingDeltaRoll = expvar.NewInt("graphssl.serve.ingest.delta_rollforwards")
+	ingFullRoll  = expvar.NewInt("graphssl.serve.ingest.full_rollforwards")
+
+	stalenessWin latencyRing
+)
+
+func init() {
+	expvar.Publish("graphssl.serve.ingest.staleness_us", expvar.Func(func() any {
+		p50, p99 := stalenessWin.quantiles()
+		return map[string]float64{"p50": p50, "p99": p99}
+	}))
+}
+
+// ingestJob is one enqueued ingest request: points with aligned
+// responses (nil y = unlabeled), stamped on arrival so the publish loop
+// can measure label-to-servable staleness.
+type ingestJob struct {
+	pts     [][]float64
+	y       []float64
+	arrival time.Time
+}
+
+// ingestState is the mutable half of a streaming model: the ingestor
+// (owned exclusively by the worker goroutine), the bounded queue, and
+// the in-flight point count that backs admission control.
+type ingestState struct {
+	name    string
+	ing     *stream.Ingestor
+	ch      chan ingestJob
+	pending atomic.Int64 // points admitted but not yet applied
+	stop    chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+}
+
+func newIngestState(name string, ing *stream.Ingestor, queue int) *ingestState {
+	return &ingestState{
+		name: name,
+		ing:  ing,
+		ch:   make(chan ingestJob, queue),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// close stops the worker; safe to call more than once. Does not wait.
+func (st *ingestState) close() {
+	if st.closed.CompareAndSwap(false, true) {
+		close(st.stop)
+	}
+}
+
+// ingestStateFor returns the ingest state of a streaming model, nil for
+// batch-fitted models.
+func (s *Server) ingestStateFor(name string) *ingestState {
+	if v, ok := s.ingests.Load(name); ok {
+		return v.(*ingestState)
+	}
+	return nil
+}
+
+// registerIngest installs the state for a (re)fitted streaming model,
+// stopping any predecessor's worker, and starts the new worker.
+func (s *Server) registerIngest(st *ingestState) {
+	if old, ok := s.ingests.Load(st.name); ok {
+		old.(*ingestState).close()
+	}
+	s.ingests.Store(st.name, st)
+	go s.runIngest(st)
+}
+
+// dropIngest stops and removes a model's ingest state, if any.
+func (s *Server) dropIngest(name string) {
+	if v, ok := s.ingests.LoadAndDelete(name); ok {
+		v.(*ingestState).close()
+	}
+}
+
+// closeIngests stops every ingest worker and waits for them to exit.
+func (s *Server) closeIngests() {
+	var states []*ingestState
+	s.ingests.Range(func(_, v any) bool {
+		states = append(states, v.(*ingestState))
+		return true
+	})
+	for _, st := range states {
+		st.close()
+	}
+	for _, st := range states {
+		<-st.done
+	}
+}
+
+// runIngest is the per-model worker: block for work, drain a bounded
+// batch, apply and publish. Exactly one goroutine per state owns the
+// ingestor, so the (deliberately unsynchronized) Ingestor never sees
+// concurrent calls.
+func (s *Server) runIngest(st *ingestState) {
+	defer close(st.done)
+	jobs := make([]ingestJob, 0, s.cfg.IngestBatch)
+	for {
+		jobs = jobs[:0]
+		select {
+		case j := <-st.ch:
+			jobs = append(jobs, j)
+		case <-st.stop:
+			return
+		}
+		npts := len(jobs[0].pts)
+	drain:
+		for npts < s.cfg.IngestBatch {
+			select {
+			case j := <-st.ch:
+				jobs = append(jobs, j)
+				npts += len(j.pts)
+			default:
+				break drain
+			}
+		}
+		s.applyIngest(st, jobs)
+	}
+}
+
+// applyIngest folds one batch of jobs into the ingestor and rolls the
+// served model forward. Individual bad points are counted and skipped;
+// a refresh failure (e.g. an isolated unlabeled point) leaves the edits
+// pending for a later batch to repair and the served model unchanged.
+func (s *Server) applyIngest(st *ingestState, jobs []ingestJob) {
+	applied := 0
+	for _, j := range jobs {
+		for i, p := range j.pts {
+			var err error
+			if j.y != nil {
+				_, err = st.ing.InsertLabeled(p, j.y[i])
+			} else {
+				_, err = st.ing.Insert(p)
+			}
+			if err != nil {
+				ingErrors.Add(1)
+				continue
+			}
+			applied++
+		}
+		st.pending.Add(-int64(len(j.pts)))
+	}
+	ingPoints.Add(int64(applied))
+	if _, err := st.ing.Refresh(); err != nil {
+		ingErrors.Add(1)
+		return
+	}
+
+	if err := s.publishIngest(st); err != nil {
+		ingErrors.Add(1)
+		return
+	}
+	now := time.Now()
+	for _, j := range jobs {
+		stalenessWin.observe(float64(now.Sub(j.arrival).Microseconds()))
+	}
+}
+
+// publishIngest rolls the registry entry forward to the ingestor's
+// refreshed state: by appending a snapshot delta when the new labels
+// are purely appendable (no relabels, labeled deletes, or compactions
+// since the last publish), by a full snapshot republish otherwise. An
+// empty delta publishes nothing — unlabeled inserts don't change the
+// served anchors.
+func (s *Server) publishIngest(st *ingestState) error {
+	e, err := s.registry.Load(st.name)
+	if err != nil {
+		// Model deleted under the worker; nothing to publish onto.
+		return err
+	}
+	if d, ok := st.ing.TakeDelta(); ok {
+		if d.Len() == 0 {
+			return nil
+		}
+		m2, err := e.Model.ApplyDelta(d)
+		if err == nil {
+			e2, err := s.registry.Store(st.name, m2)
+			if err != nil {
+				return err
+			}
+			setModelVersion(e2.Name, e2.Version)
+			ingDeltaRoll.Add(1)
+			return nil
+		}
+		// Fall through to the full republish.
+	}
+	snap, err := st.ing.Snapshot()
+	if err != nil {
+		return err
+	}
+	m2, err := NewModel(snap, WithWorkers(s.cfg.Workers))
+	if err != nil {
+		return err
+	}
+	e2, err := s.registry.Store(st.name, m2)
+	if err != nil {
+		return err
+	}
+	st.ing.MarkPublished()
+	setModelVersion(e2.Name, e2.Version)
+	ingFullRoll.Add(1)
+	return nil
+}
+
+// ingestRequest is the body of POST /v1/ingest. Y, when present, aligns
+// with Points and labels every point; omitted, the points are ingested
+// unlabeled (they refine future refreshed scores but add no anchors).
+type ingestRequest struct {
+	Model  string      `json:"model"`
+	Points [][]float64 `json:"points"`
+	Y      []float64   `json:"y,omitempty"`
+}
+
+// ingestResponse acknowledges enqueued work. Pending counts points
+// admitted but not yet applied, across all requests for the model.
+type ingestResponse struct {
+	Model    string `json:"model"`
+	Accepted int    `json:"accepted"`
+	Pending  int64  `json:"pending"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		fail(w, ErrDraining)
+		return
+	}
+	var req ingestRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		fail(w, err)
+		return
+	}
+	n := len(req.Points)
+	if n == 0 {
+		fail(w, fmt.Errorf("serve: no points: %w", ErrPoint))
+		return
+	}
+	if n > s.cfg.MaxPoints {
+		fail(w, fmt.Errorf("serve: %d points exceeds the per-request limit %d: %w", n, s.cfg.MaxPoints, ErrPoint))
+		return
+	}
+	if req.Y != nil && len(req.Y) != n {
+		fail(w, fmt.Errorf("serve: %d responses for %d points: %w", len(req.Y), n, ErrPoint))
+		return
+	}
+	if _, err := s.registry.Load(req.Model); err != nil {
+		fail(w, err)
+		return
+	}
+	st := s.ingestStateFor(req.Model)
+	if st == nil {
+		fail(w, fmt.Errorf("serve: model %q was not fitted with \"stream\": true: %w", req.Model, ErrPoint))
+		return
+	}
+	// Backpressure: admission is bounded in points, not requests, so a
+	// burst of large bodies cannot grow the in-flight state without
+	// limit.
+	if st.pending.Add(int64(n)) > int64(s.cfg.IngestQueue) {
+		st.pending.Add(-int64(n))
+		ingRejected.Add(int64(n))
+		fail(w, fmt.Errorf("serve: ingest queue for %q is full: %w", req.Model, ErrOverloaded))
+		return
+	}
+	job := ingestJob{pts: req.Points, y: req.Y, arrival: time.Now()}
+	select {
+	case st.ch <- job:
+	default:
+		st.pending.Add(-int64(n))
+		ingRejected.Add(int64(n))
+		fail(w, fmt.Errorf("serve: ingest queue for %q is full: %w", req.Model, ErrOverloaded))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, ingestResponse{
+		Model:    req.Model,
+		Accepted: n,
+		Pending:  st.pending.Load(),
+	})
+}

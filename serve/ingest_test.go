@@ -1,0 +1,521 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	graphssl "repro"
+	"repro/stream"
+)
+
+// streamData builds a well-connected 2-d point set for streaming tests:
+// a jittered grid with the first nl points labeled.
+func streamData(seed int64, n, nl int) (x [][]float64, y []float64, labeled []int) {
+	rng := rand.New(rand.NewSource(seed))
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	for i := 0; i < n; i++ {
+		px := float64(i%side)/float64(side) + 0.02*rng.Float64()
+		py := float64(i/side)/float64(side) + 0.02*rng.Float64()
+		x = append(x, []float64{px, py})
+	}
+	for i := 0; i < nl; i++ {
+		labeled = append(labeled, i)
+		y = append(y, math.Sin(float64(i)))
+	}
+	return x, y, labeled
+}
+
+// TestModelApplyDeltaBitwise checks the roll-forward identity the ingest
+// worker relies on: Model.ApplyDelta(d) must predict bitwise-identically
+// to NewModel(snap.ApplyDelta(d)) — appending delta anchors in place is
+// indistinguishable from rebuilding the model on the extended snapshot.
+func TestModelApplyDeltaBitwise(t *testing.T) {
+	x, y, labeled := testData(7, 90, 3, 30)
+	res, err := graphssl.Fit(x, y, labeled, graphssl.WithBandwidth(1.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := res.Snapshot(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := &graphssl.SnapshotDelta{
+		X: [][]float64{{0.1, 0.2, 0.3}, {-0.4, 0.5, -0.6}, {0.7, -0.8, 0.9}},
+		Y: []float64{2.5, -1.5, 0.5},
+	}
+	rolled, err := m.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := snap.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewModel(snap2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rolled.Info(), rebuilt.Info(); got != want {
+		t.Fatalf("info mismatch: rolled %+v rebuilt %+v", got, want)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	qs := make([][]float64, 200)
+	for i := range qs {
+		qs[i] = []float64{3 * rng.NormFloat64(), 3 * rng.NormFloat64(), 3 * rng.NormFloat64()}
+	}
+	errAt := func(errs []error, i int) error {
+		if errs == nil {
+			return nil
+		}
+		return errs[i]
+	}
+	a, aerrs := rolled.PredictBatch(qs)
+	b, berrs := rebuilt.PredictBatch(qs)
+	for i := range qs {
+		ae, be := errAt(aerrs, i), errAt(berrs, i)
+		if (ae == nil) != (be == nil) {
+			t.Fatalf("query %d: error mismatch %v vs %v", i, ae, be)
+		}
+		if ae == nil && math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("query %d: rolled %v != rebuilt %v", i, a[i], b[i])
+		}
+	}
+
+	// The original model is immutable: its predictions are unchanged.
+	before, _ := m.PredictBatch(qs[:10])
+	m2, err := NewModel(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _ := m2.PredictBatch(qs[:10])
+	for i := range before {
+		if math.Float64bits(before[i]) != math.Float64bits(after[i]) {
+			t.Fatalf("base model mutated at query %d", i)
+		}
+	}
+
+	// Validation: empty delta is the same model; malformed deltas reject.
+	if same, err := m.ApplyDelta(nil); err != nil || same != m {
+		t.Fatalf("nil delta: %v %v", same, err)
+	}
+	bad := []*graphssl.SnapshotDelta{
+		{X: [][]float64{{1, 2}}, Y: []float64{1}},               // dim mismatch
+		{X: [][]float64{{1, 2, math.NaN()}}, Y: []float64{1}},   // non-finite point
+		{X: [][]float64{{1, 2, 3}}, Y: []float64{math.Inf(1)}},  // non-finite response
+		{X: [][]float64{{1, 2, 3}, {4, 5, 6}}, Y: []float64{1}}, // length mismatch
+	}
+	for i, d := range bad {
+		if _, err := m.ApplyDelta(d); err == nil {
+			t.Fatalf("bad delta %d accepted", i)
+		}
+	}
+}
+
+// streamFit publishes a streaming model over HTTP.
+func streamFit(t *testing.T, base, name string, x [][]float64, y []float64, labeled []int, h float64) fitResponse {
+	t.Helper()
+	resp, body := postJSON(t, base+"/v1/models/"+name, fitRequest{
+		X: x, Y: y, Labeled: labeled,
+		Kernel: "epanechnikov", Bandwidth: h, Stream: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream fit: %d %s", resp.StatusCode, body)
+	}
+	var fr fitResponse
+	if err := json.Unmarshal(body, &fr); err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// waitForVersion polls the model endpoint until its version reaches v.
+func waitForVersion(t *testing.T, base, name string, v int64) modelEntry {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body := getJSON(t, base+"/v1/models/"+name)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get: %d %s", resp.StatusCode, body)
+		}
+		var e modelEntry
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Version >= v {
+			return e
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("model %q stuck at version %d, want %d", name, e.Version, v)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestIngestE2E drives the streaming loop over HTTP: fit with
+// "stream": true, trickle labeled points through POST /v1/ingest, and
+// check the rolled-forward model serves predictions bitwise-identical to
+// an in-process ingestor fed the same edits — including through the
+// version-keyed prediction cache.
+func TestIngestE2E(t *testing.T) {
+	srv, ts := testServer(t, Config{Workers: 1})
+	x, y, labeled := streamData(11, 64, 16)
+	const h = 0.35
+
+	fr := streamFit(t, ts.URL, "live", x, y, labeled, h)
+	if fr.Version != 1 || fr.Info.Anchors != 16 {
+		t.Fatalf("stream fit response: %+v", fr)
+	}
+
+	// Twin ingestor fed the identical edit sequence, for the expected
+	// served bits.
+	twin, err := stream.New(x, y, labeled, stream.Config{
+		Kernel: graphssl.Epanechnikov, Bandwidth: h, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := []float64{0.31, 0.29}
+	resp, body := postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "live", Points: [][]float64{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	var pr predictResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Version != 1 {
+		t.Fatalf("predict version = %d", pr.Version)
+	}
+
+	// Trickle three labeled points in one request; the worker folds them
+	// into one refresh and rolls the model forward.
+	pts := [][]float64{{0.30, 0.30}, {0.62, 0.18}, {0.15, 0.77}}
+	ys := []float64{3, -3, 1.5}
+	resp, body = postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Model: "live", Points: pts, Y: ys})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+	}
+	var ir ingestResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 3 {
+		t.Fatalf("ingest response: %+v", ir)
+	}
+
+	e := waitForVersion(t, ts.URL, "live", 2)
+	if e.Info.Anchors != 19 {
+		t.Fatalf("rolled model anchors = %d, want 19", e.Info.Anchors)
+	}
+
+	for i, p := range pts {
+		if _, err := twin.InsertLabeled(p, ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := twin.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := twin.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewModel(snap, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The same cached query must now answer from the new version with the
+	// new bits: the version-keyed cache can never serve the stale score.
+	resp, body = postJSON(t, ts.URL+"/v1/predict", predictRequest{Model: "live", Points: [][]float64{q}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict: %d %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Version != 2 {
+		t.Fatalf("post-ingest predict version = %d", pr.Version)
+	}
+	ws, err := want.Predict(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(pr.Scores[0]) != math.Float64bits(ws) {
+		t.Fatalf("served %v != twin %v", pr.Scores[0], ws)
+	}
+
+	// Unlabeled points refresh the transductive state without changing the
+	// anchors, so no republish happens and the version holds.
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Model: "live", Points: [][]float64{{0.5, 0.5}}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("unlabeled ingest: %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.ingestStateFor("live").pending.Load() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("unlabeled ingest never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if e := waitForVersion(t, ts.URL, "live", 2); e.Version != 2 {
+		t.Fatalf("unlabeled ingest bumped version to %d", e.Version)
+	}
+
+	// Delete tears the ingest state down; further ingests 404.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/models/live", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Model: "live", Points: pts[:1], Y: ys[:1]})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ingest after delete: %d", resp.StatusCode)
+	}
+	if srv.ingestStateFor("live") != nil {
+		t.Fatal("ingest state survived delete")
+	}
+}
+
+// TestIngestValidation covers the request-shape and configuration errors
+// of the streaming surface.
+func TestIngestValidation(t *testing.T) {
+	_, ts := testServer(t, Config{Workers: 1, IngestQueue: 2})
+	x, y, labeled := streamData(13, 48, 12)
+	const h = 0.35
+
+	// Streaming fit constraints.
+	for name, req := range map[string]fitRequest{
+		"gaussian kernel": {X: x, Y: y, Labeled: labeled, Bandwidth: h, Stream: true},
+		"no bandwidth":    {X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Stream: true},
+		"knn":             {X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Bandwidth: h, KNN: 4, Stream: true},
+		"top_m":           {X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Bandwidth: h, TopM: 4, Stream: true},
+		"anchor all":      {X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Bandwidth: h, AnchorSet: "all", Stream: true},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/models/bad", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	lam := 0.5
+	resp, _ := postJSON(t, ts.URL+"/v1/models/bad", fitRequest{
+		X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Bandwidth: h, Lambda: &lam, Stream: true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("lambda: %d", resp.StatusCode)
+	}
+
+	streamFit(t, ts.URL, "live", x, y, labeled, h)
+	fitOverHTTP(t, ts.URL, "plain", x, y, labeled, 1.0)
+
+	// Ingest request shapes.
+	for name, req := range map[string]ingestRequest{
+		"no points":  {Model: "live"},
+		"y mismatch": {Model: "live", Points: [][]float64{{0.1, 0.1}}, Y: []float64{1, 2}},
+		"non-stream": {Model: "plain", Points: [][]float64{{0.1, 0.1}}},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/ingest", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Model: "ghost", Points: [][]float64{{0.1, 0.1}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+
+	// Backpressure: IngestQueue is 2 points, so a 3-point request is shed
+	// with 429 before touching the queue.
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", ingestRequest{
+		Model:  "live",
+		Points: [][]float64{{0.1, 0.1}, {0.2, 0.2}, {0.3, 0.3}},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull ingest: %d %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}
+
+// TestIngestRejectedOnFleet pins the single-server contract: a fleet fit
+// with "stream": true is rejected, and the fleet surface has no
+// /v1/ingest route.
+func TestIngestRejectedOnFleet(t *testing.T) {
+	f, err := NewFleet(3, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	x, y, labeled := streamData(17, 48, 12)
+	resp, body := postJSON(t, ts.URL+"/v1/models/live", fitRequest{
+		X: x, Y: y, Labeled: labeled, Kernel: "epanechnikov", Bandwidth: 0.35, Stream: true,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("fleet stream fit: %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/ingest", ingestRequest{Model: "live", Points: [][]float64{{0.1, 0.1}}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("fleet ingest route: %d", resp.StatusCode)
+	}
+}
+
+// TestRegistryRollForwardUnderLoad hammers the registry with concurrent
+// predictions while the in-process roll-forward loop (refresh, TakeDelta,
+// ApplyDelta, Store) hot-swaps the model, then deletes and refits under
+// the same name. Versions must be strictly monotonic across the whole
+// run, every observed (version, score) pair must match the model that
+// carried that version, and the race detector must stay quiet.
+func TestRegistryRollForwardUnderLoad(t *testing.T) {
+	x, y, labeled := streamData(19, 64, 16)
+	const h = 0.35
+	ing, err := stream.New(x, y, labeled, stream.Config{
+		Kernel: graphssl.Epanechnikov, Bandwidth: h, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewModel(snap, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := &Registry{}
+	if _, err := reg.Store("live", m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every published version's expected score at the probe point, for
+	// readers to check their (version, score) observations against.
+	q := []float64{0.4, 0.4}
+	var mu sync.Mutex
+	wantByVersion := map[int64]uint64{}
+	record := func(v int64, m *Model) {
+		s, err := m.Predict(q)
+		if err != nil {
+			t.Errorf("version %d: %v", v, err)
+			return
+		}
+		mu.Lock()
+		wantByVersion[v] = math.Float64bits(s)
+		mu.Unlock()
+	}
+	record(1, m)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last int64
+			for !stop.Load() {
+				e, err := reg.Load("live")
+				if err != nil {
+					continue // deleted window mid-run
+				}
+				if e.Version < last {
+					t.Errorf("version went backwards: %d after %d", e.Version, last)
+					return
+				}
+				last = e.Version
+				s, err := e.Model.Predict(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				want, ok := wantByVersion[e.Version]
+				mu.Unlock()
+				if ok && math.Float64bits(s) != want {
+					t.Errorf("version %d served stale bits", e.Version)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writer: 20 delta roll-forwards, then delete + refit, then 5 more.
+	rng := rand.New(rand.NewSource(23))
+	cur := m
+	rollForward := func() {
+		p := []float64{rng.Float64(), rng.Float64()}
+		if _, err := ing.InsertLabeled(p, rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ing.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		d, ok := ing.TakeDelta()
+		if !ok {
+			t.Fatal("delta not available")
+		}
+		next, err := cur.ApplyDelta(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := reg.Store("live", next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur = next
+		record(e.Version, next)
+	}
+	for i := 0; i < 20; i++ {
+		rollForward()
+	}
+	if err := reg.Delete("live"); err != nil {
+		t.Fatal(err)
+	}
+	// Refit under the same name: the version must keep climbing past the
+	// deleted generation so cached or remembered versions can never alias.
+	snap2, err := ing.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ing.MarkPublished()
+	m2, err := NewModel(snap2, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.Store("live", m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Version != 22 {
+		t.Fatalf("post-delete version = %d, want 22", e.Version)
+	}
+	cur = m2
+	record(e.Version, m2)
+	for i := 0; i < 5; i++ {
+		rollForward()
+	}
+
+	stop.Store(true)
+	wg.Wait()
+
+	if e, err := reg.Load("live"); err != nil || e.Version != 27 {
+		t.Fatalf("final entry: %+v %v", e, err)
+	}
+}

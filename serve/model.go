@@ -167,6 +167,59 @@ func NewModel(snap *graphssl.ModelSnapshot, opts ...ModelOption) (*Model, error)
 	}, nil
 }
 
+// ApplyDelta rolls the model forward by a streaming snapshot delta:
+// the newly labeled points become additional anchors appended after the
+// existing ones, without republishing (or re-copying) the anchors
+// already served. The receiver is unchanged; the returned model shares
+// its anchor storage and is bitwise prediction-identical to
+// NewModel(snap.ApplyDelta(d), ...) with the options this model was
+// built with: delta points carry node indices past every existing one,
+// so appending preserves the ascending-node-order accumulation contract.
+//
+// Only hard-criterion (lambda = 0) labeled-anchor models can roll
+// forward — exactly the models whose labeled scores are pinned to the
+// responses a delta carries. Anything else needs a full republish.
+func (m *Model) ApplyDelta(d *graphssl.SnapshotDelta) (*Model, error) {
+	if d == nil || d.Len() == 0 {
+		return m, nil
+	}
+	if m.lambda != 0 {
+		return nil, fmt.Errorf("serve: delta roll-forward needs the hard criterion (lambda=0), got %v: %w", m.lambda, ErrSnapshot)
+	}
+	if m.anchorSet != AnchorLabeled {
+		return nil, fmt.Errorf("serve: delta roll-forward needs labeled anchors, got %q: %w", m.anchorSet, ErrSnapshot)
+	}
+	if len(d.X) != len(d.Y) {
+		return nil, fmt.Errorf("serve: delta has %d points, %d responses: %w", len(d.X), len(d.Y), ErrSnapshot)
+	}
+	anchors := make([][]float64, len(d.X))
+	values := make([]float64, len(d.Y))
+	for i, xi := range d.X {
+		if len(xi) != m.dim {
+			return nil, fmt.Errorf("serve: delta point %d has dim %d, want %d: %w", i, len(xi), m.dim, ErrSnapshot)
+		}
+		for j, v := range xi {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("serve: delta point %d coordinate %d is %v: %w", i, j, v, ErrSnapshot)
+			}
+		}
+		if math.IsNaN(d.Y[i]) || math.IsInf(d.Y[i], 0) {
+			return nil, fmt.Errorf("serve: delta response %d is %v: %w", i, d.Y[i], ErrSnapshot)
+		}
+		anchors[i] = append([]float64(nil), xi...)
+		values[i] = d.Y[i]
+	}
+	pred, err := m.pred.AppendAnchors(anchors, values, m.workers)
+	if err != nil {
+		return nil, fmt.Errorf("serve: delta predictor: %w", ErrSnapshot)
+	}
+	next := *m
+	next.pred = pred
+	next.trainN += len(d.X)
+	next.labeledN += len(d.X)
+	return &next, nil
+}
+
 // Dim returns the input dimension query points must have.
 func (m *Model) Dim() int { return m.dim }
 
@@ -197,12 +250,12 @@ type Info struct {
 // Info returns the model's hyperparameters and sizes.
 func (m *Model) Info() Info {
 	return Info{
-		Dim:       m.dim,
-		Kernel:    m.kind.String(),
-		Bandwidth: m.bandwidth,
-		KNN:       m.knn,
-		TopM:      m.topM,
-		Lambda:    m.lambda,
+		Dim:         m.dim,
+		Kernel:      m.kind.String(),
+		Bandwidth:   m.bandwidth,
+		KNN:         m.knn,
+		TopM:        m.topM,
+		Lambda:      m.lambda,
 		AnchorSet:   m.anchorSet.String(),
 		Anchors:     m.pred.NumAnchors(),
 		TrainN:      m.trainN,

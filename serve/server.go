@@ -13,6 +13,7 @@ import (
 
 	graphssl "repro"
 	"repro/internal/kernel"
+	"repro/stream"
 )
 
 // Config tunes a Server. The zero value selects the defaults noted on each
@@ -54,6 +55,14 @@ type Config struct {
 	// (default PredictTimeout). Shedding early returns a cheap 429 instead
 	// of queueing work that would time out anyway.
 	MaxQueueWait time.Duration
+	// IngestQueue bounds the in-flight (admitted but not yet applied)
+	// points per streaming model; ingest requests beyond it get 429
+	// (default 4096).
+	IngestQueue int
+	// IngestBatch bounds how many queued points one refresh cycle folds
+	// in before publishing (default 256). Larger batches amortize the
+	// refresh; smaller ones lower label-to-servable staleness.
+	IngestBatch int
 }
 
 func (c *Config) fillDefaults() {
@@ -87,6 +96,12 @@ func (c *Config) fillDefaults() {
 	if c.MaxQueueWait <= 0 {
 		c.MaxQueueWait = c.PredictTimeout
 	}
+	if c.IngestQueue <= 0 {
+		c.IngestQueue = 4096
+	}
+	if c.IngestBatch <= 0 {
+		c.IngestBatch = 256
+	}
 }
 
 // Server is the HTTP serving layer: a model registry behind a JSON API with
@@ -100,6 +115,8 @@ type Server struct {
 	batcher  *Batcher
 	cache    *predCache
 	budgets  sync.Map // model name -> *atomic.Int64 in-flight uncached points
+	ingests  sync.Map // model name -> *ingestState for streaming models
+	inFleet  bool     // set by NewFleet: streaming fits are single-server only
 	draining atomic.Bool
 	mux      *http.ServeMux
 }
@@ -113,6 +130,7 @@ func NewServer(cfg Config) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/models/{name}", s.handleFit)
 	mux.HandleFunc("GET /v1/models", s.handleList)
 	mux.HandleFunc("GET /v1/models/{name}", s.handleGet)
@@ -139,13 +157,15 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close drains and stops the batcher, waiting for every admitted job. Call
-// after http.Server.Shutdown has returned (no handlers in flight).
+// Close drains and stops the batcher and every ingest worker, waiting
+// for every admitted job. Call after http.Server.Shutdown has returned
+// (no handlers in flight).
 func (s *Server) Close() {
 	s.BeginDrain()
 	if s.batcher != nil {
 		s.batcher.Close()
 	}
+	s.closeIngests()
 }
 
 // httpError is the JSON error envelope.
@@ -379,6 +399,11 @@ type fitRequest struct {
 	// TopM > 0 serves the model with top-m anchor truncation; responses
 	// then carry residual_bound. Incompatible with KNN > 0.
 	TopM int `json:"top_m,omitempty"`
+	// Stream keeps a live ingestor behind the model so POST /v1/ingest
+	// can append points continuously. Requires a compact-support kernel,
+	// a fixed bandwidth, the hard criterion (lambda 0), labeled anchors,
+	// and no knn/top_m truncation; rejected on fleets.
+	Stream bool `json:"stream,omitempty"`
 }
 
 // fitResponse answers a fit request.
@@ -390,7 +415,7 @@ type fitResponse struct {
 }
 
 func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
-	name, m, start, ok := s.buildModel(w, r)
+	name, m, ing, start, ok := s.buildModel(w, r)
 	if !ok {
 		return
 	}
@@ -400,6 +425,14 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	setModelVersion(e.Name, e.Version)
+	// A streaming fit registers its ingestor only after the initial
+	// publication, so the worker can never race the first Store; a plain
+	// refit under the same name retires any previous ingestor.
+	if ing != nil {
+		s.registerIngest(newIngestState(e.Name, ing, s.cfg.IngestQueue))
+	} else {
+		s.dropIngest(e.Name)
+	}
 	writeJSON(w, http.StatusOK, fitResponse{
 		Model:   e.Name,
 		Version: e.Version,
@@ -412,9 +445,10 @@ func (s *Server) handleFit(w http.ResponseWriter, r *http.Request) {
 // the transductive fit, the snapshot, and the inductive model build — up to
 // but not including registry publication, so single servers and replicated
 // fleets share one fit path (a fleet fits once on the leader and publishes
-// the immutable model to every replica). On failure the error response has
-// been written and ok is false.
-func (s *Server) buildModel(w http.ResponseWriter, r *http.Request) (name string, m *Model, start time.Time, ok bool) {
+// the immutable model to every replica). For "stream": true fits, ing is the
+// live ingestor the caller must register after the initial publication. On
+// failure the error response has been written and ok is false.
+func (s *Server) buildModel(w http.ResponseWriter, r *http.Request) (name string, m *Model, ing *stream.Ingestor, start time.Time, ok bool) {
 	if s.draining.Load() {
 		fail(w, ErrDraining)
 		return
@@ -438,6 +472,10 @@ func (s *Server) buildModel(w http.ResponseWriter, r *http.Request) (name string
 	default:
 		fail(w, fmt.Errorf("serve: anchor_set %q (want \"labeled\" or \"all\"): %w", req.AnchorSet, ErrPoint))
 		return
+	}
+	if req.Stream {
+		m, ing, start, ok = s.buildStreamModel(w, &req, anchorSet)
+		return name, m, ing, start, ok
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.FitTimeout)
 	defer cancel()
@@ -483,7 +521,73 @@ func (s *Server) buildModel(w http.ResponseWriter, r *http.Request) (name string
 		fail(w, err)
 		return
 	}
-	return name, m, start, true
+	return name, m, nil, start, true
+}
+
+// buildStreamModel is the "stream": true branch of the fit pipeline: it
+// validates the streaming constraints, fits through stream.New (bitwise
+// the same solution as graphssl.Fit), and returns the initial model
+// together with the live ingestor.
+func (s *Server) buildStreamModel(w http.ResponseWriter, req *fitRequest, anchorSet AnchorSet) (m *Model, ing *stream.Ingestor, start time.Time, ok bool) {
+	if s.inFleet {
+		fail(w, fmt.Errorf("serve: streaming ingest is single-server only: %w", ErrFleet))
+		return
+	}
+	if anchorSet != AnchorLabeled {
+		fail(w, fmt.Errorf("serve: streaming fits require labeled anchors: %w", ErrPoint))
+		return
+	}
+	if req.TopM > 0 || req.KNN != 0 {
+		fail(w, fmt.Errorf("serve: streaming fits take no knn or top_m truncation: %w", ErrPoint))
+		return
+	}
+	if req.Lambda != nil && *req.Lambda != 0 {
+		fail(w, fmt.Errorf("serve: streaming fits require the hard criterion (lambda 0): %w", ErrPoint))
+		return
+	}
+	if req.Bandwidth <= 0 {
+		fail(w, fmt.Errorf("serve: streaming fits require a fixed bandwidth: %w", ErrPoint))
+		return
+	}
+	if req.Kernel == "" {
+		fail(w, fmt.Errorf("serve: streaming fits require an explicit compact-support kernel: %w", ErrPoint))
+		return
+	}
+	kind, err := kernel.Parse(req.Kernel)
+	if err != nil {
+		fail(w, fmt.Errorf("serve: %v: %w", err, ErrPoint))
+		return
+	}
+	labeled := req.Labeled
+	if labeled == nil {
+		// The graphssl.Fit convention: nil labeled means the first len(y)
+		// points.
+		labeled = make([]int, len(req.Y))
+		for i := range labeled {
+			labeled[i] = i
+		}
+	}
+	start = time.Now()
+	ing, err = stream.New(req.X, req.Y, labeled, stream.Config{
+		Kernel:    kind,
+		Bandwidth: req.Bandwidth,
+		Workers:   s.cfg.Workers,
+	})
+	if err != nil {
+		fail(w, fmt.Errorf("serve: stream fit: %v: %w", err, ErrPoint))
+		return
+	}
+	snap, err := ing.Snapshot()
+	if err != nil {
+		fail(w, fmt.Errorf("serve: snapshot: %v: %w", err, ErrPoint))
+		return
+	}
+	m, err = NewModel(snap, WithAnchorSet(AnchorLabeled), WithWorkers(s.cfg.Workers))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	return m, ing, start, true
 }
 
 // modelEntry lists one registry entry.
@@ -518,6 +622,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	clearModelVersion(name)
+	s.dropIngest(name)
 	// Drop the budget counter; in-flight requests holding it keep their
 	// reference and still release correctly. Cached predictions need no
 	// purge: Registry versions are monotonic across Delete, so a refit under
